@@ -1,0 +1,275 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Regeneration: prints every table and figure of the paper's
+      evaluation section (Fig. 5, Fig. 6, Fig. 7, Table 2, Fig. 8) at the
+      configured scale, via the same Report.Expt drivers the expt CLI
+      uses.
+
+   2. Microbenchmarks: one Bechamel Test.make per table/figure measuring
+      the representative kernel behind it, plus ablation benches for the
+      design choices called out in DESIGN.md (greedy vs exact vs MILP
+      window solver; dM1-aware routing on/off).
+
+   Run with: dune exec bench/main.exe            (both halves)
+             dune exec bench/main.exe -- tables  (regeneration only)
+             dune exec bench/main.exe -- micro   (microbenchmarks only)
+
+   The regeneration scale defaults to 16 (instance counts 1/16 of the
+   paper's); set e.g. VM1DP_BENCH_SCALE=8 for larger runs. *)
+
+open Bechamel
+open Toolkit
+
+let scale =
+  match Sys.getenv_opt "VM1DP_BENCH_SCALE" with
+  | Some s -> int_of_string s
+  | None -> 16
+
+(* --- regeneration --- *)
+
+let regenerate () =
+  Printf.printf "# Regenerating paper tables/figures at scale 1/%d\n\n%!" scale;
+  Printf.printf "## ExptA-1 (Fig. 5): RWL and runtime vs window size\n%!";
+  print_string (Report.Expt.Fig5.render (Report.Expt.Fig5.run ~scale ()));
+  Printf.printf "\n## ExptA-2 (Fig. 6): RWL and #dM1 vs alpha\n%!";
+  print_string (Report.Expt.Fig6.render (Report.Expt.Fig6.run ~scale ()));
+  Printf.printf "\n## ExptA-3 (Fig. 7): optimisation sequences\n%!";
+  print_string (Report.Expt.Fig7.render (Report.Expt.Fig7.run ~scale ()));
+  Printf.printf "\n## ExptB (Table 2): ClosedM1 and OpenM1 designs\n%!";
+  print_string (Report.Expt.Table2.render (Report.Expt.Table2.run ~scale ()));
+  Printf.printf "\n## ExptB-1 (Fig. 8): DRVs vs utilisation\n%!";
+  print_string (Report.Expt.Fig8.render (Report.Expt.Fig8.run ~scale ()));
+  print_newline ()
+
+(* --- microbenchmark fixtures (built once, outside the timed region) --- *)
+
+let bench_scale = 32
+
+let fixture arch =
+  let p = Report.Flow.prepare ~scale:bench_scale Netlist.Designs.Aes arch in
+  let params = Vm1.Params.default p.Place.Placement.tech in
+  (p, params)
+
+let closed_fixture = lazy (fixture Pdk.Cell_arch.Closed_m1)
+let open_fixture = lazy (fixture Pdk.Cell_arch.Open_m1)
+
+let tiny_window_fixture =
+  lazy
+    (let p, params = Lazy.force closed_fixture in
+     let ws = Vm1.Window.partition p ~tx:0 ~ty:0 ~bw:14 ~bh:2 in
+     let w =
+       Array.to_list ws
+       |> List.filter (fun (w : Vm1.Window.t) ->
+              let k = List.length w.movable in
+              k >= 2 && k <= 4)
+       |> List.hd
+     in
+     (p, params, w))
+
+let extract_tiny () =
+  let p, params, w = Lazy.force tiny_window_fixture in
+  Vm1.Wproblem.extract p params ~site_lo:w.site_lo ~row_lo:w.row_lo ~bw:w.bw
+    ~bh:w.bh ~movable:w.movable ~lx:2 ~ly:1 ~allow_flip:false ~allow_move:true
+
+(* Fig. 5 kernel: one DistOpt pair over a 20um window grid. *)
+let bench_fig5 =
+  Test.make ~name:"fig5/distopt_20um_window_pass"
+    (Staged.stage (fun () ->
+         let p, params = Lazy.force closed_fixture in
+         let q = Place.Placement.copy p in
+         ignore
+           (Vm1.Dist_opt.run q params
+              {
+                Vm1.Dist_opt.tx = 0;
+                ty = 0;
+                bw = 555;
+                bh = 74;
+                lx = 4;
+                ly = 1;
+                allow_flip = false;
+                allow_move = true;
+                mode = `Greedy;
+                parallel = false;
+                candidate_cost = None;
+              })))
+
+(* Fig. 6 kernel: the full VM1Opt metaheuristic at the selected alpha. *)
+let bench_fig6 =
+  Test.make ~name:"fig6/vm1opt_alpha1200"
+    (Staged.stage (fun () ->
+         let p, params = Lazy.force closed_fixture in
+         let q = Place.Placement.copy p in
+         ignore (Vm1.Vm1_opt.run params q)))
+
+(* Fig. 7 kernel: the longest optimisation sequence (number 5). *)
+let bench_fig7 =
+  Test.make ~name:"fig7/vm1opt_sequence5"
+    (Staged.stage (fun () ->
+         let p, params = Lazy.force closed_fixture in
+         let q = Place.Placement.copy p in
+         let config =
+           { Vm1.Vm1_opt.default_config with
+             Vm1.Vm1_opt.sequence = Vm1.Params.sequence 5 }
+         in
+         ignore (Vm1.Vm1_opt.run ~config params q)))
+
+(* Table 2 kernels: routing + metrics on both architectures. *)
+let bench_table2_closed =
+  Test.make ~name:"table2/route_and_metrics_closedm1"
+    (Staged.stage (fun () ->
+         let p, _ = Lazy.force closed_fixture in
+         ignore (Route.Metrics.summarize (Route.Router.route p))))
+
+let bench_table2_open =
+  Test.make ~name:"table2/route_and_metrics_openm1"
+    (Staged.stage (fun () ->
+         let p, _ = Lazy.force open_fixture in
+         ignore (Route.Metrics.summarize (Route.Router.route p))))
+
+(* Fig. 8 kernel: DRV counting on a congested die. *)
+let congested_fixture =
+  lazy
+    (Report.Flow.prepare ~scale:bench_scale ~utilization:0.86
+       Netlist.Designs.Aes Pdk.Cell_arch.Closed_m1)
+
+let bench_fig8 =
+  Test.make ~name:"fig8/route_congested_util86"
+    (Staged.stage (fun () ->
+         let p = Lazy.force congested_fixture in
+         ignore (Route.Metrics.summarize (Route.Router.route p))))
+
+(* Ablation: window solver quality ladder (greedy vs exact vs MILP). *)
+let bench_ablation_greedy =
+  Test.make ~name:"ablation/window_solver_greedy"
+    (Staged.stage (fun () ->
+         ignore (Vm1.Scp_solver.solve ~mode:`Greedy (extract_tiny ()))))
+
+let bench_ablation_exact =
+  Test.make ~name:"ablation/window_solver_exact"
+    (Staged.stage (fun () ->
+         ignore (Vm1.Scp_solver.solve ~mode:`Exact (extract_tiny ()))))
+
+let bench_ablation_milp =
+  Test.make ~name:"ablation/window_solver_milp"
+    (Staged.stage (fun () ->
+         ignore (Vm1.Formulate.solve ~node_limit:5_000 (extract_tiny ()))))
+
+let bench_ablation_anneal =
+  Test.make ~name:"ablation/window_solver_anneal"
+    (Staged.stage (fun () ->
+         ignore (Vm1.Scp_solver.solve ~mode:`Anneal (extract_tiny ()))))
+
+(* Ablation: the router with dM1 exploitation disabled. *)
+let bench_ablation_no_dm1 =
+  Test.make ~name:"ablation/route_without_dm1"
+    (Staged.stage (fun () ->
+         let p, _ = Lazy.force closed_fixture in
+         ignore
+           (Route.Router.route
+              ~config:{ Route.Router.default_config with use_dm1 = false }
+              p)))
+
+(* Distributable optimisation: sequential vs domain-parallel batches. *)
+let distopt_cfg parallel =
+  {
+    Vm1.Dist_opt.tx = 0;
+    ty = 0;
+    bw = 40;
+    bh = 6;
+    lx = 3;
+    ly = 1;
+    allow_flip = false;
+    allow_move = true;
+    mode = `Greedy;
+    parallel;
+    candidate_cost = None;
+  }
+
+let bench_distopt_sequential =
+  Test.make ~name:"ablation/distopt_sequential"
+    (Staged.stage (fun () ->
+         let p, params = Lazy.force closed_fixture in
+         let q = Place.Placement.copy p in
+         ignore (Vm1.Dist_opt.run q params (distopt_cfg false))))
+
+let bench_distopt_parallel =
+  Test.make ~name:"ablation/distopt_parallel_domains"
+    (Staged.stage (fun () ->
+         let p, params = Lazy.force closed_fixture in
+         let q = Place.Placement.copy p in
+         ignore (Vm1.Dist_opt.run q params (distopt_cfg true))))
+
+(* Substrate kernels, for tracking the flow's building blocks. *)
+let bench_global_place =
+  Test.make ~name:"substrate/global_place"
+    (Staged.stage (fun () ->
+         let p, _ = Lazy.force closed_fixture in
+         let q = Place.Placement.copy p in
+         Place.Global.place q))
+
+let bench_legalize =
+  Test.make ~name:"substrate/legalize"
+    (Staged.stage (fun () ->
+         let p, _ = Lazy.force closed_fixture in
+         let q = Place.Placement.copy p in
+         Place.Legalize.legalize q))
+
+let bench_hpwl =
+  Test.make ~name:"substrate/hpwl_total"
+    (Staged.stage (fun () ->
+         let p, _ = Lazy.force closed_fixture in
+         ignore (Place.Hpwl.total p)))
+
+let bench_objective =
+  Test.make ~name:"substrate/objective_counts"
+    (Staged.stage (fun () ->
+         let p, params = Lazy.force closed_fixture in
+         ignore (Vm1.Objective.counts params p)))
+
+let benchmarks =
+  Test.make_grouped ~name:"vm1dp"
+    [
+      bench_fig5; bench_fig6; bench_fig7;
+      bench_table2_closed; bench_table2_open; bench_fig8;
+      bench_ablation_greedy; bench_ablation_exact; bench_ablation_milp;
+      bench_ablation_anneal;
+      bench_ablation_no_dm1;
+      bench_distopt_sequential; bench_distopt_parallel;
+      bench_global_place; bench_legalize; bench_hpwl; bench_objective;
+    ]
+
+let run_micro () =
+  print_endline "# Microbenchmarks (Bechamel; ns per run, OLS estimate)";
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] benchmarks in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name stats ->
+      let est =
+        match Analyze.OLS.estimates stats with
+        | Some [ est ] -> Printf.sprintf "%14.0f" est
+        | _ -> "            n/a"
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-48s %s ns/run\n" name est)
+    (List.sort compare !rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "tables" ] -> regenerate ()
+  | [ "micro" ] -> run_micro ()
+  | [] ->
+    regenerate ();
+    run_micro ()
+  | _ ->
+    prerr_endline "usage: main.exe [tables|micro]";
+    exit 1

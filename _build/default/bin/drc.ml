@@ -1,0 +1,57 @@
+(* Standalone placement checker: reads a DEF-like dump (as written by
+   vm1opt --dump or Netlist.Def_io), validates netlist integrity and
+   placement legality, and reports the design's metrics; optionally
+   routes it. *)
+
+open Cmdliner
+
+let def_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DEF"
+         ~doc:"Placement dump produced by Netlist.Def_io.")
+
+let arch =
+  Arg.(value & opt string "closedm1" & info [ "arch"; "a" ]
+         ~doc:"Cell architecture the dump was produced with.")
+
+let do_route =
+  Arg.(value & flag & info [ "route" ]
+         ~doc:"Also route the design and report routing metrics.")
+
+let run def_file arch do_route =
+  match Pdk.Cell_arch.of_string arch with
+  | None ->
+    Printf.eprintf "unknown architecture %S\n" arch;
+    exit 2
+  | Some arch ->
+    let lib = Pdk.Libgen.generate (Pdk.Tech.default arch) in
+    let design, def = Netlist.Def_io.read_file lib def_file in
+    print_endline (Netlist.Design.stats design);
+    (match Netlist.Design.validate design with
+     | [] -> print_endline "netlist: OK"
+     | problems ->
+       Printf.printf "netlist: %d problems\n" (List.length problems);
+       List.iteri
+         (fun i p -> if i < 10 then Printf.printf "  %s\n" p)
+         problems);
+    let p = Place.Placement.of_def design def in
+    (match Place.Legalize.check p with
+     | [] -> print_endline "placement: legal"
+     | problems ->
+       Printf.printf "placement: %d violations\n" (List.length problems);
+       List.iteri
+         (fun i v -> if i < 10 then Printf.printf "  %s\n" v)
+         problems);
+    Printf.printf "utilization: %.1f%%  HPWL: %.1f um\n"
+      (100.0 *. Place.Placement.utilization p)
+      (Place.Hpwl.total_um p);
+    if do_route then begin
+      let r = Route.Router.route p in
+      Format.printf "routing: %a@." Route.Metrics.pp_summary
+        (Route.Metrics.summarize r)
+    end
+
+let cmd =
+  let doc = "validate and report on a placement dump" in
+  Cmd.v (Cmd.info "drc" ~doc) Term.(const run $ def_file $ arch $ do_route)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,112 @@
+(* Command-line driver for the full flow on one design: generate, place,
+   route, evaluate, optimise, re-route, evaluate, and report the Table-2
+   row. Optionally dumps before/after placements in the DEF-like format. *)
+
+open Cmdliner
+
+let design_conv =
+  let parse s =
+    match Netlist.Designs.of_string s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown design %S (m0|aes|jpeg|vga)" s))
+  in
+  let print ppf d = Format.pp_print_string ppf (Netlist.Designs.to_string d) in
+  Arg.conv (parse, print)
+
+let arch_conv =
+  let parse s =
+    match Pdk.Cell_arch.of_string s with
+    | Some a -> Ok a
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown arch %S (closedm1|openm1|conv12)" s))
+  in
+  Arg.conv (parse, Pdk.Cell_arch.pp)
+
+let design =
+  Arg.(value & opt design_conv Netlist.Designs.Aes & info [ "design"; "d" ]
+         ~doc:"Design: m0, aes, jpeg or vga.")
+
+let arch =
+  Arg.(value & opt arch_conv Pdk.Cell_arch.Closed_m1 & info [ "arch"; "a" ]
+         ~doc:"Cell architecture: closedm1, openm1 or conv12.")
+
+let scale =
+  Arg.(value & opt int 8 & info [ "scale" ]
+         ~doc:"Design-size divisor vs the paper's instance counts (1 = full).")
+
+let utilization =
+  Arg.(value & opt float 0.75 & info [ "util" ] ~doc:"Placement utilisation.")
+
+let alpha =
+  Arg.(value & opt (some float) None & info [ "alpha" ]
+         ~doc:"Override the alignment weight alpha.")
+
+let sequence =
+  Arg.(value & opt int 1 & info [ "sequence" ]
+         ~doc:"Optimisation sequence 1-5 (ExptA-3).")
+
+let dump_prefix =
+  Arg.(value & opt (some string) None & info [ "dump" ]
+         ~doc:"Write PREFIX.init.def and PREFIX.opt.def placement dumps.")
+
+let svg_prefix =
+  Arg.(value & opt (some string) None & info [ "svg" ]
+         ~doc:"Write PREFIX.{placement,routed,congestion}.svg of the final                layout.")
+
+let parallel =
+  Arg.(value & flag & info [ "parallel"; "j" ]
+         ~doc:"Solve diagonally-independent windows on multiple domains                (the paper's distributable optimisation); results are                identical to the sequential run.")
+
+let run design arch scale utilization alpha sequence dump_prefix svg_prefix parallel =
+  let p = Report.Flow.prepare ~scale ~utilization design arch in
+  let params =
+    let base = Vm1.Params.default p.Place.Placement.tech in
+    match alpha with
+    | Some a -> { base with Vm1.Params.alpha = a }
+    | None -> base
+  in
+  Printf.printf "%s\n%!" (Netlist.Design.stats p.Place.Placement.design);
+  (match dump_prefix with
+   | Some prefix ->
+     Netlist.Def_io.write_file (prefix ^ ".init.def") p.design
+       (Place.Placement.to_def p)
+   | None -> ());
+  let init, clock_ps = Report.Flow.evaluate params p in
+  let config =
+    { Vm1.Vm1_opt.default_config with
+      Vm1.Vm1_opt.sequence = Vm1.Params.sequence sequence;
+      parallel }
+  in
+  let report = Vm1.Vm1_opt.run ~config params p in
+  let final, _ = Report.Flow.evaluate ~clock_ps params p in
+  (match dump_prefix with
+   | Some prefix ->
+     Netlist.Def_io.write_file (prefix ^ ".opt.def") p.design
+       (Place.Placement.to_def p)
+   | None -> ());
+  (match svg_prefix with
+   | Some prefix ->
+     let r = Route.Router.route p in
+     Report.Svg.write_file (prefix ^ ".placement.svg") (Report.Svg.placement p);
+     Report.Svg.write_file (prefix ^ ".routed.svg") (Report.Svg.routed r);
+     Report.Svg.write_file (prefix ^ ".congestion.svg") (Report.Svg.congestion r)
+   | None -> ());
+  let comparison =
+    {
+      Report.Flow.design_name = p.design.Netlist.Design.name;
+      instances = Place.Placement.num_instances p;
+      alpha = params.Vm1.Params.alpha;
+      init;
+      final;
+      opt_runtime_s = report.Vm1.Vm1_opt.runtime_s;
+    }
+  in
+  print_string (Report.Expt.Table2.render [ comparison ])
+
+let cmd =
+  let doc = "vertical M1 routing-aware detailed placement, end to end" in
+  Cmd.v (Cmd.info "vm1opt" ~doc)
+    Term.(const run $ design $ arch $ scale $ utilization $ alpha $ sequence
+          $ dump_prefix $ svg_prefix $ parallel)
+
+let () = exit (Cmd.eval cmd)

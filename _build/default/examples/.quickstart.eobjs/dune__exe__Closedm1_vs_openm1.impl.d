@@ -1,0 +1,1 @@
+examples/closedm1_vs_openm1.ml: Netlist Pdk Printf Report

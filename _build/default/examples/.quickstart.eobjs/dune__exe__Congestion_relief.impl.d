@@ -1,0 +1,1 @@
+examples/congestion_relief.ml: List Netlist Pdk Place Printf Report Route Vm1

@@ -1,0 +1,1 @@
+examples/congestion_relief.mli:

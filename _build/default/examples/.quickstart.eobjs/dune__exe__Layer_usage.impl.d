@@ -1,0 +1,1 @@
+examples/layer_usage.ml: Array Netlist Pdk Place Printf Report Route Vm1

@@ -1,0 +1,1 @@
+examples/milp_window.ml: Array List Milp Netlist Pdk Place Printf Vm1

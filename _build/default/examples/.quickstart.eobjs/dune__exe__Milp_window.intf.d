@@ -1,0 +1,1 @@
+examples/milp_window.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Netlist Pdk Place Printf Report Vm1

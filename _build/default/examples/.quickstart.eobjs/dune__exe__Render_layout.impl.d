@@ -1,0 +1,1 @@
+examples/render_layout.ml: Array Char Geom List Pdk Printf String

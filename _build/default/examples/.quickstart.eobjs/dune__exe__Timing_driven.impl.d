@@ -1,0 +1,1 @@
+examples/timing_driven.ml: Netlist Pdk Place Printf Report Route Sta Vm1

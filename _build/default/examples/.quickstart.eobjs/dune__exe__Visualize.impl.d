@@ -1,0 +1,1 @@
+examples/visualize.ml: Format Netlist Pdk Place Report Route Vm1

@@ -1,0 +1,24 @@
+(* Where does the wirelength go? Per-layer breakdown before and after the
+   vertical-M1 optimisation: dM1 absorbs short vertical hops on M1 and
+   the M2 access traffic (and its vias) shrinks.
+
+   Run with: dune exec examples/layer_usage.exe *)
+
+let breakdown label r =
+  let wl = Route.Metrics.per_layer_wl_um r in
+  let vias = Route.Metrics.vias_per_boundary r in
+  Printf.printf "%-8s" label;
+  for l = 1 to Route.Grid.num_layers do
+    Printf.printf "  M%d %7.1f" l wl.(l)
+  done;
+  Printf.printf "   via12 %d via23 %d\n%!" vias.(1) vias.(2)
+
+let () =
+  let p =
+    Report.Flow.prepare ~scale:16 Netlist.Designs.Aes Pdk.Cell_arch.Closed_m1
+  in
+  let params = Vm1.Params.default p.Place.Placement.tech in
+  print_endline "aes ClosedM1 @ 1/16 scale: wirelength per layer (um)";
+  breakdown "initial" (Route.Router.route p);
+  ignore (Vm1.Vm1_opt.run params p);
+  breakdown "optimised" (Route.Router.route p)

@@ -1,0 +1,90 @@
+(* ASCII rendering of the modelled cell architectures (the paper's Fig. 1)
+   and of a direct vertical M1 route between two stacked inverters
+   (Fig. 2a). Useful for eyeballing the pin geometry the optimiser and
+   router reason about.
+
+   Run with: dune exec examples/render_layout.exe *)
+
+let cell_canvas (master : Pdk.Stdcell.t) =
+  (* one character per 9nm in x, per 27nm in y; y axis grows upward *)
+  let sx = 9 and sy = 27 in
+  let w = master.width / sx and h = master.height / sy in
+  let canvas = Array.make_matrix h w '.' in
+  List.iter
+    (fun (pin : Pdk.Stdcell.pin) ->
+      let tag = pin.pin_name.[0] in
+      List.iter
+        (fun ((layer : Pdk.Layer.t), (r : Geom.Rect.t)) ->
+          let mark = match layer with Pdk.Layer.M0 -> Char.lowercase_ascii tag | _ -> tag in
+          for y = r.ly / sy to min (h - 1) ((r.hy - 1) / sy) do
+            for x = r.lx / sx to min (w - 1) ((r.hx - 1) / sx) do
+              canvas.(y).(x) <- mark
+            done
+          done)
+        pin.shapes)
+    master.pins;
+  canvas
+
+let print_canvas canvas =
+  for y = Array.length canvas - 1 downto 0 do
+    print_string "  ";
+    Array.iter print_char canvas.(y);
+    print_newline ()
+  done
+
+let show arch name =
+  let lib = Pdk.Libgen.generate (Pdk.Tech.default arch) in
+  let master = Pdk.Libgen.find lib name in
+  Printf.printf "%s %s (%d sites x %d nm; uppercase = M1 pins, lowercase = M0 pins)\n"
+    (Pdk.Cell_arch.to_string arch) name master.width_sites master.height;
+  print_canvas (cell_canvas master);
+  print_newline ()
+
+(* Fig. 2(a): two ClosedM1 inverters in adjacent rows with aligned pins,
+   connected by one vertical M1 segment *)
+let show_dm1 () =
+  let lib = Pdk.Libgen.generate (Pdk.Tech.default Pdk.Cell_arch.Closed_m1) in
+  let inv = Pdk.Libgen.find lib "INV_X1" in
+  print_endline
+    "Direct vertical M1 route (|): lower INV's ZN aligned with upper INV's A";
+  let sx = 9 and sy = 27 in
+  let rows = 2 in
+  let w = (inv.width + (2 * 36)) / sx in
+  let h = rows * inv.height / sy in
+  let canvas = Array.make_matrix h w '.' in
+  let draw ~origin_x ~row (pin : Pdk.Stdcell.pin) =
+    List.iter
+      (fun (_, (r : Geom.Rect.t)) ->
+        for y = (r.ly + (row * inv.height)) / sy
+            to min (h - 1) ((r.hy - 1 + (row * inv.height)) / sy) do
+          for x = (r.lx + origin_x) / sx to min (w - 1) ((r.hx - 1 + origin_x) / sx) do
+            canvas.(y).(x) <- pin.pin_name.[0]
+          done
+        done)
+      pin.shapes
+  in
+  (* lower INV at site 0, upper INV shifted one site left so that upper A
+     (track 0) aligns with lower ZN (track 1) *)
+  List.iter (draw ~origin_x:0 ~row:0) inv.pins;
+  List.iter (draw ~origin_x:36 ~row:1) inv.pins;
+  (* the connecting M1 segment runs through the gap between the pins *)
+  let zn = Pdk.Stdcell.find_pin inv "ZN" in
+  let track_x =
+    match zn.shapes with
+    | (_, r) :: _ -> (r.Geom.Rect.lx + r.Geom.Rect.hx) / 2
+    | [] -> assert false
+  in
+  let x = track_x / sx in
+  for y = 0 to h - 1 do
+    if canvas.(y).(x) = '.' then canvas.(y).(x) <- '|'
+  done;
+  print_canvas canvas;
+  print_newline ()
+
+let () =
+  show Pdk.Cell_arch.Conventional12 "INV_X1";
+  show Pdk.Cell_arch.Closed_m1 "INV_X1";
+  show Pdk.Cell_arch.Open_m1 "INV_X1";
+  show Pdk.Cell_arch.Closed_m1 "NAND2_X1";
+  show Pdk.Cell_arch.Open_m1 "DFF_X1";
+  show_dm1 ()

@@ -1,0 +1,19 @@
+(* Render a placed-and-routed design as SVG: placement map, routed wires
+   coloured by layer, and a congestion heatmap.
+
+   Run with: dune exec examples/visualize.exe
+   Output: vm1dp_placement.svg, vm1dp_routed.svg, vm1dp_congestion.svg *)
+
+let () =
+  let p =
+    Report.Flow.prepare ~scale:32 Netlist.Designs.Aes Pdk.Cell_arch.Closed_m1
+  in
+  let params = Vm1.Params.default p.Place.Placement.tech in
+  ignore (Vm1.Vm1_opt.run params p);
+  let r = Route.Router.route p in
+  Report.Svg.write_file "vm1dp_placement.svg" (Report.Svg.placement p);
+  Report.Svg.write_file "vm1dp_routed.svg" (Report.Svg.routed r);
+  Report.Svg.write_file "vm1dp_congestion.svg" (Report.Svg.congestion r);
+  let s = Route.Metrics.summarize r in
+  Format.printf "wrote vm1dp_{placement,routed,congestion}.svg (%a)@."
+    Route.Metrics.pp_summary s

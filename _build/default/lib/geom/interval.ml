@@ -1,0 +1,19 @@
+type t = { lo : int; hi : int }
+
+let make lo hi = { lo; hi }
+let of_unordered a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+let empty = { lo = 1; hi = 0 }
+let is_empty i = i.lo > i.hi
+let length i = if is_empty i then 0 else i.hi - i.lo
+let contains i v = i.lo <= v && v <= i.hi
+let overlap a b = min a.hi b.hi - max a.lo b.lo
+let intersect a b = { lo = max a.lo b.lo; hi = min a.hi b.hi }
+
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let shift i d = if is_empty i then i else { lo = i.lo + d; hi = i.hi + d }
+let equal a b = (is_empty a && is_empty b) || (a.lo = b.lo && a.hi = b.hi)
+let pp ppf i = Format.fprintf ppf "[%d,%d]" i.lo i.hi

@@ -1,0 +1,28 @@
+(** Closed integer intervals [lo, hi]. An interval with [lo > hi] is empty. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+
+(** [of_unordered a b] is the interval spanning [a] and [b] regardless of
+    their order. *)
+val of_unordered : int -> int -> t
+
+val empty : t
+val is_empty : t -> bool
+
+(** [length i] is [hi - lo], i.e. the geometric extent; 0 for a point
+    interval and negative values are clamped to 0 for empty intervals. *)
+val length : t -> int
+
+val contains : t -> int -> bool
+
+(** [overlap a b] is the length of the intersection of [a] and [b], or a
+    negative number giving minus the gap between them when disjoint. *)
+val overlap : t -> t -> int
+
+val intersect : t -> t -> t
+val union : t -> t -> t
+val shift : t -> int -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t = N | FN | S | FS
+
+let flip_y = function N -> FN | FN -> N | S -> FS | FS -> S
+let is_flipped = function FN | FS -> true | N | S -> false
+
+let apply o ~cell_width ~cell_height (r : Rect.t) =
+  if Rect.is_empty r then r
+  else
+    let mirror_x (r : Rect.t) =
+      Rect.make ~lx:(cell_width - r.hx) ~hx:(cell_width - r.lx) ~ly:r.ly
+        ~hy:r.hy
+    in
+    let mirror_y (r : Rect.t) =
+      Rect.make ~lx:r.lx ~hx:r.hx ~ly:(cell_height - r.hy)
+        ~hy:(cell_height - r.ly)
+    in
+    match o with
+    | N -> r
+    | FN -> mirror_x r
+    | S -> mirror_y (mirror_x r)
+    | FS -> mirror_y r
+
+let apply_x o ~cell_width x =
+  match o with N | FS -> x | FN | S -> cell_width - x
+
+let equal a b = a = b
+let to_string = function N -> "N" | FN -> "FN" | S -> "S" | FS -> "FS"
+let pp ppf o = Format.pp_print_string ppf (to_string o)

@@ -1,0 +1,24 @@
+(** Standard-cell placement orientations. Row-based placement only uses
+    [N] (north) and [FN] (flipped about the y-axis); rows with inverted
+    wells additionally use [S] and [FS]. Flipping about y is the "flip"
+    degree of freedom of the paper's MILP (variable f_c). *)
+
+type t = N | FN | S | FS
+
+val flip_y : t -> t
+
+(** [is_flipped o] is true for [FN] and [FS] — the orientations produced by
+    mirroring about the vertical axis. *)
+val is_flipped : t -> bool
+
+(** [apply o ~cell_width ~cell_height rect] maps a rectangle given in the
+    cell's local (N) frame into the frame of a cell placed with orientation
+    [o], origin preserved at the cell's lower-left corner. *)
+val apply : t -> cell_width:int -> cell_height:int -> Rect.t -> Rect.t
+
+(** [apply_x o ~cell_width x] maps a local x coordinate. *)
+val apply_x : t -> cell_width:int -> int -> int
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

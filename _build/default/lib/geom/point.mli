@@ -1,0 +1,16 @@
+(** Integer points in database units (1 DBU = 1 nm). *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+(** [manhattan a b] is the L1 distance between [a] and [b]. *)
+val manhattan : t -> t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type t = { lx : int; ly : int; hx : int; hy : int }
+
+let make ~lx ~ly ~hx ~hy = { lx; ly; hx; hy }
+
+let of_points (a : Point.t) (b : Point.t) =
+  { lx = min a.x b.x; ly = min a.y b.y; hx = max a.x b.x; hy = max a.y b.y }
+
+let empty = { lx = 1; ly = 1; hx = 0; hy = 0 }
+let is_empty r = r.lx > r.hx || r.ly > r.hy
+let width r = if is_empty r then 0 else r.hx - r.lx
+let height r = if is_empty r then 0 else r.hy - r.ly
+let half_perimeter r = width r + height r
+let area r = width r * height r
+let center r = Point.make ((r.lx + r.hx) / 2) ((r.ly + r.hy) / 2)
+
+let contains_point r (p : Point.t) =
+  r.lx <= p.x && p.x <= r.hx && r.ly <= p.y && p.y <= r.hy
+
+let overlaps a b =
+  (not (is_empty a)) && (not (is_empty b))
+  && a.lx <= b.hx && b.lx <= a.hx && a.ly <= b.hy && b.ly <= a.hy
+
+let overlaps_strictly a b =
+  (not (is_empty a)) && (not (is_empty b))
+  && a.lx < b.hx && b.lx < a.hx && a.ly < b.hy && b.ly < a.hy
+
+let intersect a b =
+  { lx = max a.lx b.lx; ly = max a.ly b.ly;
+    hx = min a.hx b.hx; hy = min a.hy b.hy }
+
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else
+    { lx = min a.lx b.lx; ly = min a.ly b.ly;
+      hx = max a.hx b.hx; hy = max a.hy b.hy }
+
+let expand r d =
+  if is_empty r then r
+  else { lx = r.lx - d; ly = r.ly - d; hx = r.hx + d; hy = r.hy + d }
+
+let shift r (d : Point.t) =
+  if is_empty r then r
+  else { lx = r.lx + d.x; ly = r.ly + d.y; hx = r.hx + d.x; hy = r.hy + d.y }
+
+let x_span r = if is_empty r then Interval.empty else Interval.make r.lx r.hx
+let y_span r = if is_empty r then Interval.empty else Interval.make r.ly r.hy
+
+let bbox_of_points = function
+  | [] -> invalid_arg "Rect.bbox_of_points: empty list"
+  | p :: ps ->
+    let f acc q = union acc (of_points q q) in
+    List.fold_left f (of_points p p) ps
+
+let equal a b =
+  (is_empty a && is_empty b)
+  || (a.lx = b.lx && a.ly = b.ly && a.hx = b.hx && a.hy = b.hy)
+
+let pp ppf r = Format.fprintf ppf "[%d,%d;%d,%d]" r.lx r.ly r.hx r.hy

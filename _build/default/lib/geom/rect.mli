@@ -1,0 +1,49 @@
+(** Axis-aligned integer rectangles, half-open in neither axis: a rect is the
+    closed region [lx,hx] x [ly,hy]. A rect with [lx > hx] or [ly > hy] is
+    empty. *)
+
+type t = { lx : int; ly : int; hx : int; hy : int }
+
+val make : lx:int -> ly:int -> hx:int -> hy:int -> t
+
+(** [of_points a b] is the bounding box of the two points. *)
+val of_points : Point.t -> Point.t -> t
+
+val empty : t
+val is_empty : t -> bool
+val width : t -> int
+val height : t -> int
+
+(** [half_perimeter r] is [width r + height r], the HPWL contribution of a
+    bounding box. *)
+val half_perimeter : t -> int
+
+val area : t -> int
+val center : t -> Point.t
+val contains_point : t -> Point.t -> bool
+
+(** [overlaps a b] is true when the closed regions share at least one
+    point. *)
+val overlaps : t -> t -> bool
+
+(** [overlaps_strictly a b] is true when the open interiors intersect, i.e.
+    edge-abutting rects do not count. *)
+val overlaps_strictly : t -> t -> bool
+
+val intersect : t -> t -> t
+val union : t -> t -> t
+
+(** [expand r d] grows the rect by [d] on every side. *)
+val expand : t -> int -> t
+
+val shift : t -> Point.t -> t
+val x_span : t -> Interval.t
+val y_span : t -> Interval.t
+
+(** [bbox_of_points pts] is the minimum bounding box of a non-empty list of
+    points.
+    @raise Invalid_argument on the empty list. *)
+val bbox_of_points : Point.t list -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/milp/bnb.ml: Array Float List Lp Model

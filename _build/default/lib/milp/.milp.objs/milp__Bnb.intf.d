@@ -1,0 +1,1 @@
+lib/milp/bnb.mli: Model

@@ -1,0 +1,1 @@
+lib/milp/model.ml: Array List Lp

@@ -1,0 +1,95 @@
+type status = Optimal | Infeasible | Node_limit
+
+type solution = {
+  status : status;
+  objective_value : float;
+  values : float array;
+  nodes_explored : int;
+}
+
+let int_tol = 1e-6
+
+let solve ?(node_limit = 100_000) (m : Model.t) =
+  let n = Model.num_vars m in
+  let obj_const = Model.objective_constant m in
+  let fixed = Array.make n None in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  let nodes = ref 0 in
+  let limit_hit = ref false in
+  let binaries = Array.of_list (List.map Model.var_index (Model.binaries m)) in
+  let rec explore () =
+    if !nodes >= node_limit then limit_hit := true
+    else begin
+      incr nodes;
+      let lp = Model.to_lp m ~fixed:(fun x -> fixed.(x)) in
+      let sol = Lp.solve lp in
+      match sol.Lp.status with
+      | Lp.Infeasible | Lp.Unbounded -> ()
+      | Lp.IterLimit ->
+        (* the relaxation did not converge: we have no sound bound, so we
+           may neither prune nor trust the fractional point — branch on
+           the first unfixed binary instead *)
+        (match
+           Array.find_opt (fun x -> fixed.(x) = None) binaries
+         with
+        | None -> ()
+        | Some x ->
+          fixed.(x) <- Some 0.0;
+          explore ();
+          fixed.(x) <- Some 1.0;
+          explore ();
+          fixed.(x) <- None)
+      | Lp.Optimal ->
+        let bound = sol.Lp.objective_value +. obj_const in
+        (* tolerant pruning: the dense Big-M simplex can over- or
+           under-shoot by a small relative error, so only prune when the
+           bound is clearly no better than the incumbent *)
+        let tolerance = 1e-6 *. (1.0 +. abs_float !incumbent_obj) in
+        if bound < !incumbent_obj +. tolerance then begin
+          (* find the most fractional binary *)
+          let frac_var = ref (-1) in
+          let frac_dist = ref 0.0 in
+          Array.iter
+            (fun x ->
+              let value = sol.Lp.values.(x) in
+              let d = abs_float (value -. Float.round value) in
+              if d > int_tol && d > !frac_dist then begin
+                frac_dist := d;
+                frac_var := x
+              end)
+            binaries;
+          if !frac_var < 0 then begin
+            (* integral: new incumbent *)
+            incumbent_obj := bound;
+            incumbent := Some (Model.recover m sol.Lp.values)
+          end
+          else begin
+            let x = !frac_var in
+            let first = Float.round sol.Lp.values.(x) in
+            let second = 1.0 -. first in
+            fixed.(x) <- Some first;
+            explore ();
+            fixed.(x) <- Some second;
+            explore ();
+            fixed.(x) <- None
+          end
+        end
+    end
+  in
+  explore ();
+  match !incumbent with
+  | Some values ->
+    {
+      status = (if !limit_hit then Node_limit else Optimal);
+      objective_value = !incumbent_obj;
+      values;
+      nodes_explored = !nodes;
+    }
+  | None ->
+    {
+      status = (if !limit_hit then Node_limit else Infeasible);
+      objective_value = infinity;
+      values = Array.make n 0.0;
+      nodes_explored = !nodes;
+    }

@@ -1,0 +1,20 @@
+(** Branch-and-bound MILP solver over [Model] with LP-relaxation bounds.
+
+    Depth-first with the LP-suggested branch explored first; prunes on
+    bound against the incumbent. A node limit makes it an anytime solver:
+    with the limit hit, the best incumbent found so far is returned with
+    status [Node_limit] (mirroring the role a CPLEX time limit plays in
+    the paper's flow). *)
+
+type status = Optimal | Infeasible | Node_limit
+
+type solution = {
+  status : status;
+  objective_value : float;       (** meaningful unless [Infeasible] *)
+  values : float array;          (** original variable space *)
+  nodes_explored : int;
+}
+
+(** [solve ?node_limit m] minimises the model's objective with all binary
+    variables integral. *)
+val solve : ?node_limit:int -> Model.t -> solution

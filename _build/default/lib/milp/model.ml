@@ -1,0 +1,132 @@
+type var = int
+
+type vinfo = {
+  name : string;
+  lb : float;
+  ub : float option;
+  binary_ : bool;
+}
+
+type expr = {
+  terms : (var * float) list;
+  constant : float;
+}
+
+type constr = Cle of expr * expr | Cge of expr * expr | Ceq of expr * expr
+
+type t = {
+  mutable vars : vinfo list;  (* reversed *)
+  mutable nvars : int;
+  mutable constrs : constr list;  (* reversed *)
+  mutable objective : expr;
+}
+
+let create () =
+  { vars = []; nvars = 0; constrs = []; objective = { terms = []; constant = 0.0 } }
+
+let add_var m info =
+  let id = m.nvars in
+  m.vars <- info :: m.vars;
+  m.nvars <- m.nvars + 1;
+  id
+
+let continuous m ?(lb = 0.0) ?ub name =
+  add_var m { name; lb; ub; binary_ = false }
+
+let binary m name = add_var m { name; lb = 0.0; ub = Some 1.0; binary_ = true }
+let num_vars m = m.nvars
+
+let var_info m x = List.nth m.vars (m.nvars - 1 - x)
+let var_name m x = (var_info m x).name
+let var_index (x : var) = x
+let is_binary m x = (var_info m x).binary_
+
+let v x = { terms = [ (x, 1.0) ]; constant = 0.0 }
+let term c x = { terms = [ (x, c) ]; constant = 0.0 }
+let const c = { terms = []; constant = c }
+let add a b = { terms = a.terms @ b.terms; constant = a.constant +. b.constant }
+
+let scale k e =
+  { terms = List.map (fun (x, c) -> (x, k *. c)) e.terms;
+    constant = k *. e.constant }
+
+let sub a b = add a (scale (-1.0) b)
+let sum es = List.fold_left add (const 0.0) es
+let add_le m a b = m.constrs <- Cle (a, b) :: m.constrs
+let add_ge m a b = m.constrs <- Cge (a, b) :: m.constrs
+let add_eq m a b = m.constrs <- Ceq (a, b) :: m.constrs
+let set_objective m e = m.objective <- e
+
+let eval e values =
+  List.fold_left
+    (fun acc (x, c) -> acc +. (c *. values.(x)))
+    e.constant e.terms
+
+let binaries m =
+  let acc = ref [] in
+  for x = m.nvars - 1 downto 0 do
+    if is_binary m x then acc := x :: !acc
+  done;
+  !acc
+
+(* Compile to Lp.problem over shifted variables x' = x - lb >= 0. A
+   difference expression (lhs - rhs) produces coefficient row [a] and a
+   constant [k]; the row becomes a.x' rel (-k - a.lb). *)
+let to_lp m ~fixed =
+  let n = m.nvars in
+  let infos = Array.of_list (List.rev m.vars) in
+  let lbs = Array.map (fun i -> i.lb) infos in
+  let row_of_expr e =
+    let a = Array.make n 0.0 in
+    List.iter (fun (x, c) -> a.(x) <- a.(x) +. c) e.terms;
+    (* constant after shifting: e.constant + sum c*lb *)
+    let k =
+      List.fold_left (fun acc (x, c) -> acc +. (c *. lbs.(x))) e.constant e.terms
+    in
+    (a, k)
+  in
+  let rows = ref [] in
+  let emit rel lhs rhs =
+    let a, k = row_of_expr (sub lhs rhs) in
+    (* a.x' + k rel 0 *)
+    rows := (a, rel, -.k) :: !rows
+  in
+  List.iter
+    (function
+      | Cle (a, b) -> emit Lp.Le a b
+      | Cge (a, b) -> emit Lp.Ge a b
+      | Ceq (a, b) -> emit Lp.Eq a b)
+    (List.rev m.constrs);
+  (* upper bounds and fixings *)
+  for x = 0 to n - 1 do
+    (match infos.(x).ub with
+    | Some u ->
+      let a = Array.make n 0.0 in
+      a.(x) <- 1.0;
+      rows := (a, Lp.Le, u -. lbs.(x)) :: !rows
+    | None -> ());
+    match fixed x with
+    | Some value ->
+      let a = Array.make n 0.0 in
+      a.(x) <- 1.0;
+      rows := (a, Lp.Eq, value -. lbs.(x)) :: !rows
+    | None -> ()
+  done;
+  let objective = Array.make n 0.0 in
+  List.iter
+    (fun (x, c) -> objective.(x) <- objective.(x) +. c)
+    m.objective.terms;
+  { Lp.ncols = n; objective; rows = List.rev !rows }
+
+(* Recover original-space values from shifted LP values. *)
+let recover m (values : float array) =
+  let infos = Array.of_list (List.rev m.vars) in
+  Array.mapi (fun x value -> value +. infos.(x).lb) values
+
+(* Objective constant dropped by the LP (it only sees coefficients); add
+   back for reporting. *)
+let objective_constant m =
+  let infos = Array.of_list (List.rev m.vars) in
+  List.fold_left
+    (fun acc (x, c) -> acc +. (c *. infos.(x).lb))
+    m.objective.constant m.objective.terms

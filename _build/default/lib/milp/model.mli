@@ -1,0 +1,67 @@
+(** MILP model builder: named variables (continuous with bounds, or
+    binary), linear expressions, <=, >=, = constraints and a linear
+    objective. Compiles to an [Lp.problem] for the relaxation; [Bnb]
+    solves the integer problem. *)
+
+type t
+type var
+
+type expr = {
+  terms : (var * float) list;
+  constant : float;
+}
+
+val create : unit -> t
+
+(** [continuous m ?lb ?ub name] adds a continuous variable. [lb] defaults
+    to 0, [ub] to unbounded. A negative [lb] is supported (the variable is
+    shifted internally). *)
+val continuous : t -> ?lb:float -> ?ub:float -> string -> var
+
+(** [binary m name] adds a 0/1 variable. *)
+val binary : t -> string -> var
+
+val num_vars : t -> int
+val var_name : t -> var -> string
+val var_index : var -> int
+val is_binary : t -> var -> bool
+
+(** Expression constructors. *)
+
+val v : var -> expr
+
+val term : float -> var -> expr
+val const : float -> expr
+val add : expr -> expr -> expr
+val sub : expr -> expr -> expr
+val scale : float -> expr -> expr
+val sum : expr list -> expr
+
+(** Constraints: [add_le m e1 e2] asserts e1 <= e2, etc. *)
+
+val add_le : t -> expr -> expr -> unit
+
+val add_ge : t -> expr -> expr -> unit
+val add_eq : t -> expr -> expr -> unit
+
+(** [set_objective m e] sets the objective to minimise. *)
+val set_objective : t -> expr -> unit
+
+(** [to_lp m ~fixed] compiles to an LP relaxation. [fixed] maps binary
+    variable indices to forced values (used by branch and bound); pass
+    [fun _ -> None] for the root relaxation. *)
+val to_lp : t -> fixed:(int -> float option) -> Lp.problem
+
+(** [eval m e values] evaluates an expression on an assignment indexed by
+    variable index. *)
+val eval : expr -> float array -> float
+
+val binaries : t -> var list
+
+(** [recover m lp_values] maps a solution of [to_lp m] back to the
+    original (unshifted) variable space. *)
+val recover : t -> float array -> float array
+
+(** Constant part of the objective, which the LP ignores; add to the LP
+    objective value for reporting. *)
+val objective_constant : t -> float

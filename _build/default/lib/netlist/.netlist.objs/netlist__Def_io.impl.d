@@ -1,0 +1,1 @@
+lib/netlist/def_io.ml: Array Buffer Design Fun Geom Hashtbl List Pdk Printf String

@@ -1,0 +1,1 @@
+lib/netlist/def_io.mli: Design Geom Pdk

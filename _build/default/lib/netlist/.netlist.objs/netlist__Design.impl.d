@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Array Hashtbl List Pdk Printf

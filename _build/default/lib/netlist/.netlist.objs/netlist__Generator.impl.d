@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Design List Pdk Printf Random

@@ -1,0 +1,1 @@
+lib/netlist/lef_io.ml: Buffer Fun Geom List Pdk Printf String

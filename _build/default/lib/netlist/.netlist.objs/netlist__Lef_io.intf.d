@@ -1,0 +1,1 @@
+lib/netlist/lef_io.mli: Pdk

@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Array Design Hashtbl Int List Option Pdk Printf

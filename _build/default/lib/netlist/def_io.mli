@@ -1,0 +1,23 @@
+(** Compact DEF-like text interchange for a design plus a placement.
+
+    The format carries the die area, one COMPONENTS line per instance
+    (name, master, x, y, orientation) and one NETS line per net. It
+    round-trips exactly: [read lib (write d p)] reconstructs the same
+    connectivity and placement. *)
+
+type placement = {
+  die : Geom.Rect.t;
+  xs : int array;          (** lower-left x per instance id *)
+  ys : int array;          (** lower-left y per instance id *)
+  orients : Geom.Orient.t array;
+}
+
+val write : Design.t -> placement -> string
+val write_file : string -> Design.t -> placement -> unit
+
+(** [read lib s] parses a dump produced by [write]. Masters are resolved in
+    [lib].
+    @raise Failure on malformed input. *)
+val read : Pdk.Libgen.t -> string -> Design.t * placement
+
+val read_file : Pdk.Libgen.t -> string -> Design.t * placement

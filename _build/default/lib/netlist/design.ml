@@ -1,0 +1,111 @@
+type pin_ref = { inst : int; pin : int }
+
+type instance = {
+  inst_name : string;
+  master : Pdk.Stdcell.t;
+  pin_nets : int array;
+}
+
+type net = {
+  net_name : string;
+  pins : pin_ref array;
+  is_clock : bool;
+}
+
+type t = {
+  name : string;
+  lib : Pdk.Libgen.t;
+  instances : instance array;
+  nets : net array;
+}
+
+let num_instances t = Array.length t.instances
+let num_nets t = Array.length t.nets
+
+let signal_nets t =
+  let acc = ref [] in
+  for n = Array.length t.nets - 1 downto 0 do
+    let net = t.nets.(n) in
+    if (not net.is_clock) && Array.length net.pins >= 2 then acc := n :: !acc
+  done;
+  !acc
+
+let instance_master t i = t.instances.(i).master
+
+let pin_master_pin t pr =
+  List.nth (instance_master t pr.inst).pins pr.pin
+
+let nets_of_instance t i =
+  let inst = t.instances.(i) in
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iter
+    (fun n ->
+      if n >= 0 && not (Hashtbl.mem seen n) then begin
+        Hashtbl.add seen n ();
+        acc := n :: !acc
+      end)
+    inst.pin_nets;
+  List.rev !acc
+
+let net_degree t n = Array.length t.nets.(n).pins
+
+let validate t =
+  let problems = ref [] in
+  let report fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let ni = num_instances t and nn = num_nets t in
+  Array.iteri
+    (fun i inst ->
+      let npins = List.length inst.master.Pdk.Stdcell.pins in
+      if Array.length inst.pin_nets <> npins then
+        report "instance %d: pin_nets length %d <> master pins %d" i
+          (Array.length inst.pin_nets) npins;
+      Array.iteri
+        (fun p n ->
+          if n >= nn then report "instance %d pin %d: net %d out of range" i p n;
+          if n >= 0 then begin
+            let net = t.nets.(n) in
+            let found =
+              Array.exists (fun pr -> pr.inst = i && pr.pin = p) net.pins
+            in
+            if not found then
+              report "instance %d pin %d: net %d does not list it back" i p n
+          end)
+        inst.pin_nets)
+    t.instances;
+  Array.iteri
+    (fun n net ->
+      let drivers = ref 0 in
+      Array.iter
+        (fun pr ->
+          if pr.inst < 0 || pr.inst >= ni then
+            report "net %d: instance %d out of range" n pr.inst
+          else begin
+            let master = instance_master t pr.inst in
+            let npins = List.length master.Pdk.Stdcell.pins in
+            if pr.pin < 0 || pr.pin >= npins then
+              report "net %d: pin index %d out of range for %s" n pr.pin
+                master.Pdk.Stdcell.name
+            else begin
+              let mp = List.nth master.Pdk.Stdcell.pins pr.pin in
+              if mp.Pdk.Stdcell.dir = Pdk.Stdcell.Output then incr drivers;
+              if t.instances.(pr.inst).pin_nets.(pr.pin) <> n then
+                report "net %d: instance %d pin %d points to net %d" n pr.inst
+                  pr.pin
+                  t.instances.(pr.inst).pin_nets.(pr.pin)
+            end
+          end)
+        net.pins;
+      if !drivers > 1 then report "net %d: %d drivers" n !drivers)
+    t.nets;
+  List.rev !problems
+
+let stats t =
+  let nsig = List.length (signal_nets t) in
+  let total_pins =
+    Array.fold_left (fun acc net -> acc + Array.length net.pins) 0 t.nets
+  in
+  Printf.sprintf "%s: %d instances, %d nets (%d signal), %.2f pins/net" t.name
+    (num_instances t) (num_nets t) nsig
+    (if num_nets t = 0 then 0.0
+     else float_of_int total_pins /. float_of_int (num_nets t))

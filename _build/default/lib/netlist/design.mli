@@ -1,0 +1,59 @@
+(** Design database: instances bound to library masters, and nets
+    connecting (instance, pin) pairs. Instances and nets are identified by
+    dense integer ids so downstream substrates (placement, routing, MILP
+    formulation) can use flat arrays.
+
+    The clock net, when present, is marked special: commercial flows route
+    the clock with a dedicated clock router, so the detailed-routing
+    metrics of the paper (RWL, #via12, M1 WL, DRVs) cover signal nets
+    only. We follow that convention. *)
+
+type pin_ref = { inst : int; pin : int }
+(** [pin] indexes into the master's [pins] list of instance [inst]. *)
+
+type instance = {
+  inst_name : string;
+  master : Pdk.Stdcell.t;
+  pin_nets : int array;  (** net id per master pin index; -1 = unconnected *)
+}
+
+type net = {
+  net_name : string;
+  pins : pin_ref array;  (** driver first when the net has one *)
+  is_clock : bool;
+}
+
+type t = {
+  name : string;
+  lib : Pdk.Libgen.t;
+  instances : instance array;
+  nets : net array;
+}
+
+val num_instances : t -> int
+val num_nets : t -> int
+
+(** [signal_nets t] is the ids of nets with >= 2 pins that are not the
+    clock — the nets that participate in routing and HPWL. *)
+val signal_nets : t -> int list
+
+(** [instance_master t i] is the master of instance [i]. *)
+val instance_master : t -> int -> Pdk.Stdcell.t
+
+(** [pin_master_pin t pr] resolves a pin reference to its master pin. *)
+val pin_master_pin : t -> pin_ref -> Pdk.Stdcell.pin
+
+(** [nets_of_instance t i] is the distinct ids of nets touching instance
+    [i]. *)
+val nets_of_instance : t -> int -> int list
+
+(** [net_degree t n] is the number of pins on net [n]. *)
+val net_degree : t -> int -> int
+
+(** [validate t] checks referential integrity: every pin reference is in
+    range, pin_nets and net pin lists agree, and each net has at most one
+    driver. Returns the list of human-readable problems (empty = valid). *)
+val validate : t -> string list
+
+(** [stats t] is a one-line summary (instances, nets, average degree). *)
+val stats : t -> string

@@ -1,0 +1,20 @@
+(** The paper's four testcases as named synthetic designs.
+
+    Instance counts follow Table 2 of the paper (M0 9922, aes 12345,
+    jpeg 54570, vga 68606). A [scale] divisor produces proportionally
+    smaller designs with the same statistics for fast runs; the default
+    experiment scale is 8 (see DESIGN.md). Each (design, architecture,
+    scale) triple is deterministic. *)
+
+type name = M0 | Aes | Jpeg | Vga
+
+val all : name list
+val to_string : name -> string
+val of_string : string -> name option
+
+(** Paper instance count of a design at scale 1. *)
+val paper_instances : name -> int
+
+(** [make ?scale name arch] generates the design bound to a freshly
+    generated library for [arch]. [scale] defaults to 8. *)
+val make : ?scale:int -> name -> Pdk.Cell_arch.t -> Design.t

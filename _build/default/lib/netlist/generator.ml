@@ -1,0 +1,179 @@
+type config = {
+  n_instances : int;
+  seed : int;
+  dff_fraction : float;
+  pi_fraction : float;
+  locality_window : int;
+  global_fraction : float;
+}
+
+let default_config ~n_instances ~seed =
+  {
+    n_instances;
+    seed;
+    dff_fraction = 0.10;
+    pi_fraction = 0.02;
+    locality_window = 60;
+    global_fraction = 0.03;
+  }
+
+(* Relative frequency of combinational masters in the generated cell mix,
+   loosely following the profile of a synthesised control+datapath block. *)
+let comb_weights =
+  [
+    ("INV_X1", 14); ("INV_X2", 6); ("INV_X4", 2);
+    ("BUF_X1", 6); ("BUF_X2", 3);
+    ("NAND2_X1", 18); ("NAND2_X2", 6);
+    ("NOR2_X1", 12); ("NOR2_X2", 4);
+    ("AOI21_X1", 8); ("OAI21_X1", 8);
+    ("XOR2_X1", 6); ("MUX2_X1", 7);
+  ]
+
+let dff_weights = [ ("DFF_X1", 4); ("DFF_X2", 1) ]
+
+let pick_weighted rng weights =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
+  let r = Random.State.int rng total in
+  let rec go acc = function
+    | [] -> assert false
+    | (name, w) :: rest -> if r < acc + w then name else go (acc + w) rest
+  in
+  go 0 weights
+
+(* Geometric-ish positive offset with mean ~ [window]. *)
+let sample_offset rng window =
+  let u = Random.State.float rng 1.0 in
+  let d = int_of_float (-.float_of_int window *. log (1.0 -. u)) in
+  1 + min d (window * 8)
+
+let generate (lib : Pdk.Libgen.t) config ~name =
+  let rng = Random.State.make [| config.seed; 0x5eed |] in
+  let n = config.n_instances in
+  if n < 2 then invalid_arg "Generator.generate: need at least 2 instances";
+  (* 1. choose masters *)
+  let masters =
+    Array.init n (fun _ ->
+        let weights =
+          if Random.State.float rng 1.0 < config.dff_fraction then dff_weights
+          else comb_weights
+        in
+        Pdk.Libgen.find lib (pick_weighted rng weights))
+  in
+  let is_dff i = Pdk.Stdcell.is_sequential masters.(i) in
+  let dff_ids =
+    List.filter is_dff (List.init n (fun i -> i))
+  in
+  (* 2. net table: one net per instance output, plus PIs, plus clock *)
+  let n_pi = max 8 (n / 100) in
+  let net_names = ref [] in
+  let net_count = ref 0 in
+  let fresh_net name =
+    let id = !net_count in
+    incr net_count;
+    net_names := name :: !net_names;
+    id
+  in
+  let pi_nets = Array.init n_pi (fun i -> fresh_net (Printf.sprintf "pi%d" i)) in
+  let clock_net =
+    if dff_ids = [] then -1 else fresh_net "clk"
+  in
+  let out_net = Array.make n (-1) in
+  Array.iteri
+    (fun i (m : Pdk.Stdcell.t) ->
+      match Pdk.Stdcell.output m with
+      | Some _ -> out_net.(i) <- fresh_net (Printf.sprintf "n%d" i)
+      | None -> ())
+    masters;
+  (* 3. connect input pins *)
+  let pin_nets =
+    Array.mapi
+      (fun _ (m : Pdk.Stdcell.t) ->
+        Array.make (List.length m.pins) (-1))
+      masters
+  in
+  let pin_index_of m pin =
+    let rec go k = function
+      | [] -> assert false
+      | (p : Pdk.Stdcell.pin) :: rest ->
+        if p == pin then k else go (k + 1) rest
+    in
+    go 0 m.Pdk.Stdcell.pins
+  in
+  let choose_driver_net i =
+    if Random.State.float rng 1.0 < config.pi_fraction || i = 0 then begin
+      (* each primary input feeds a contiguous band of the design (an
+         input cone), not random instances die-wide *)
+      let band = i * n_pi / n in
+      let jitter = Random.State.int rng 3 - 1 in
+      pi_nets.(max 0 (min (n_pi - 1) (band + jitter)))
+    end
+    else if
+      Random.State.float rng 1.0 < config.global_fraction && dff_ids <> []
+    then begin
+      (* a global connection from some flip-flop's output *)
+      let k = List.nth dff_ids (Random.State.int rng (List.length dff_ids)) in
+      if out_net.(k) >= 0 then out_net.(k) else pi_nets.(0)
+    end
+    else begin
+      (* local backward connection: keeps the combinational core acyclic *)
+      let rec try_pick attempts =
+        if attempts = 0 then pi_nets.(Random.State.int rng n_pi)
+        else
+          let d = sample_offset rng config.locality_window in
+          let j = i - d in
+          if j >= 0 && out_net.(j) >= 0 then out_net.(j)
+          else try_pick (attempts - 1)
+      in
+      try_pick 4
+    end
+  in
+  Array.iteri
+    (fun i (m : Pdk.Stdcell.t) ->
+      List.iter
+        (fun (p : Pdk.Stdcell.pin) ->
+          let k = pin_index_of m p in
+          match p.dir with
+          | Pdk.Stdcell.Output ->
+            pin_nets.(i).(k) <- out_net.(i)
+          | Pdk.Stdcell.Clock ->
+            pin_nets.(i).(k) <- clock_net
+          | Pdk.Stdcell.Input ->
+            pin_nets.(i).(k) <- choose_driver_net i)
+        m.pins)
+    masters;
+  (* 4. build net pin lists, driver first *)
+  let nn = !net_count in
+  let sinks = Array.make nn [] in
+  let drivers = Array.make nn None in
+  Array.iteri
+    (fun i m ->
+      Array.iteri
+        (fun k netid ->
+          if netid >= 0 then begin
+            let mp = List.nth m.Pdk.Stdcell.pins k in
+            let pr = { Design.inst = i; pin = k } in
+            if mp.Pdk.Stdcell.dir = Pdk.Stdcell.Output then
+              drivers.(netid) <- Some pr
+            else sinks.(netid) <- pr :: sinks.(netid)
+          end)
+        pin_nets.(i))
+    masters;
+  let names = Array.of_list (List.rev !net_names) in
+  let nets =
+    Array.init nn (fun nid ->
+        let pins =
+          match drivers.(nid) with
+          | Some d -> Array.of_list (d :: List.rev sinks.(nid))
+          | None -> Array.of_list (List.rev sinks.(nid))
+        in
+        { Design.net_name = names.(nid); pins; is_clock = nid = clock_net })
+  in
+  let instances =
+    Array.init n (fun i ->
+        {
+          Design.inst_name = Printf.sprintf "u%d" i;
+          master = masters.(i);
+          pin_nets = pin_nets.(i);
+        })
+  in
+  { Design.name; lib; instances; nets }

@@ -1,0 +1,31 @@
+(** Seeded synthetic netlist generator.
+
+    The optimisation and routing substrates consume only netlist
+    *statistics* — instance count, cell mix, fanout distribution and
+    logical locality — so the generator is calibrated to produce
+    synthesised-design-like netlists: a configurable flip-flop fraction, a
+    geometric fanout distribution, and id-locality of connections (which
+    global placement converts into spatial locality, mimicking the
+    clustered netlists Design Compiler emits).
+
+    Combinational edges always point from a lower instance id to a higher
+    one, so the combinational core is acyclic and the STA substrate can
+    levelise it; flip-flop outputs and primary inputs are timing launch
+    points. *)
+
+type config = {
+  n_instances : int;
+  seed : int;
+  dff_fraction : float;       (** fraction of instances that are flip-flops *)
+  pi_fraction : float;        (** probability an input pin ties to a PI net *)
+  locality_window : int;      (** mean id distance of a connection *)
+  global_fraction : float;    (** probability a connection ignores locality *)
+}
+
+(** Defaults: 10 % flip-flops, 2 % PI connections, locality window 60,
+    3 % global connections. *)
+val default_config : n_instances:int -> seed:int -> config
+
+(** [generate lib config ~name] builds a design bound to [lib]. The result
+    always passes [Design.validate]. *)
+val generate : Pdk.Libgen.t -> config -> name:string -> Design.t

@@ -1,0 +1,189 @@
+let dir_to_string = function
+  | Pdk.Stdcell.Input -> "INPUT"
+  | Pdk.Stdcell.Output -> "OUTPUT"
+  | Pdk.Stdcell.Clock -> "CLOCK"
+
+let dir_of_string = function
+  | "INPUT" -> Pdk.Stdcell.Input
+  | "OUTPUT" -> Pdk.Stdcell.Output
+  | "CLOCK" -> Pdk.Stdcell.Clock
+  | s -> failwith (Printf.sprintf "Lef_io: bad direction %S" s)
+
+let kind_to_string = function
+  | Pdk.Stdcell.Inv -> "INV"
+  | Buf -> "BUF"
+  | Nand2 -> "NAND2"
+  | Nor2 -> "NOR2"
+  | And2 -> "AND2"
+  | Or2 -> "OR2"
+  | Aoi21 -> "AOI21"
+  | Oai21 -> "OAI21"
+  | Xor2 -> "XOR2"
+  | Xnor2 -> "XNOR2"
+  | Mux2 -> "MUX2"
+  | Dff -> "DFF"
+  | Fill -> "FILL"
+
+let kind_of_string = function
+  | "INV" -> Pdk.Stdcell.Inv
+  | "BUF" -> Buf
+  | "NAND2" -> Nand2
+  | "NOR2" -> Nor2
+  | "AND2" -> And2
+  | "OR2" -> Or2
+  | "AOI21" -> Aoi21
+  | "OAI21" -> Oai21
+  | "XOR2" -> Xor2
+  | "XNOR2" -> Xnor2
+  | "MUX2" -> Mux2
+  | "DFF" -> Dff
+  | "FILL" -> Fill
+  | s -> failwith (Printf.sprintf "Lef_io: bad kind %S" s)
+
+let layer_of_string s =
+  match s with
+  | "M0" -> Pdk.Layer.M0
+  | "M1" -> Pdk.Layer.M1
+  | "M2" -> Pdk.Layer.M2
+  | "M3" -> Pdk.Layer.M3
+  | "M4" -> Pdk.Layer.M4
+  | _ -> failwith (Printf.sprintf "Lef_io: bad layer %S" s)
+
+let write (lib : Pdk.Libgen.t) =
+  let t = lib.tech in
+  let buf = Buffer.create (1 lsl 14) in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "LIBRARY %s\n" (Pdk.Cell_arch.to_string t.arch);
+  addf "TECH %d %d %d %d %d %d %d\n" t.site_width t.row_height t.m0_pitch
+    t.m2_pitch t.m1_offset t.gamma t.delta;
+  List.iter
+    (fun (c : Pdk.Stdcell.t) ->
+      addf "MACRO %s %s %d %d\n" c.name (kind_to_string c.kind) c.drive
+        c.width_sites;
+      addf "PROPERTY %.4f %.4f %.4f %.4f\n" c.cap_in c.drive_res
+        c.intrinsic_delay c.leakage;
+      List.iter
+        (fun (p : Pdk.Stdcell.pin) ->
+          addf "PIN %s %s\n" p.pin_name (dir_to_string p.dir);
+          List.iter
+            (fun (layer, (r : Geom.Rect.t)) ->
+              addf "RECT %s %d %d %d %d\n" (Pdk.Layer.to_string layer) r.lx
+                r.ly r.hx r.hy)
+            p.shapes;
+          addf "END PIN\n")
+        c.pins;
+      addf "END MACRO\n")
+    lib.cells;
+  addf "END LIBRARY\n";
+  Buffer.contents buf
+
+let write_file path lib =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (write lib))
+
+let read s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun l ->
+           let toks =
+             String.split_on_char ' ' l |> List.filter (fun t -> t <> "")
+           in
+           if toks = [] then None else Some toks)
+  in
+  let arch = ref Pdk.Cell_arch.Closed_m1 in
+  let tech = ref (Pdk.Tech.default Pdk.Cell_arch.Closed_m1) in
+  let cells = ref [] in
+  (* mutable per-macro parse state *)
+  let cur_macro = ref None in
+  let cur_props = ref (0.0, 0.0, 0.0, 0.0) in
+  let cur_pins = ref [] in
+  let cur_pin = ref None in
+  let cur_shapes = ref [] in
+  let finish_pin () =
+    match !cur_pin with
+    | None -> ()
+    | Some (name, dir) ->
+      cur_pins :=
+        { Pdk.Stdcell.pin_name = name; dir; shapes = List.rev !cur_shapes }
+        :: !cur_pins;
+      cur_pin := None;
+      cur_shapes := []
+  in
+  let finish_macro () =
+    match !cur_macro with
+    | None -> ()
+    | Some (name, kind, drive, width_sites) ->
+      let cap_in, drive_res, intrinsic_delay, leakage = !cur_props in
+      let t = !tech in
+      cells :=
+        {
+          Pdk.Stdcell.name;
+          kind;
+          drive;
+          width_sites;
+          width = width_sites * t.site_width;
+          height = t.row_height;
+          pins = List.rev !cur_pins;
+          cap_in;
+          drive_res;
+          intrinsic_delay;
+          leakage;
+        }
+        :: !cells;
+      cur_macro := None;
+      cur_pins := []
+  in
+  List.iter
+    (fun toks ->
+      match toks with
+      | [ "LIBRARY"; a ] -> begin
+        match Pdk.Cell_arch.of_string a with
+        | Some v ->
+          arch := v;
+          tech := Pdk.Tech.default v
+        | None -> failwith (Printf.sprintf "Lef_io: bad arch %S" a)
+      end
+      | [ "TECH"; sw; rh; m0; m2; m1o; g; d ] ->
+        tech :=
+          {
+            Pdk.Tech.arch = !arch;
+            site_width = int_of_string sw;
+            row_height = int_of_string rh;
+            m0_pitch = int_of_string m0;
+            m2_pitch = int_of_string m2;
+            m1_offset = int_of_string m1o;
+            gamma = int_of_string g;
+            delta = int_of_string d;
+          }
+      | [ "MACRO"; name; kind; drive; ws ] ->
+        cur_macro :=
+          Some (name, kind_of_string kind, int_of_string drive, int_of_string ws)
+      | [ "PROPERTY"; a; b; c; d ] ->
+        cur_props :=
+          (float_of_string a, float_of_string b, float_of_string c,
+           float_of_string d)
+      | [ "PIN"; name; dir ] -> cur_pin := Some (name, dir_of_string dir)
+      | [ "RECT"; layer; lx; ly; hx; hy ] ->
+        cur_shapes :=
+          ( layer_of_string layer,
+            Geom.Rect.make ~lx:(int_of_string lx) ~ly:(int_of_string ly)
+              ~hx:(int_of_string hx) ~hy:(int_of_string hy) )
+          :: !cur_shapes
+      | [ "END"; "PIN" ] -> finish_pin ()
+      | [ "END"; "MACRO" ] -> finish_macro ()
+      | [ "END"; "LIBRARY" ] -> ()
+      | _ ->
+        failwith
+          (Printf.sprintf "Lef_io: unexpected line %S" (String.concat " " toks)))
+    lines;
+  { Pdk.Libgen.tech = !tech; cells = List.rev !cells }
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      read (really_input_string ic n))

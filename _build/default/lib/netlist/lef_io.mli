@@ -1,0 +1,12 @@
+(** Compact LEF-like text dump of a generated library: site, per-macro
+    size, pin directions and shapes, and the electrical model (as PROPERTY
+    lines, so the dump is self-contained). Round-trips against [read]. *)
+
+val write : Pdk.Libgen.t -> string
+val write_file : string -> Pdk.Libgen.t -> unit
+
+(** [read s] reconstructs the library.
+    @raise Failure on malformed input. *)
+val read : string -> Pdk.Libgen.t
+
+val read_file : string -> Pdk.Libgen.t

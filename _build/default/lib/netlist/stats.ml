@@ -1,0 +1,64 @@
+let fanout_histogram (d : Design.t) =
+  let hist = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let fanout = Design.net_degree d n - 1 in
+      Hashtbl.replace hist fanout
+        (1 + Option.value ~default:0 (Hashtbl.find_opt hist fanout)))
+    (Design.signal_nets d);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let average_fanout (d : Design.t) =
+  let nets = Design.signal_nets d in
+  match nets with
+  | [] -> 0.0
+  | _ ->
+    let total =
+      List.fold_left (fun acc n -> acc + Design.net_degree d n - 1) 0 nets
+    in
+    float_of_int total /. float_of_int (List.length nets)
+
+let logic_depth (d : Design.t) =
+  (* generated combinational edges point from lower to higher instance id,
+     so a single id-ordered pass computes the longest chain *)
+  let n = Design.num_instances d in
+  let depth = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let inst = d.instances.(i) in
+    let m = inst.Design.master in
+    if not (Pdk.Stdcell.is_sequential m) then begin
+      let best = ref 0 in
+      List.iteri
+        (fun k (pin : Pdk.Stdcell.pin) ->
+          if pin.Pdk.Stdcell.dir = Pdk.Stdcell.Input then begin
+            let nid = inst.Design.pin_nets.(k) in
+            if nid >= 0 && Array.length d.nets.(nid).Design.pins > 0 then begin
+              let drv = d.nets.(nid).Design.pins.(0) in
+              let dm = Design.instance_master d drv.Design.inst in
+              let is_comb_driver =
+                (List.nth dm.Pdk.Stdcell.pins drv.Design.pin).Pdk.Stdcell.dir
+                = Pdk.Stdcell.Output
+                && (not (Pdk.Stdcell.is_sequential dm))
+                && drv.Design.inst < i
+              in
+              if is_comb_driver then best := max !best depth.(drv.Design.inst)
+            end
+          end)
+        m.Pdk.Stdcell.pins;
+      depth.(i) <- !best + 1
+    end
+  done;
+  Array.fold_left max 0 depth
+
+let pin_count (d : Design.t) =
+  Array.fold_left
+    (fun acc (net : Design.net) -> acc + Array.length net.Design.pins)
+    0 d.nets
+
+let report (d : Design.t) =
+  Printf.sprintf
+    "%s: %d instances, %d signal nets, avg fanout %.2f, logic depth %d, %d pins"
+    d.Design.name (Design.num_instances d)
+    (List.length (Design.signal_nets d))
+    (average_fanout d) (logic_depth d) (pin_count d)

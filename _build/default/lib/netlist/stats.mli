@@ -1,0 +1,21 @@
+(** Structural statistics of a design: the quantities the synthetic
+    generator is calibrated against (see DESIGN.md) and the knobs that
+    drive placement/routing difficulty. *)
+
+(** [fanout_histogram d] maps signal-net fanout (sink count) to the
+    number of nets with that fanout, ascending. *)
+val fanout_histogram : Design.t -> (int * int) list
+
+(** [average_fanout d] is the mean sink count over signal nets. *)
+val average_fanout : Design.t -> float
+
+(** [logic_depth d] is the longest combinational chain (in cells) from a
+    launch point (primary input or flip-flop output) to a capture point;
+    well-defined because generated combinational edges are acyclic. *)
+val logic_depth : Design.t -> int
+
+(** [pin_count d] is the total number of connected pins. *)
+val pin_count : Design.t -> int
+
+(** [report d] is a human-readable one-paragraph summary. *)
+val report : Design.t -> string

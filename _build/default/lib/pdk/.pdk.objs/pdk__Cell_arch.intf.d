@@ -1,0 +1,1 @@
+lib/pdk/cell_arch.mli: Format

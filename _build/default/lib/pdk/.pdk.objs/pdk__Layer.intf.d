@@ -1,0 +1,1 @@
+lib/pdk/layer.mli: Format

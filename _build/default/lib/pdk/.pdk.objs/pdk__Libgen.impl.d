@@ -1,0 +1,1 @@
+lib/pdk/libgen.ml: Cell_arch Geom Layer List Printf Stdcell String Tech

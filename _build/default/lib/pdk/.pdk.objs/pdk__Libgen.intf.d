@@ -1,0 +1,1 @@
+lib/pdk/libgen.mli: Stdcell Tech

@@ -1,0 +1,1 @@
+lib/pdk/stdcell.ml: Format Geom Layer List Printf String

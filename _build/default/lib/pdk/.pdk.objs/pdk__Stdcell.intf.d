@@ -1,0 +1,1 @@
+lib/pdk/stdcell.mli: Format Geom Layer

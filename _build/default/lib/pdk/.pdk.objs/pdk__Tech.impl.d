@@ -1,0 +1,1 @@
+lib/pdk/tech.ml: Cell_arch Format Printf

@@ -1,0 +1,1 @@
+lib/pdk/tech.mli: Cell_arch Format

@@ -1,0 +1,24 @@
+type t = Conventional12 | Closed_m1 | Open_m1
+
+let allows_inter_row_m1 = function
+  | Conventional12 -> false
+  | Closed_m1 | Open_m1 -> true
+
+let track_count = function
+  | Conventional12 -> 12.0
+  | Closed_m1 | Open_m1 -> 7.5
+
+let equal a b = a = b
+
+let to_string = function
+  | Conventional12 -> "conv12"
+  | Closed_m1 -> "closedm1"
+  | Open_m1 -> "openm1"
+
+let of_string = function
+  | "conv12" | "conventional12" -> Some Conventional12
+  | "closedm1" | "closed_m1" -> Some Closed_m1
+  | "openm1" | "open_m1" -> Some Open_m1
+  | _ -> None
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)

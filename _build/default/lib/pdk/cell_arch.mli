@@ -1,0 +1,25 @@
+(** The three standard-cell architectures studied by the paper (Fig. 1).
+
+    - [Conventional12]: 12-track cells with horizontal M1 power rails. The
+      rails block inter-row M1 routing entirely, so pin access requires M2.
+    - [Closed_m1]: 7.5-track cells with 1D vertical M1 pins on the site
+      grid (M1 pin pitch = placement-site width). Power is pushed to cell
+      boundaries and M2, so inter-row M1 routing is possible, but only when
+      two pins are exactly vertically aligned.
+    - [Open_m1]: 7.5-track cells whose pins are horizontal M0 segments; M1
+      is "open" above the cells and a direct vertical M1 route exists
+      whenever two pins' x-projections overlap sufficiently. *)
+
+type t = Conventional12 | Closed_m1 | Open_m1
+
+(** [allows_inter_row_m1 a] is true when the architecture leaves M1 open
+    between rows (Closed_m1 and Open_m1). *)
+val allows_inter_row_m1 : t -> bool
+
+(** Number of routing tracks the cell template spans vertically. *)
+val track_count : t -> float
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

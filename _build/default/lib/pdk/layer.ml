@@ -1,0 +1,33 @@
+type t = M0 | M1 | M2 | M3 | M4
+
+type direction = Horizontal | Vertical
+
+let direction = function
+  | M0 -> Horizontal
+  | M1 -> Vertical
+  | M2 -> Horizontal
+  | M3 -> Vertical
+  | M4 -> Horizontal
+
+let index = function M0 -> 0 | M1 -> 1 | M2 -> 2 | M3 -> 3 | M4 -> 4
+
+let of_index = function
+  | 0 -> M0
+  | 1 -> M1
+  | 2 -> M2
+  | 3 -> M3
+  | 4 -> M4
+  | i -> invalid_arg (Printf.sprintf "Layer.of_index: %d" i)
+
+let all = [ M0; M1; M2; M3; M4 ]
+let routing = [ M1; M2; M3; M4 ]
+let equal a b = a = b
+let compare a b = Int.compare (index a) (index b)
+let to_string = function
+  | M0 -> "M0"
+  | M1 -> "M1"
+  | M2 -> "M2"
+  | M3 -> "M3"
+  | M4 -> "M4"
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)

@@ -1,0 +1,26 @@
+(** Routing layers of the modelled sub-10nm back-end-of-line stack.
+
+    M0 is the complementary local-interconnect layer below M1 used by the
+    OpenM1 cell architecture for pin shapes; M1..M4 are routing layers with
+    alternating preferred directions (M1 vertical, as required for direct
+    vertical M1 routing). *)
+
+type t = M0 | M1 | M2 | M3 | M4
+
+type direction = Horizontal | Vertical
+
+val direction : t -> direction
+
+(** Index in the stack: M0 -> 0 ... M4 -> 4. *)
+val index : t -> int
+
+val of_index : int -> t
+val all : t list
+
+(** Routing layers available to the detailed router (M1..M4). *)
+val routing : t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,202 @@
+type t = {
+  tech : Tech.t;
+  cells : Stdcell.t list;
+}
+
+(* Logical cell specifications shared by all architectures: kind, drive,
+   width in sites, and per-pin placement hints. [track] is the M1 track a
+   pin occupies in ClosedM1/conventional templates; [span] is the inclusive
+   site range its M0 segment covers in OpenM1. *)
+type pin_spec = {
+  ps_name : string;
+  ps_dir : Stdcell.pin_dir;
+  track : int;
+  span : int * int;
+}
+
+type cell_spec = {
+  cs_kind : Stdcell.kind;
+  cs_drive : int;
+  cs_width : int;
+  cs_pins : pin_spec list;
+}
+
+let input name track span = { ps_name = name; ps_dir = Stdcell.Input; track; span }
+let output name track span = { ps_name = name; ps_dir = Stdcell.Output; track; span }
+let clock name track span = { ps_name = name; ps_dir = Stdcell.Clock; track; span }
+
+let specs : cell_spec list =
+  [
+    { cs_kind = Fill; cs_drive = 1; cs_width = 1; cs_pins = [] };
+    { cs_kind = Fill; cs_drive = 2; cs_width = 2; cs_pins = [] };
+    { cs_kind = Fill; cs_drive = 4; cs_width = 4; cs_pins = [] };
+    { cs_kind = Inv; cs_drive = 1; cs_width = 2;
+      cs_pins = [ input "A" 0 (0, 0); output "ZN" 1 (1, 1) ] };
+    { cs_kind = Inv; cs_drive = 2; cs_width = 3;
+      cs_pins = [ input "A" 0 (0, 1); output "ZN" 2 (1, 2) ] };
+    { cs_kind = Inv; cs_drive = 4; cs_width = 4;
+      cs_pins = [ input "A" 1 (0, 1); output "ZN" 3 (2, 3) ] };
+    { cs_kind = Buf; cs_drive = 1; cs_width = 3;
+      cs_pins = [ input "A" 0 (0, 1); output "Z" 2 (1, 2) ] };
+    { cs_kind = Buf; cs_drive = 2; cs_width = 4;
+      cs_pins = [ input "A" 1 (0, 1); output "Z" 3 (2, 3) ] };
+    { cs_kind = Nand2; cs_drive = 1; cs_width = 3;
+      cs_pins =
+        [ input "A1" 0 (0, 1); input "A2" 1 (1, 2); output "ZN" 2 (1, 2) ] };
+    { cs_kind = Nand2; cs_drive = 2; cs_width = 4;
+      cs_pins =
+        [ input "A1" 0 (0, 1); input "A2" 2 (1, 2); output "ZN" 3 (2, 3) ] };
+    { cs_kind = Nor2; cs_drive = 1; cs_width = 3;
+      cs_pins =
+        [ input "A1" 0 (0, 1); input "A2" 2 (1, 2); output "ZN" 1 (0, 2) ] };
+    { cs_kind = Nor2; cs_drive = 2; cs_width = 4;
+      cs_pins =
+        [ input "A1" 1 (0, 1); input "A2" 3 (2, 3); output "ZN" 2 (1, 3) ] };
+    { cs_kind = Aoi21; cs_drive = 1; cs_width = 4;
+      cs_pins =
+        [ input "A1" 0 (0, 1); input "A2" 1 (1, 2); input "B" 2 (2, 3);
+          output "ZN" 3 (1, 3) ] };
+    { cs_kind = Oai21; cs_drive = 1; cs_width = 4;
+      cs_pins =
+        [ input "A1" 0 (0, 1); input "A2" 2 (1, 2); input "B" 1 (2, 3);
+          output "ZN" 3 (1, 3) ] };
+    { cs_kind = Xor2; cs_drive = 1; cs_width = 5;
+      cs_pins =
+        [ input "A1" 0 (0, 1); input "A2" 2 (1, 3); output "Z" 4 (3, 4) ] };
+    { cs_kind = And2; cs_drive = 1; cs_width = 4;
+      cs_pins =
+        [ input "A1" 0 (0, 1); input "A2" 1 (1, 2); output "Z" 3 (2, 3) ] };
+    { cs_kind = Or2; cs_drive = 1; cs_width = 4;
+      cs_pins =
+        [ input "A1" 0 (0, 1); input "A2" 2 (1, 2); output "Z" 3 (2, 3) ] };
+    { cs_kind = Xnor2; cs_drive = 1; cs_width = 5;
+      cs_pins =
+        [ input "A1" 1 (0, 1); input "A2" 3 (1, 3); output "ZN" 4 (3, 4) ] };
+    { cs_kind = Mux2; cs_drive = 1; cs_width = 5;
+      cs_pins =
+        [ input "D0" 0 (0, 1); input "D1" 1 (1, 2); input "S" 3 (2, 3);
+          output "Z" 4 (3, 4) ] };
+    { cs_kind = Dff; cs_drive = 1; cs_width = 8;
+      cs_pins =
+        [ input "D" 1 (0, 2); clock "CK" 3 (3, 4); output "Q" 6 (5, 7) ] };
+    { cs_kind = Dff; cs_drive = 2; cs_width = 9;
+      cs_pins =
+        [ input "D" 1 (0, 2); clock "CK" 4 (3, 5); output "Q" 7 (6, 8) ] };
+  ]
+
+let kind_name = function
+  | Stdcell.Inv -> "INV"
+  | Buf -> "BUF"
+  | Nand2 -> "NAND2"
+  | Nor2 -> "NOR2"
+  | And2 -> "AND2"
+  | Or2 -> "OR2"
+  | Aoi21 -> "AOI21"
+  | Oai21 -> "OAI21"
+  | Xor2 -> "XOR2"
+  | Xnor2 -> "XNOR2"
+  | Mux2 -> "MUX2"
+  | Dff -> "DFF"
+  | Fill -> "FILL"
+
+let master_name kind drive = Printf.sprintf "%s_X%d" (kind_name kind) drive
+
+(* Electrical model: a coarse linear model scaled by drive strength. Values
+   are in the right ballpark for a 7nm-class node and only need to be
+   self-consistent, since the experiments report deltas. *)
+let electrical kind drive =
+  let d = float_of_int drive in
+  let base_cap, base_delay, base_leak =
+    match kind with
+    | Stdcell.Inv -> (0.7, 4.0, 1.0)
+    | Buf -> (0.7, 7.0, 1.4)
+    | Nand2 | Nor2 -> (0.9, 6.0, 1.6)
+    | And2 | Or2 -> (0.9, 7.5, 1.8)
+    | Aoi21 | Oai21 -> (1.0, 8.0, 2.0)
+    | Xor2 | Xnor2 -> (1.3, 11.0, 2.8)
+    | Mux2 -> (1.2, 10.0, 2.6)
+    | Dff -> (1.1, 22.0, 4.5)
+    | Fill -> (0.0, 0.0, 0.2)
+  in
+  (base_cap *. d, 1.6 /. d, base_delay, base_leak *. d)
+
+(* ClosedM1 pin shape: a 1D vertical M1 segment centred on its M1 track,
+   spanning the interior of the row (clear of the boundary power hookup). *)
+let closed_m1_shape (tech : Tech.t) track =
+  let x = Tech.m1_track_x tech track in
+  let half = tech.site_width / 4 in
+  let y_margin = tech.row_height / 5 in
+  ( Layer.M1,
+    Geom.Rect.make ~lx:(x - half) ~hx:(x + half) ~ly:y_margin
+      ~hy:(tech.row_height - y_margin) )
+
+(* Conventional 12-track pin shape: also a vertical M1 segment, but the row
+   has horizontal M1 power rails at top and bottom, so the pin is confined
+   to the middle of the row and inter-row M1 routing is impossible. *)
+let conventional_shape (tech : Tech.t) track =
+  let x = Tech.m1_track_x tech track in
+  let half = tech.site_width / 4 in
+  let rail = tech.row_height / 4 in
+  ( Layer.M1,
+    Geom.Rect.make ~lx:(x - half) ~hx:(x + half) ~ly:rail
+      ~hy:(tech.row_height - rail) )
+
+(* OpenM1 pin shape: a horizontal M0 segment on an M0 track, spanning the
+   given inclusive site range. The x-projection of this segment is what the
+   overlap-based dM1 feasibility test uses. *)
+let open_m1_shape (tech : Tech.t) ~pin_index (a, b) =
+  let track = 2 + pin_index in
+  let y = (track * tech.m0_pitch) + (tech.m0_pitch / 2) in
+  let inset = tech.site_width / 8 in
+  let lx = (a * tech.site_width) + inset in
+  let hx = ((b + 1) * tech.site_width) - inset in
+  (Layer.M0, Geom.Rect.make ~lx ~hx ~ly:(y - 7) ~hy:(y + 7))
+
+let make_master (tech : Tech.t) spec =
+  let width = spec.cs_width * tech.site_width in
+  let pin_of_spec i ps =
+    let shape =
+      match tech.arch with
+      | Cell_arch.Closed_m1 -> closed_m1_shape tech ps.track
+      | Cell_arch.Conventional12 -> conventional_shape tech ps.track
+      | Cell_arch.Open_m1 -> open_m1_shape tech ~pin_index:i ps.span
+    in
+    { Stdcell.pin_name = ps.ps_name; dir = ps.ps_dir; shapes = [ shape ] }
+  in
+  let cap_in, drive_res, intrinsic_delay, leakage =
+    electrical spec.cs_kind spec.cs_drive
+  in
+  {
+    Stdcell.name = master_name spec.cs_kind spec.cs_drive;
+    kind = spec.cs_kind;
+    drive = spec.cs_drive;
+    width_sites = spec.cs_width;
+    width;
+    height = tech.row_height;
+    pins = List.mapi pin_of_spec spec.cs_pins;
+    cap_in;
+    drive_res;
+    intrinsic_delay;
+    leakage;
+  }
+
+let generate tech = { tech; cells = List.map (make_master tech) specs }
+
+let find_opt t name =
+  List.find_opt (fun (c : Stdcell.t) -> String.equal c.name name) t.cells
+
+let find t name =
+  match find_opt t name with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Libgen.find: no master %s" name)
+
+let combinational t =
+  List.filter
+    (fun (c : Stdcell.t) -> c.kind <> Stdcell.Dff && c.kind <> Stdcell.Fill)
+    t.cells
+
+let sequential t =
+  List.filter (fun (c : Stdcell.t) -> c.kind = Stdcell.Dff) t.cells
+
+let fillers t =
+  List.filter (fun (c : Stdcell.t) -> c.kind = Stdcell.Fill) t.cells

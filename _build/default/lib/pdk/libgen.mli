@@ -1,0 +1,23 @@
+(** Generator for the 7nm-class standard-cell libraries used in the
+    experiments. One library per cell architecture; masters share names,
+    logical pins and electrical models across architectures so the same
+    netlist can be bound to any of the three libraries — only the pin
+    geometry differs (vertical M1 pins for ClosedM1, horizontal M0 pins for
+    OpenM1, M1 pins under power rails for the conventional template). *)
+
+type t = {
+  tech : Tech.t;
+  cells : Stdcell.t list;
+}
+
+(** [generate tech] builds the full library for [tech.arch]. *)
+val generate : Tech.t -> t
+
+val find : t -> string -> Stdcell.t
+val find_opt : t -> string -> Stdcell.t option
+
+(** Combinational masters (everything except flip-flops and fillers). *)
+val combinational : t -> Stdcell.t list
+
+val sequential : t -> Stdcell.t list
+val fillers : t -> Stdcell.t list

@@ -1,0 +1,71 @@
+type pin_dir = Input | Output | Clock
+
+type pin = {
+  pin_name : string;
+  dir : pin_dir;
+  shapes : (Layer.t * Geom.Rect.t) list;
+}
+
+type kind =
+  | Inv
+  | Buf
+  | Nand2
+  | Nor2
+  | And2
+  | Or2
+  | Aoi21
+  | Oai21
+  | Xor2
+  | Xnor2
+  | Mux2
+  | Dff
+  | Fill
+
+type t = {
+  name : string;
+  kind : kind;
+  drive : int;
+  width_sites : int;
+  width : int;
+  height : int;
+  pins : pin list;
+  cap_in : float;
+  drive_res : float;
+  intrinsic_delay : float;
+  leakage : float;
+}
+
+let find_pin t name =
+  match List.find_opt (fun p -> String.equal p.pin_name name) t.pins with
+  | Some p -> p
+  | None ->
+    invalid_arg (Printf.sprintf "Stdcell.find_pin: %s has no pin %s" t.name name)
+
+let inputs t = List.filter (fun p -> p.dir = Input) t.pins
+let output t = List.find_opt (fun p -> p.dir = Output) t.pins
+let clock t = List.find_opt (fun p -> p.dir = Clock) t.pins
+let is_sequential t = t.kind = Dff
+
+let pin_bbox p =
+  List.fold_left
+    (fun acc (_, r) -> Geom.Rect.union acc r)
+    Geom.Rect.empty p.shapes
+
+let placed_pin_shapes t ~orient ~origin pin =
+  let place (layer, r) =
+    let local =
+      Geom.Orient.apply orient ~cell_width:t.width ~cell_height:t.height r
+    in
+    (layer, Geom.Rect.shift local origin)
+  in
+  List.map place pin.shapes
+
+let placed_pin_bbox t ~orient ~origin pin =
+  List.fold_left
+    (fun acc (_, r) -> Geom.Rect.union acc r)
+    Geom.Rect.empty
+    (placed_pin_shapes t ~orient ~origin pin)
+
+let pp ppf t =
+  Format.fprintf ppf "%s(w=%d sites, %d pins)" t.name t.width_sites
+    (List.length t.pins)

@@ -1,0 +1,73 @@
+(** Standard-cell masters.
+
+    A master carries its physical footprint (width in sites, height = one
+    row), per-pin geometry in the cell's local north frame, and the small
+    electrical model used by the STA and power substrates. Pin geometry is
+    what the vertical-M1 optimisation consumes: for ClosedM1 masters every
+    signal pin is a 1D vertical M1 segment centred on an M1 track (track
+    pitch = site width); for OpenM1 masters every pin is a horizontal M0
+    segment whose x-projection defines overlap-based dM1 feasibility. *)
+
+type pin_dir = Input | Output | Clock
+
+type pin = {
+  pin_name : string;
+  dir : pin_dir;
+  shapes : (Layer.t * Geom.Rect.t) list;  (** local N frame *)
+}
+
+type kind =
+  | Inv
+  | Buf
+  | Nand2
+  | Nor2
+  | And2
+  | Or2
+  | Aoi21
+  | Oai21
+  | Xor2
+  | Xnor2
+  | Mux2
+  | Dff
+  | Fill
+
+type t = {
+  name : string;
+  kind : kind;
+  drive : int;            (** drive strength, e.g. 1/2/4 for X1/X2/X4 *)
+  width_sites : int;
+  width : int;            (** DBU *)
+  height : int;           (** DBU, one row *)
+  pins : pin list;
+  cap_in : float;         (** input pin capacitance, fF *)
+  drive_res : float;      (** output drive resistance, kOhm *)
+  intrinsic_delay : float;(** intrinsic delay, ps *)
+  leakage : float;        (** leakage power, nW *)
+}
+
+val find_pin : t -> string -> pin
+
+(** Pins in declaration order filtered by direction. [Clock] pins are not
+    included in [inputs]. *)
+val inputs : t -> pin list
+
+val output : t -> pin option
+val clock : t -> pin option
+val is_sequential : t -> bool
+
+(** [pin_bbox p] is the bounding box of all shapes of [p] (local frame). *)
+val pin_bbox : pin -> Geom.Rect.t
+
+(** [placed_pin_shapes master ~orient ~origin pin] maps the pin's shapes
+    into chip coordinates for a cell placed with lower-left corner at
+    [origin] and orientation [orient]. *)
+val placed_pin_shapes :
+  t -> orient:Geom.Orient.t -> origin:Geom.Point.t -> pin ->
+  (Layer.t * Geom.Rect.t) list
+
+(** [placed_pin_bbox master ~orient ~origin pin] is the bounding box of the
+    placed shapes. *)
+val placed_pin_bbox :
+  t -> orient:Geom.Orient.t -> origin:Geom.Point.t -> pin -> Geom.Rect.t
+
+val pp : Format.formatter -> t -> unit

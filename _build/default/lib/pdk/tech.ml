@@ -1,0 +1,44 @@
+type t = {
+  arch : Cell_arch.t;
+  site_width : int;
+  row_height : int;
+  m0_pitch : int;
+  m2_pitch : int;
+  m1_offset : int;
+  gamma : int;
+  delta : int;
+}
+
+let default arch =
+  let site_width = 36 in
+  let m2_pitch = 36 in
+  let tracks = Cell_arch.track_count arch in
+  let row_height = int_of_float (tracks *. float_of_int m2_pitch) in
+  {
+    arch;
+    site_width;
+    row_height;
+    m0_pitch = 27;
+    m2_pitch;
+    m1_offset = site_width / 2;
+    gamma = 3;
+    delta = site_width / 2;
+  }
+
+let m1_track_x t i = (i * t.site_width) + t.m1_offset
+
+let m1_track_of_x t x =
+  let rel = x - t.m1_offset in
+  if rel mod t.site_width <> 0 || rel < 0 then
+    invalid_arg (Printf.sprintf "Tech.m1_track_of_x: %d not on track" x)
+  else rel / t.site_width
+
+let is_on_m1_track t x =
+  let rel = x - t.m1_offset in
+  rel >= 0 && rel mod t.site_width = 0
+
+let row_y t r = r * t.row_height
+
+let pp ppf t =
+  Format.fprintf ppf "tech{%a site=%d row=%d gamma=%d delta=%d}" Cell_arch.pp
+    t.arch t.site_width t.row_height t.gamma t.delta

@@ -1,0 +1,37 @@
+(** Technology parameters of the modelled 7nm-class node. All geometry is
+    in DBU (1 DBU = 1 nm). The M1 pitch equals the placement-site width, as
+    the paper's ClosedM1 library requires (vertical pin alignment then
+    coincides with site alignment). *)
+
+type t = {
+  arch : Cell_arch.t;
+  site_width : int;         (** placement site width = M1 (vertical) pitch *)
+  row_height : int;         (** standard-cell row height *)
+  m0_pitch : int;           (** horizontal M0 track pitch within a row *)
+  m2_pitch : int;           (** horizontal M2 track pitch *)
+  m1_offset : int;          (** x offset of the first M1 track (track center
+                                within a site) *)
+  gamma : int;              (** max rows a direct vertical M1 route spans *)
+  delta : int;              (** min x-overlap (DBU) for an OpenM1 dM1 *)
+}
+
+(** [default arch] is the default 7nm-class technology for the given cell
+    architecture: 36 nm site width / M1 pitch, 270 nm rows for the 7.5-track
+    architectures (432 nm for conventional 12-track), gamma = 3, delta =
+    half a site. *)
+val default : Cell_arch.t -> t
+
+(** [m1_track_x t i] is the x coordinate of M1 track [i]. *)
+val m1_track_x : t -> int -> int
+
+(** [m1_track_of_x t x] is the M1 track index whose center is at [x].
+    @raise Invalid_argument if [x] is not on an M1 track center. *)
+val m1_track_of_x : t -> int -> int
+
+(** [is_on_m1_track t x] is true when [x] lies on an M1 track center. *)
+val is_on_m1_track : t -> int -> bool
+
+(** [row_y t r] is the bottom y coordinate of row [r]. *)
+val row_y : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

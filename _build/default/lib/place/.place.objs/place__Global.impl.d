@@ -1,0 +1,1 @@
+lib/place/global.ml: Array Float Geom Hpwl Legalize List Netlist Pdk Placement

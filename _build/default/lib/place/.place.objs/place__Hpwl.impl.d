@@ -1,0 +1,1 @@
+lib/place/hpwl.ml: Array Geom List Netlist Placement

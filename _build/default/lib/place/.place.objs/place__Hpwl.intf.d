@@ -1,0 +1,1 @@
+lib/place/hpwl.mli: Geom Placement

@@ -1,0 +1,1 @@
+lib/place/legalize.ml: Array Int List Netlist Pdk Placement Printf

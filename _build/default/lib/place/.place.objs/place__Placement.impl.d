@@ -1,0 +1,1 @@
+lib/place/placement.ml: Array Float Geom Hashtbl Int List Netlist Option Pdk

@@ -1,0 +1,1 @@
+lib/place/row_opt.ml: Array Geom Hashtbl Hpwl Int List Netlist Pdk Placement

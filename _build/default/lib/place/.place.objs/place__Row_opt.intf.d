@@ -1,0 +1,1 @@
+lib/place/row_opt.mli: Placement

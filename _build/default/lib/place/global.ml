@@ -1,0 +1,240 @@
+type config = {
+  relax_passes : int;
+  blend : float;
+  float_iters : int;      (* free-floating quadratic iterations *)
+  reassign_rounds : int;  (* relax -> slot-assign -> legalise rounds *)
+}
+
+let default_config =
+  { relax_passes = 3; blend = 0.25; float_iters = 100; reassign_rounds = 3 }
+
+(* Seed cells across rows in id order (serpentine): id-locality of the
+   netlist becomes an initial spatial locality. Positions in float space,
+   cell centres. *)
+let seed (p : Placement.t) cx cy =
+  let n = Placement.num_instances p in
+  let widths =
+    Array.map
+      (fun (inst : Netlist.Design.instance) ->
+        inst.master.Pdk.Stdcell.width_sites)
+      p.design.Netlist.Design.instances
+  in
+  let total_sites = Array.fold_left ( + ) 0 widths in
+  let stretch =
+    float_of_int (p.num_rows * p.sites_per_row) /. float_of_int total_sites
+  in
+  let sw = float_of_int p.tech.Pdk.Tech.site_width in
+  let rh = float_of_int p.tech.Pdk.Tech.row_height in
+  let cursor = ref 0.0 in
+  for i = 0 to n - 1 do
+    let pos = int_of_float !cursor in
+    let row = min (p.num_rows - 1) (pos / p.sites_per_row) in
+    let along = pos mod p.sites_per_row in
+    let site =
+      if row land 1 = 0 then along else p.sites_per_row - 1 - along
+    in
+    cx.(i) <- (float_of_int site +. 0.5) *. sw;
+    cy.(i) <- (float_of_int row +. 0.5) *. rh;
+    cursor := !cursor +. (float_of_int widths.(i) *. stretch)
+  done
+
+(* One centroid-relaxation step over float positions: pull every cell
+   toward the mean of its nets' centroids. *)
+let centroid_step (p : Placement.t) cx cy blend =
+  let design = p.design in
+  let n = Placement.num_instances p in
+  let nn = Netlist.Design.num_nets design in
+  let ncx = Array.make nn 0.0 and ncy = Array.make nn 0.0 in
+  let cnt = Array.make nn 0 in
+  Array.iteri
+    (fun nid (net : Netlist.Design.net) ->
+      if not net.is_clock then
+        Array.iter
+          (fun (pr : Netlist.Design.pin_ref) ->
+            ncx.(nid) <- ncx.(nid) +. cx.(pr.inst);
+            ncy.(nid) <- ncy.(nid) +. cy.(pr.inst);
+            cnt.(nid) <- cnt.(nid) + 1)
+          net.pins)
+    design.nets;
+  for nid = 0 to nn - 1 do
+    if cnt.(nid) > 0 then begin
+      ncx.(nid) <- ncx.(nid) /. float_of_int cnt.(nid);
+      ncy.(nid) <- ncy.(nid) /. float_of_int cnt.(nid)
+    end
+  done;
+  for i = 0 to n - 1 do
+    let nets = Netlist.Design.nets_of_instance design i in
+    let usable =
+      List.filter
+        (fun nid -> (not design.nets.(nid).is_clock) && cnt.(nid) > 1)
+        nets
+    in
+    match usable with
+    | [] -> ()
+    | _ ->
+      let k = float_of_int (List.length usable) in
+      let tx = List.fold_left (fun acc nid -> acc +. ncx.(nid)) 0.0 usable /. k in
+      let ty = List.fold_left (fun acc nid -> acc +. ncy.(nid)) 0.0 usable /. k in
+      cx.(i) <- cx.(i) +. (blend *. (tx -. cx.(i)));
+      cy.(i) <- cy.(i) +. (blend *. (ty -. cy.(i)))
+  done
+
+(* Spreading: centroid iteration contracts the cloud toward dense blobs;
+   rank-based spreading (grid warping) pushes each axis back toward a
+   uniform distribution over the die while preserving relative order, so
+   clusters keep their identity but density stays usable. [mix] is the
+   fraction moved toward the uniform rank position. *)
+let rescale ?(mix = 0.5) (p : Placement.t) cx cy =
+  let n = Array.length cx in
+  if n > 1 then begin
+    let spread_axis arr extent =
+      let order = Array.init n (fun i -> i) in
+      Array.sort (fun a b -> Float.compare arr.(a) arr.(b)) order;
+      let extent = float_of_int extent in
+      Array.iteri
+        (fun rank i ->
+          let uniform =
+            (float_of_int rank +. 0.5) /. float_of_int n *. extent
+          in
+          arr.(i) <- arr.(i) +. (mix *. (uniform -. arr.(i))))
+        order
+    in
+    spread_axis cx (Geom.Rect.width p.die);
+    spread_axis cy (Geom.Rect.height p.die)
+  end
+
+(* Slot assignment: convert float positions into a legal placement that
+   preserves the cloud's relative order. Cells are sorted by y and dealt
+   into rows up to each row's site capacity; within a row they are sorted
+   by x and spread evenly. *)
+let slot_assign (p : Placement.t) cx cy =
+  let n = Placement.num_instances p in
+  let widths =
+    Array.map
+      (fun (inst : Netlist.Design.instance) ->
+        inst.master.Pdk.Stdcell.width_sites)
+      p.design.Netlist.Design.instances
+  in
+  let total_sites = Array.fold_left ( + ) 0 widths in
+  let per_row_target =
+    float_of_int total_sites /. float_of_int p.num_rows
+  in
+  let by_y = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match Float.compare cy.(a) cy.(b) with
+      | 0 -> Float.compare cx.(a) cx.(b)
+      | c -> c)
+    by_y;
+  let rows = Array.make p.num_rows [] in
+  let row = ref 0 in
+  let filled = ref 0.0 in
+  Array.iter
+    (fun i ->
+      if
+        !filled >= per_row_target *. float_of_int (!row + 1)
+        && !row < p.num_rows - 1
+      then incr row;
+      rows.(!row) <- i :: rows.(!row);
+      filled := !filled +. float_of_int widths.(i))
+    by_y;
+  let sw = float_of_int p.tech.Pdk.Tech.site_width in
+  for r = 0 to p.num_rows - 1 do
+    let cells = Array.of_list (List.rev rows.(r)) in
+    Array.sort (fun a b -> Float.compare cx.(a) cx.(b)) cells;
+    let row_sites = Array.fold_left (fun acc i -> acc + widths.(i)) 0 cells in
+    let slack = max 0 (p.sites_per_row - row_sites) in
+    let k = Array.length cells in
+    let cursor = ref 0 in
+    Array.iteri
+      (fun idx i ->
+        (* distribute free sites in proportion to the cell's float x *)
+        let want = int_of_float (cx.(i) /. sw) - (widths.(i) / 2) in
+        let lo = !cursor in
+        let hi = !cursor + slack in
+        let site = max lo (min hi (max lo want)) in
+        let site = min site (p.sites_per_row - widths.(i)) in
+        Placement.move p i ~site ~row:r ~orient:p.orients.(i);
+        ignore idx;
+        ignore k;
+        cursor := site + widths.(i))
+      cells
+  done
+
+let copy_coords (p : Placement.t) =
+  (Array.copy p.xs, Array.copy p.ys, Array.copy p.orients)
+
+let save_coords (p : Placement.t) (xs, ys, os) =
+  Array.blit p.xs 0 xs 0 (Array.length xs);
+  Array.blit p.ys 0 ys 0 (Array.length ys);
+  Array.blit p.orients 0 os 0 (Array.length os)
+
+let restore_coords (p : Placement.t) (xs, ys, os) =
+  Array.blit xs 0 p.xs 0 (Array.length xs);
+  Array.blit ys 0 p.ys 0 (Array.length ys);
+  Array.blit os 0 p.orients 0 (Array.length os)
+
+let place ?(config = default_config) (p : Placement.t) =
+  let n = Placement.num_instances p in
+  let cx = Array.make n 0.0 and cy = Array.make n 0.0 in
+  seed p cx cy;
+  (* phase A: free-floating quadratic relaxation with periodic rescale *)
+  for it = 1 to config.float_iters do
+    centroid_step p cx cy 0.7;
+    if it mod 3 = 0 || it = config.float_iters then rescale p cx cy
+  done;
+  (* phase B: order-preserving slot assignment *)
+  slot_assign p cx cy;
+  Legalize.legalize p;
+  (* phase B': re-relax from the legal placement and re-assign, keeping
+     the best round — each round lets clusters reform across the row
+     structure the previous slot assignment imposed *)
+  let best_b = copy_coords p in
+  let best_b_hpwl = ref (Hpwl.total p) in
+  for _ = 1 to config.reassign_rounds do
+    for i = 0 to n - 1 do
+      let c = Geom.Rect.center (Placement.instance_rect p i) in
+      cx.(i) <- float_of_int c.Geom.Point.x;
+      cy.(i) <- float_of_int c.Geom.Point.y
+    done;
+    for it = 1 to 12 do
+      centroid_step p cx cy 0.6;
+      if it mod 3 = 0 then rescale ~mix:0.4 p cx cy
+    done;
+    slot_assign p cx cy;
+    Legalize.legalize p;
+    let h = Hpwl.total p in
+    if h < !best_b_hpwl then begin
+      best_b_hpwl := h;
+      save_coords p best_b
+    end
+  done;
+  restore_coords p best_b;
+  (* phase C: legalised refinement with a small blend; refinement can hurt
+     after legalisation scrambles the relaxed order, so keep the best
+     placement seen *)
+  let best = copy_coords p in
+  let best_hpwl = ref (Hpwl.total p) in
+  for _ = 1 to config.relax_passes do
+    for i = 0 to n - 1 do
+      let c = Geom.Rect.center (Placement.instance_rect p i) in
+      cx.(i) <- float_of_int c.Geom.Point.x;
+      cy.(i) <- float_of_int c.Geom.Point.y
+    done;
+    centroid_step p cx cy config.blend;
+    let rh = p.tech.Pdk.Tech.row_height in
+    for i = 0 to n - 1 do
+      let m = p.design.Netlist.Design.instances.(i).master in
+      let x = int_of_float cx.(i) - (m.Pdk.Stdcell.width / 2) in
+      let y = int_of_float cy.(i) - (m.Pdk.Stdcell.height / 2) in
+      p.xs.(i) <- max 0 (min x (Geom.Rect.width p.die - m.Pdk.Stdcell.width));
+      p.ys.(i) <- max 0 (min y ((p.num_rows - 1) * rh))
+    done;
+    Legalize.legalize p;
+    let h = Hpwl.total p in
+    if h < !best_hpwl then begin
+      best_hpwl := h;
+      save_coords p best
+    end
+  done;
+  restore_coords p best

@@ -1,0 +1,19 @@
+(** Global placement: quadratic-style relaxation in float space
+    (centroid pull with periodic rescaling to counter contraction),
+    order-preserving slot assignment into rows, then a few legalised
+    refinement passes. Deterministic. The result is a legal,
+    locality-preserving placement — the starting point the paper obtains
+    from the commercial P&R tool. *)
+
+type config = {
+  relax_passes : int;      (** legalised refinement rounds *)
+  blend : float;           (** refinement step toward the centroid *)
+  float_iters : int;       (** free-floating quadratic iterations *)
+  reassign_rounds : int;   (** relax -> slot-assign -> legalise rounds *)
+}
+
+val default_config : config
+
+(** [place ?config p] runs global placement in place; the result passes
+    [Legalize.check]. *)
+val place : ?config:config -> Placement.t -> unit

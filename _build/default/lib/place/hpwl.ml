@@ -1,0 +1,19 @@
+let net_bbox (p : Placement.t) n =
+  let net = p.design.Netlist.Design.nets.(n) in
+  Array.fold_left
+    (fun acc pr ->
+      let pos = Placement.pin_pos p pr in
+      Geom.Rect.union acc (Geom.Rect.of_points pos pos))
+    Geom.Rect.empty net.pins
+
+let net p n =
+  if Netlist.Design.net_degree p.Placement.design n < 2 then 0
+  else Geom.Rect.half_perimeter (net_bbox p n)
+
+let total p =
+  List.fold_left
+    (fun acc n -> acc + net p n)
+    0
+    (Netlist.Design.signal_nets p.Placement.design)
+
+let total_um p = float_of_int (total p) /. 1000.0

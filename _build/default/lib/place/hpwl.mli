@@ -1,0 +1,15 @@
+(** Half-perimeter wirelength over pin positions. *)
+
+(** [net_bbox p n] is the bounding box of all pin positions of net [n]. *)
+val net_bbox : Placement.t -> int -> Geom.Rect.t
+
+(** [net p n] is the HPWL of net [n] in DBU. Nets with fewer than two pins
+    have HPWL 0. *)
+val net : Placement.t -> int -> int
+
+(** [total p] is the summed HPWL of all signal nets (clock and dangling
+    nets excluded, matching the paper's reporting). *)
+val total : Placement.t -> int
+
+(** [total_um p] is [total p] converted to micrometres. *)
+val total_um : Placement.t -> float

@@ -1,0 +1,95 @@
+(* Two-stage legalisation.
+
+   Stage 1 assigns each cell to a row: cells are processed in target-x
+   order and greedily assigned to the row minimising displacement among
+   rows with remaining site capacity, so no row is ever over-committed.
+
+   Stage 2 packs each row left-to-right at max(edge, target), then a
+   right-to-left clamp pushes the overhang back; because the row's total
+   width fits, the clamp always succeeds and every x stays >= 0. *)
+
+let legalize (p : Placement.t) =
+  let tech = p.tech in
+  let sw = tech.Pdk.Tech.site_width and rh = tech.Pdk.Tech.row_height in
+  let n = Placement.num_instances p in
+  let widths =
+    Array.map
+      (fun (inst : Netlist.Design.instance) ->
+        inst.master.Pdk.Stdcell.width_sites)
+      p.design.Netlist.Design.instances
+  in
+  let capacity = Array.make p.num_rows p.sites_per_row in
+  let total =
+    Array.fold_left ( + ) 0 widths
+  in
+  if total > p.num_rows * p.sites_per_row then
+    failwith "Legalize.legalize: die is full";
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Int.compare p.xs.(a) p.xs.(b)) order;
+  (* stage 1: row assignment *)
+  let rows = Array.make p.num_rows [] in
+  let assign i =
+    let w = widths.(i) in
+    let target_row = max 0 (min (p.num_rows - 1) (p.ys.(i) / rh)) in
+    let best = ref (-1) in
+    let best_cost = ref max_int in
+    let consider r =
+      if r >= 0 && r < p.num_rows && capacity.(r) >= w then begin
+        let cost = abs (r - target_row) in
+        if cost < !best_cost then begin
+          best := r;
+          best_cost := cost
+        end
+      end
+    in
+    consider target_row;
+    let d = ref 1 in
+    while !best < 0 && !d <= p.num_rows do
+      consider (target_row - !d);
+      consider (target_row + !d);
+      incr d
+    done;
+    if !best < 0 then failwith "Legalize.legalize: die is full";
+    capacity.(!best) <- capacity.(!best) - w;
+    rows.(!best) <- i :: rows.(!best)
+  in
+  Array.iter assign order;
+  (* stage 2: per-row packing; [rows.(r)] holds cells in reverse x order *)
+  for r = 0 to p.num_rows - 1 do
+    let cells = Array.of_list (List.rev rows.(r)) in
+    let k = Array.length cells in
+    let sites = Array.make k 0 in
+    let edge = ref 0 in
+    for idx = 0 to k - 1 do
+      let i = cells.(idx) in
+      let target = max 0 (min (p.xs.(i) / sw) (p.sites_per_row - widths.(i))) in
+      let s = max !edge target in
+      sites.(idx) <- s;
+      edge := s + widths.(i)
+    done;
+    (* clamp overhang back from the right *)
+    let bound = ref p.sites_per_row in
+    for idx = k - 1 downto 0 do
+      let i = cells.(idx) in
+      if sites.(idx) + widths.(i) > !bound then sites.(idx) <- !bound - widths.(i);
+      bound := sites.(idx)
+    done;
+    for idx = 0 to k - 1 do
+      let i = cells.(idx) in
+      Placement.move p i ~site:sites.(idx) ~row:r ~orient:p.orients.(i)
+    done
+  done
+
+let check (p : Placement.t) =
+  let tech = p.tech in
+  let sw = tech.Pdk.Tech.site_width and rh = tech.Pdk.Tech.row_height in
+  let problems = ref [] in
+  let report fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  for i = 0 to Placement.num_instances p - 1 do
+    if p.xs.(i) mod sw <> 0 then report "instance %d: x %d off site grid" i p.xs.(i);
+    if p.ys.(i) mod rh <> 0 then report "instance %d: y %d off row grid" i p.ys.(i);
+    if not (Placement.inside_die p i) then report "instance %d: outside die" i
+  done;
+  let overlaps = Placement.overlap_count p in
+  if overlaps > 0 then report "%d overlapping cell pairs" overlaps;
+  List.rev !problems

@@ -1,0 +1,16 @@
+(** Tetris-style row legalisation.
+
+    Cells are processed in order of target x; each is assigned to the row
+    minimising displacement from its target position, packed against the
+    row's current right edge and snapped to the site grid. The result is a
+    legal placement: site-aligned, row-aligned, no overlaps, inside the
+    die. *)
+
+(** [legalize p] legalises in place, using the current coordinates as
+    targets.
+    @raise Failure if the die cannot accommodate the cells. *)
+val legalize : Placement.t -> unit
+
+(** [check p] returns human-readable legality violations (empty = legal):
+    off-grid coordinates, cells outside the die, overlapping cells. *)
+val check : Placement.t -> string list

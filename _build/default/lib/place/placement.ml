@@ -1,0 +1,154 @@
+type t = {
+  design : Netlist.Design.t;
+  tech : Pdk.Tech.t;
+  die : Geom.Rect.t;
+  num_rows : int;
+  sites_per_row : int;
+  xs : int array;
+  ys : int array;
+  orients : Geom.Orient.t array;
+}
+
+let total_cell_area (design : Netlist.Design.t) tech =
+  Array.fold_left
+    (fun acc (inst : Netlist.Design.instance) ->
+      acc + (inst.master.Pdk.Stdcell.width * tech.Pdk.Tech.row_height))
+    0 design.instances
+
+let create (design : Netlist.Design.t) ~utilization =
+  if utilization <= 0.0 || utilization > 1.0 then
+    invalid_arg "Placement.create: utilization must be in (0,1]";
+  let tech = design.lib.Pdk.Libgen.tech in
+  let area = float_of_int (total_cell_area design tech) /. utilization in
+  let side = sqrt area in
+  let num_rows =
+    max 2 (int_of_float (Float.round (side /. float_of_int tech.row_height)))
+  in
+  let width_dbu = area /. float_of_int (num_rows * tech.row_height) in
+  let sites_per_row =
+    max 4 (int_of_float (ceil (width_dbu /. float_of_int tech.site_width)))
+  in
+  let die =
+    Geom.Rect.make ~lx:0 ~ly:0
+      ~hx:(sites_per_row * tech.site_width)
+      ~hy:(num_rows * tech.row_height)
+  in
+  let n = Array.length design.instances in
+  {
+    design;
+    tech;
+    die;
+    num_rows;
+    sites_per_row;
+    xs = Array.make n 0;
+    ys = Array.make n 0;
+    orients = Array.make n Geom.Orient.N;
+  }
+
+let copy t =
+  {
+    t with
+    xs = Array.copy t.xs;
+    ys = Array.copy t.ys;
+    orients = Array.copy t.orients;
+  }
+
+let assign dst src =
+  Array.blit src.xs 0 dst.xs 0 (Array.length src.xs);
+  Array.blit src.ys 0 dst.ys 0 (Array.length src.ys);
+  Array.blit src.orients 0 dst.orients 0 (Array.length src.orients)
+
+let num_instances t = Array.length t.xs
+
+let instance_rect t i =
+  let m = t.design.Netlist.Design.instances.(i).master in
+  Geom.Rect.make ~lx:t.xs.(i) ~ly:t.ys.(i)
+    ~hx:(t.xs.(i) + m.Pdk.Stdcell.width)
+    ~hy:(t.ys.(i) + m.Pdk.Stdcell.height)
+
+let master_pin t (pr : Netlist.Design.pin_ref) =
+  let m = t.design.Netlist.Design.instances.(pr.inst).master in
+  (m, List.nth m.Pdk.Stdcell.pins pr.pin)
+
+let pin_shapes t (pr : Netlist.Design.pin_ref) =
+  let m, pin = master_pin t pr in
+  Pdk.Stdcell.placed_pin_shapes m ~orient:t.orients.(pr.inst)
+    ~origin:(Geom.Point.make t.xs.(pr.inst) t.ys.(pr.inst))
+    pin
+
+let pin_bbox t pr =
+  let m, pin = master_pin t pr in
+  Pdk.Stdcell.placed_pin_bbox m ~orient:t.orients.(pr.inst)
+    ~origin:(Geom.Point.make t.xs.(pr.inst) t.ys.(pr.inst))
+    pin
+
+let pin_pos t pr = Geom.Rect.center (pin_bbox t pr)
+let pin_x_interval t pr = Geom.Rect.x_span (pin_bbox t pr)
+let row_of_inst t i = t.ys.(i) / t.tech.Pdk.Tech.row_height
+let site_of_inst t i = t.xs.(i) / t.tech.Pdk.Tech.site_width
+
+let move t i ~site ~row ~orient =
+  t.xs.(i) <- site * t.tech.Pdk.Tech.site_width;
+  t.ys.(i) <- row * t.tech.Pdk.Tech.row_height;
+  t.orients.(i) <- orient
+
+let inside_die t i =
+  let r = instance_rect t i in
+  r.Geom.Rect.lx >= t.die.Geom.Rect.lx
+  && r.Geom.Rect.ly >= t.die.Geom.Rect.ly
+  && r.Geom.Rect.hx <= t.die.Geom.Rect.hx
+  && r.Geom.Rect.hy <= t.die.Geom.Rect.hy
+
+let overlap_count t =
+  (* sweep per row: cells sorted by x; overlap iff next cell starts before
+     the previous ends *)
+  let n = num_instances t in
+  let by_row = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let r = row_of_inst t i in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt by_row r) in
+    Hashtbl.replace by_row r (i :: prev)
+  done;
+  let count = ref 0 in
+  Hashtbl.iter
+    (fun _ cells ->
+      let sorted =
+        List.sort (fun a b -> Int.compare t.xs.(a) t.xs.(b)) cells
+      in
+      let rec sweep = function
+        | a :: (b :: _ as rest) ->
+          let ra = instance_rect t a in
+          if t.xs.(b) < ra.Geom.Rect.hx then incr count;
+          sweep rest
+        | [ _ ] | [] -> ()
+      in
+      sweep sorted)
+    by_row;
+  !count
+
+let utilization t =
+  let area = total_cell_area t.design t.tech in
+  float_of_int area /. float_of_int (Geom.Rect.area t.die)
+
+let to_def t =
+  {
+    Netlist.Def_io.die = t.die;
+    xs = Array.copy t.xs;
+    ys = Array.copy t.ys;
+    orients = Array.copy t.orients;
+  }
+
+let of_def (design : Netlist.Design.t) (p : Netlist.Def_io.placement) =
+  let tech = design.lib.Pdk.Libgen.tech in
+  let num_rows = Geom.Rect.height p.die / tech.Pdk.Tech.row_height in
+  let sites_per_row = Geom.Rect.width p.die / tech.Pdk.Tech.site_width in
+  {
+    design;
+    tech;
+    die = p.die;
+    num_rows;
+    sites_per_row;
+    xs = Array.copy p.xs;
+    ys = Array.copy p.ys;
+    orients = Array.copy p.orients;
+  }

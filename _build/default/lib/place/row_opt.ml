@@ -1,0 +1,158 @@
+(* Per-cell piecewise-linear cost: moving pin p to absolute x costs
+   sum over p's nets of the x-extent growth of the net's bounding box over
+   the OTHER pins. Evaluated directly per candidate site; the DP is
+   O(cells * sites) per row with O(pins) cost evaluation. *)
+
+let cell_cost_table (p : Placement.t) row_cells i =
+  ignore row_cells;
+  let design = p.design in
+  let inst = design.Netlist.Design.instances.(i) in
+  let sw = p.tech.Pdk.Tech.site_width in
+  let nsites = p.sites_per_row in
+  let w = inst.master.Pdk.Stdcell.width_sites in
+  (* pin x offsets (absolute pin x = site*sw + offset) and the x-interval
+     of each pin's net over its other pins *)
+  let terms = ref [] in
+  List.iteri
+    (fun k (_ : Pdk.Stdcell.pin) ->
+      let nid = inst.pin_nets.(k) in
+      if nid >= 0 && not design.nets.(nid).is_clock then begin
+        let net = design.nets.(nid) in
+        if Array.length net.pins >= 2 then begin
+          let lo = ref max_int and hi = ref min_int in
+          Array.iter
+            (fun (pr : Netlist.Design.pin_ref) ->
+              if not (pr.inst = i && pr.pin = k) then begin
+                let pos = Placement.pin_pos p pr in
+                if pos.Geom.Point.x < !lo then lo := pos.Geom.Point.x;
+                if pos.Geom.Point.x > !hi then hi := pos.Geom.Point.x
+              end)
+            net.pins;
+          if !lo <= !hi then begin
+            let pin_ref = { Netlist.Design.inst = i; pin = k } in
+            let cur = Placement.pin_pos p pin_ref in
+            let offset = cur.Geom.Point.x - p.xs.(i) in
+            terms := (offset, !lo, !hi) :: !terms
+          end
+        end
+      end)
+    inst.master.Pdk.Stdcell.pins;
+  let terms = !terms in
+  let cost = Array.make nsites max_int in
+  for s = 0 to nsites - w do
+    let x0 = s * sw in
+    let c =
+      List.fold_left
+        (fun acc (offset, lo, hi) ->
+          let px = x0 + offset in
+          acc + max 0 (lo - px) + max 0 (px - hi))
+        0 terms
+    in
+    cost.(s) <- c
+  done;
+  cost
+
+let optimize_row (p : Placement.t) ~row =
+  let cells =
+    let acc = ref [] in
+    for i = Placement.num_instances p - 1 downto 0 do
+      if Placement.row_of_inst p i = row then acc := i :: !acc
+    done;
+    List.sort (fun a b -> Int.compare p.xs.(a) p.xs.(b)) !acc
+    |> Array.of_list
+  in
+  let k = Array.length cells in
+  if k = 0 then 0
+  else begin
+    let nsites = p.sites_per_row in
+    let widths =
+      Array.map
+        (fun i ->
+          p.design.Netlist.Design.instances.(i).master.Pdk.Stdcell.width_sites)
+        cells
+    in
+    let before =
+      (* HPWL of nets touching the row's cells *)
+      let nets = Hashtbl.create 64 in
+      Array.iter
+        (fun i ->
+          List.iter
+            (fun nid -> Hashtbl.replace nets nid ())
+            (Netlist.Design.nets_of_instance p.design i))
+        cells;
+      Hashtbl.fold (fun nid () acc -> acc + Hpwl.net p nid) nets 0
+    in
+    let costs = Array.map (fun i -> cell_cost_table p cells i) cells in
+    (* DP: f.(j).(s) = best cost of placing cells 0..j with cell j at site
+       s; g is the running prefix minimum of the previous round *)
+    let neg = -1 in
+    let choice = Array.make_matrix k nsites neg in
+    let prev_min = Array.make nsites max_int in
+    let prev_arg = Array.make nsites neg in
+    (* round 0 *)
+    let cur = Array.make nsites max_int in
+    for s = 0 to nsites - widths.(0) do
+      if costs.(0).(s) < max_int then cur.(s) <- costs.(0).(s)
+    done;
+    let commit_round j cur =
+      (* prefix-min of cur into prev_min/prev_arg *)
+      let best = ref max_int and arg = ref neg in
+      for s = 0 to nsites - 1 do
+        if cur.(s) < !best then begin
+          best := cur.(s);
+          arg := s
+        end;
+        prev_min.(s) <- !best;
+        prev_arg.(s) <- !arg;
+        ignore j
+      done
+    in
+    commit_round 0 cur;
+    for j = 1 to k - 1 do
+      let cur = Array.make nsites max_int in
+      for s = 0 to nsites - widths.(j) do
+        let limit = s - widths.(j - 1) in
+        if limit >= 0 && prev_min.(limit) < max_int && costs.(j).(s) < max_int
+        then begin
+          cur.(s) <- prev_min.(limit) + costs.(j).(s);
+          choice.(j).(s) <- prev_arg.(limit)
+        end
+      done;
+      commit_round j cur
+    done;
+    (* pick the best end position of the last cell and walk back *)
+    let last = k - 1 in
+    let best_s = prev_arg.(nsites - 1) in
+    if best_s < 0 then 0
+    else begin
+      let sites = Array.make k 0 in
+      sites.(last) <- best_s;
+      for j = last downto 1 do
+        sites.(j - 1) <- choice.(j).(sites.(j))
+      done;
+      Array.iteri
+        (fun j i ->
+          Placement.move p i ~site:sites.(j) ~row ~orient:p.orients.(i))
+        cells;
+      let after =
+        let nets = Hashtbl.create 64 in
+        Array.iter
+          (fun i ->
+            List.iter
+              (fun nid -> Hashtbl.replace nets nid ())
+              (Netlist.Design.nets_of_instance p.design i))
+          cells;
+        Hashtbl.fold (fun nid () acc -> acc + Hpwl.net p nid) nets 0
+      in
+      before - after
+    end
+  end
+
+let optimize ?(passes = 2) (p : Placement.t) =
+  let total = ref 0 in
+  for _ = 1 to passes do
+    for row = 0 to p.num_rows - 1 do
+      total := !total + optimize_row p ~row
+    done
+  done;
+  !total

@@ -1,0 +1,19 @@
+(** Classical HPWL-driven ordered single-row detailed placement with free
+    sites, solved optimally per row by dynamic programming (after Kahng,
+    Tucker and Zelikovsky, ASPDAC 1999 — the first related-work category
+    the paper contrasts itself against).
+
+    Cells keep their left-to-right order within the row; the DP
+    distributes the row's free sites to minimise the summed HPWL of all
+    incident nets, with every other row fixed. This is the "traditional
+    wirelength-driven detailed placement" baseline: it reduces HPWL and
+    routed wirelength but is blind to vertical M1 alignment. *)
+
+(** [optimize_row p ~row] optimally re-spaces the cells of [row] (order
+    preserved). Returns the HPWL improvement in DBU (>= 0). *)
+val optimize_row : Placement.t -> row:int -> int
+
+(** [optimize ?passes p] sweeps all rows [passes] times (default 2).
+    Returns the total HPWL improvement in DBU. The placement stays
+    legal. *)
+val optimize : ?passes:int -> Placement.t -> int

@@ -1,0 +1,1 @@
+lib/report/ablation.ml: Array Flow List Netlist Pdk Place Printf Route Table Unix Vm1

@@ -1,0 +1,1 @@
+lib/report/expt.ml: Flow List Netlist Pdk Place Printf Route Table Unix Vm1

@@ -1,0 +1,1 @@
+lib/report/expt.mli: Flow Netlist Pdk

@@ -1,0 +1,1 @@
+lib/report/flow.ml: Array Netlist Pdk Place Route Sta Vm1

@@ -1,0 +1,1 @@
+lib/report/flow.mli: Netlist Pdk Place Route Vm1

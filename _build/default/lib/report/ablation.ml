@@ -1,0 +1,212 @@
+let sample_windows ?(scale = 32) ?(windows = 8) () =
+  let p = Flow.prepare ~scale Netlist.Designs.Aes Pdk.Cell_arch.Closed_m1 in
+  let params = Vm1.Params.default p.Place.Placement.tech in
+  let ws = Vm1.Window.partition p ~tx:0 ~ty:0 ~bw:14 ~bh:2 in
+  let small =
+    Array.to_list ws
+    |> List.filter (fun (w : Vm1.Window.t) ->
+           let k = List.length w.movable in
+           k >= 2 && k <= 4)
+  in
+  let selected = List.filteri (fun i _ -> i < windows) small in
+  (p, params, selected)
+
+let extract p params (w : Vm1.Window.t) =
+  Vm1.Wproblem.extract p params ~site_lo:w.site_lo ~row_lo:w.row_lo ~bw:w.bw
+    ~bh:w.bh ~movable:w.movable ~lx:2 ~ly:1 ~allow_flip:false
+    ~allow_move:true
+
+module Solver_ladder = struct
+  type point = {
+    solver : string;
+    total_objective : float;
+    runtime_s : float;
+    optimal_gap : float;
+  }
+
+  let run ?scale ?windows () =
+    let p, params, ws = sample_windows ?scale ?windows () in
+    let measure name solve =
+      let t0 = Unix.gettimeofday () in
+      let total =
+        List.fold_left
+          (fun acc w ->
+            let prob = extract p params w in
+            solve prob;
+            acc +. Vm1.Wproblem.objective prob)
+          0.0 ws
+      in
+      (name, total, Unix.gettimeofday () -. t0)
+    in
+    let results =
+      [
+        measure "greedy" (fun prob ->
+            ignore (Vm1.Scp_solver.solve ~mode:`Greedy prob));
+        measure "anneal" (fun prob ->
+            ignore (Vm1.Scp_solver.solve ~mode:`Anneal prob));
+        measure "exact" (fun prob ->
+            ignore (Vm1.Scp_solver.solve ~mode:`Exact prob));
+        measure "milp" (fun prob ->
+            ignore (Vm1.Formulate.solve ~node_limit:50_000 prob));
+      ]
+    in
+    let optimum =
+      List.assoc "exact" (List.map (fun (n, v, _) -> (n, v)) results)
+    in
+    List.map
+      (fun (solver, total_objective, runtime_s) ->
+        { solver; total_objective; runtime_s;
+          optimal_gap = total_objective -. optimum })
+      results
+
+  let render points =
+    Table.render
+      ~header:[ "solver"; "objective"; "gap vs optimal"; "runtime(s)" ]
+      ~rows:
+        (List.map
+           (fun pt ->
+             [
+               pt.solver;
+               Table.f1 pt.total_objective;
+               Table.f1 pt.optimal_gap;
+               Printf.sprintf "%.4f" pt.runtime_s;
+             ])
+           points)
+end
+
+module No_dm1 = struct
+  type point = {
+    label : string;
+    dm1 : int;
+    rwl_um : float;
+    via12 : int;
+  }
+
+  let run ?(scale = 16) () =
+    let p = Flow.prepare ~scale Netlist.Designs.Aes Pdk.Cell_arch.Closed_m1 in
+    let params = Vm1.Params.default p.Place.Placement.tech in
+    ignore (Vm1.Vm1_opt.run params p);
+    let with_dm1 = Route.Metrics.summarize (Route.Router.route p) in
+    let without =
+      Route.Metrics.summarize
+        (Route.Router.route
+           ~config:{ Route.Router.default_config with use_dm1 = false }
+           p)
+    in
+    [
+      { label = "router with dM1";
+        dm1 = with_dm1.Route.Metrics.dm1;
+        rwl_um = with_dm1.rwl_um;
+        via12 = with_dm1.via12 };
+      { label = "router without dM1";
+        dm1 = without.Route.Metrics.dm1;
+        rwl_um = without.rwl_um;
+        via12 = without.via12 };
+    ]
+
+  let render points =
+    Table.render
+      ~header:[ "configuration"; "#dM1"; "RWL(um)"; "#via12" ]
+      ~rows:
+        (List.map
+           (fun pt ->
+             [ pt.label; Table.fi pt.dm1; Table.f1 pt.rwl_um; Table.fi pt.via12 ])
+           points)
+end
+
+module Baseline_dp = struct
+  type point = {
+    label : string;
+    hpwl_um : float;
+    rwl_um : float;
+    dm1 : int;
+    via12 : int;
+  }
+
+  let measure label p =
+    let s = Route.Metrics.summarize (Route.Router.route p) in
+    {
+      label;
+      hpwl_um = s.Route.Metrics.hpwl_um;
+      rwl_um = s.rwl_um;
+      dm1 = s.dm1;
+      via12 = s.via12;
+    }
+
+  let run ?(scale = 16) () =
+    let raw =
+      Flow.prepare ~scale ~detailed:false Netlist.Designs.Aes
+        Pdk.Cell_arch.Closed_m1
+    in
+    let dp = Place.Placement.copy raw in
+    ignore (Place.Row_opt.optimize ~passes:2 dp);
+    let vm1 = Place.Placement.copy dp in
+    let params = Vm1.Params.default vm1.Place.Placement.tech in
+    ignore (Vm1.Vm1_opt.run params vm1);
+    [
+      measure "global placement only" raw;
+      measure "+ HPWL row DP (traditional detailed placement)" dp;
+      measure "+ vertical-M1-aware optimisation (this work)" vm1;
+    ]
+
+  let render points =
+    Table.render
+      ~header:[ "placement"; "HPWL(um)"; "RWL(um)"; "#dM1"; "#via12" ]
+      ~rows:
+        (List.map
+           (fun pt ->
+             [
+               pt.label;
+               Table.f1 pt.hpwl_um;
+               Table.f1 pt.rwl_um;
+               Table.fi pt.dm1;
+               Table.fi pt.via12;
+             ])
+           points)
+end
+
+module Congestion_term = struct
+  type point = {
+    label : string;
+    drvs : int;
+    dm1 : int;
+    rwl_um : float;
+  }
+
+  (* Run in the congested regime (3-layer stack) with and without the
+     congestion term in the objective. *)
+  let run ?(scale = 16) ?(utilization = 0.84) () =
+    let router = { Route.Router.default_config with layers = 3 } in
+    let measure label p =
+      let s = Route.Metrics.summarize (Route.Router.route ~config:router p) in
+      { label; drvs = s.Route.Metrics.drvs; dm1 = s.dm1; rwl_um = s.rwl_um }
+    in
+    let base =
+      Flow.prepare ~scale ~utilization Netlist.Designs.Aes
+        Pdk.Cell_arch.Closed_m1
+    in
+    let params = Vm1.Params.default base.Place.Placement.tech in
+    let plain = Place.Placement.copy base in
+    ignore (Vm1.Vm1_opt.run params plain);
+    let aware = Place.Placement.copy base in
+    let cost = Flow.congestion_cost ~router_config:router aware in
+    let config =
+      { Vm1.Vm1_opt.default_config with
+        Vm1.Vm1_opt.candidate_cost = Some cost }
+    in
+    ignore (Vm1.Vm1_opt.run ~config params aware);
+    [
+      measure "initial" base;
+      measure "vm1opt" plain;
+      measure "vm1opt + congestion term" aware;
+    ]
+
+  let render points =
+    Table.render
+      ~header:[ "configuration"; "#DRV"; "#dM1"; "RWL(um)" ]
+      ~rows:
+        (List.map
+           (fun pt ->
+             [ pt.label; Table.fi pt.drvs; Table.fi pt.dm1; Table.f1 pt.rwl_um ])
+           points)
+end

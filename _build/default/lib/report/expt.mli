@@ -1,0 +1,76 @@
+(** Drivers for every experiment in the paper's evaluation section. Each
+    submodule regenerates one figure or table: a [run] function producing
+    structured points and a [render] producing the rows the paper plots.
+    See EXPERIMENTS.md for paper-vs-measured. *)
+
+(** ExptA-1 / Fig. 5: routed wirelength and runtime vs window size and
+    perturbation range (aes, ClosedM1, one DistOpt pair). *)
+module Fig5 : sig
+  type point = {
+    bw_um : float;
+    lx : int;
+    ly : int;
+    rwl_um : float;
+    runtime_s : float;
+  }
+
+  val run : ?scale:int -> unit -> point list
+  val render : point list -> string
+end
+
+(** ExptA-2 / Fig. 6: routed wirelength and #dM1 vs alpha (aes; ClosedM1
+    by default). The paper ran the same sweep on OpenM1 to select
+    alpha = 1000 but omitted the data "due to the page limit" — pass
+    [~arch:Pdk.Cell_arch.Open_m1] to regenerate it. *)
+module Fig6 : sig
+  type point = {
+    alpha : float;
+    rwl_um : float;
+    dm1 : int;
+    alignments : int;
+  }
+
+  val run :
+    ?scale:int -> ?arch:Pdk.Cell_arch.t -> ?alphas:float list -> unit ->
+    point list
+
+  val render : point list -> string
+end
+
+(** ExptA-3 / Fig. 7: routed wirelength and runtime for the five
+    optimisation sequences. *)
+module Fig7 : sig
+  type point = {
+    sequence : int;
+    rwl_um : float;
+    runtime_s : float;
+  }
+
+  val run : ?scale:int -> unit -> point list
+  val render : point list -> string
+end
+
+(** ExptB / Table 2: full before/after comparison for the four designs on
+    both architectures. *)
+module Table2 : sig
+  val run :
+    ?scale:int -> ?archs:Pdk.Cell_arch.t list ->
+    ?designs:Netlist.Designs.name list -> unit -> Flow.comparison list
+
+  val render : Flow.comparison list -> string
+end
+
+(** ExptB-1 / Fig. 8: DRVs before/after optimisation and #dM1 vs
+    utilisation (aes, ClosedM1). *)
+module Fig8 : sig
+  type point = {
+    utilization : float;
+    drvs_init : int;
+    drvs_opt : int;
+    dm1_init : int;
+    dm1_opt : int;
+  }
+
+  val run : ?scale:int -> ?utils:float list -> unit -> point list
+  val render : point list -> string
+end

@@ -1,0 +1,68 @@
+(** The end-to-end flow: generate -> place -> route -> evaluate ->
+    optimise -> re-route -> evaluate. One [eval] carries every column of
+    the paper's Table 2. *)
+
+type eval = {
+  dm1 : int;
+  m1_wl_um : float;
+  via12 : int;
+  hpwl_um : float;
+  rwl_um : float;
+  wns_ns : float;
+  power_mw : float;
+  drvs : int;
+  alignments : int;  (** placement-level potential dM1 pairs *)
+}
+
+(** [prepare ?scale ?utilization ?detailed name arch] generates the named
+    design and produces a legal placement: global placement followed (by
+    default) by HPWL-driven row-DP detailed placement, standing in for
+    the converged commercial flow the paper starts from. Defaults: scale
+    8, utilisation 0.75, detailed true. *)
+val prepare :
+  ?scale:int -> ?utilization:float -> ?detailed:bool ->
+  Netlist.Designs.name -> Pdk.Cell_arch.t -> Place.Placement.t
+
+(** [evaluate ?clock_ps ?router_config params p] routes the placement and
+    computes all metrics. Pass the [clock_ps] captured from the initial
+    evaluation when evaluating the optimised placement, so WNS is
+    comparable. Returns the evaluation and the clock period used. *)
+val evaluate :
+  ?clock_ps:float -> ?router_config:Route.Router.config ->
+  Vm1.Params.t -> Place.Placement.t -> eval * float
+
+type comparison = {
+  design_name : string;
+  instances : int;
+  alpha : float;
+  init : eval;
+  final : eval;
+  opt_runtime_s : float;
+}
+
+(** [run_comparison ?scale ?utilization ?params ?config name arch] is the
+    full Table-2 experiment for one design: evaluate the initial routed
+    placement, run VM1Opt, re-route, evaluate again. *)
+val run_comparison :
+  ?scale:int -> ?utilization:float -> ?params:Vm1.Params.t ->
+  ?config:Vm1.Vm1_opt.config -> Netlist.Designs.name -> Pdk.Cell_arch.t ->
+  comparison
+
+(** [delta_pct a b] is the relative change from [a] to [b] in percent. *)
+val delta_pct : float -> float -> float
+
+(** [timing_driven_params ?boost params p] routes the placement, computes
+    per-net STA criticality and returns [params] with net weights
+    [1 + boost * criticality^2] — the paper's future-work extension (ii)
+    to the objective. *)
+val timing_driven_params :
+  ?boost:float -> Vm1.Params.t -> Place.Placement.t -> Vm1.Params.t
+
+(** [congestion_cost ?weight ?threshold ?router_config p] routes the
+    placement, builds the tile congestion map and returns the
+    per-candidate penalty function for [Vm1.Vm1_opt.config.candidate_cost]
+    — the congestion-aware objective extension. Tiles above [threshold]
+    usage/capacity are taxed proportionally. *)
+val congestion_cost :
+  ?weight:float -> ?threshold:float -> ?router_config:Route.Router.config ->
+  Place.Placement.t -> site:int -> row:int -> float

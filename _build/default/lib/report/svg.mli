@@ -1,0 +1,18 @@
+(** SVG renderings of placements, routed results and congestion maps.
+
+    Scale: 1 SVG user unit per 9 DBU, y flipped so row 0 is at the
+    bottom. Output is self-contained SVG 1.1 text. *)
+
+(** [placement p] draws the die, rows and cell footprints (flip-flops,
+    combinational cells and their pins are distinguishable by colour). *)
+val placement : Place.Placement.t -> string
+
+(** [routed r] overlays the routed wires on the placement, one colour per
+    metal layer, vias as dots. *)
+val routed : Route.Router.result -> string
+
+(** [congestion r] draws a heatmap of wire-edge usage (white = idle, red
+    = overflowed). *)
+val congestion : Route.Router.result -> string
+
+val write_file : string -> string -> unit

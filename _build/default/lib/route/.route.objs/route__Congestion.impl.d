@@ -1,0 +1,1 @@
+lib/route/congestion.ml: Array Format Grid Router

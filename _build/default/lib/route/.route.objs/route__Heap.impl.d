@@ -1,0 +1,1 @@
+lib/route/heap.ml: Array

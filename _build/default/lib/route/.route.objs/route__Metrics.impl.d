@@ -1,0 +1,1 @@
+lib/route/metrics.ml: Array Format Grid List Netlist Place Router

@@ -1,0 +1,1 @@
+lib/route/metrics.mli: Format Router

@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Geom Grid Heap Int List Netlist Pdk Place

@@ -1,0 +1,26 @@
+(** Tile-based congestion map extracted from a routed result.
+
+    The die is divided into square tiles of [tile_tracks] tracks; each
+    tile records the ratio of wire-edge usage to non-blocked capacity.
+    The map feeds the congestion-aware placement objective (the paper's
+    future-work direction (ii)): candidates in hot tiles are penalised. *)
+
+type t = {
+  tile_tracks : int;
+  pitch : int;   (** track pitch, DBU *)
+  tx : int;      (** tiles in x *)
+  ty : int;      (** tiles in y *)
+  ratio : float array;  (** row-major usage/capacity per tile *)
+}
+
+(** [of_result ?tile_tracks r] builds the map (default 8-track tiles). *)
+val of_result : ?tile_tracks:int -> Router.result -> t
+
+(** [at map ~x ~y] is the congestion ratio of the tile containing the DBU
+    coordinate (clamped to the die). *)
+val at : t -> x:int -> y:int -> float
+
+(** [overflow_ratio map] is the fraction of tiles with ratio > 1. *)
+val overflow_ratio : t -> float
+
+val pp : Format.formatter -> t -> unit

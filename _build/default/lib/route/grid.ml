@@ -1,0 +1,206 @@
+type t = {
+  placement : Place.Placement.t;
+  nx : int;
+  ny : int;
+  nl : int;
+  pitch : int;
+  wire_owner : int array;
+  wire_usage : int array;
+  via_usage : int array;
+}
+
+let free = -1
+let blocked = -2
+let num_layers = 6
+
+let node g ~layer ~i ~j = (((layer - 1) * g.ny) + j) * g.nx + i
+let i_of_node g n = n mod g.nx
+let j_of_node g n = n / g.nx mod g.ny
+let layer_of_node g n = (n / (g.nx * g.ny)) + 1
+let node_count g = g.nl * g.nx * g.ny
+let track_x g i = (i * g.pitch) + (g.pitch / 2)
+let track_y g j = (j * g.pitch) + (g.pitch / 2)
+
+let clamp lo hi v = max lo (min hi v)
+
+let x_to_track g x = clamp 0 (g.nx - 1) (x / g.pitch)
+let y_to_track g y = clamp 0 (g.ny - 1) (y / g.pitch)
+let is_vertical_layer l = l land 1 = 1
+
+let has_wire_edge g n =
+  let l = layer_of_node g n in
+  if is_vertical_layer l then j_of_node g n < g.ny - 1
+  else i_of_node g n < g.nx - 1
+
+let wire_dest g n =
+  let l = layer_of_node g n in
+  if is_vertical_layer l then n + g.nx else n + 1
+
+let has_via_edge g n = layer_of_node g n < g.nl
+let via_dest g n = n + (g.nx * g.ny)
+
+(* A wire edge is contaminated by a pin shape when the shape strictly
+   overlaps the edge's span: another net running through would short with
+   the pin metal. *)
+let install_m1_shape g ~net (r : Geom.Rect.t) =
+  let i_lo = max 0 ((r.lx - (g.pitch / 2) + g.pitch - 1) / g.pitch) in
+  let rec find_tracks i acc =
+    if i >= g.nx || track_x g i > r.hx then List.rev acc
+    else find_tracks (i + 1) (i :: acc)
+  in
+  let tracks = find_tracks (max 0 i_lo) [] in
+  List.iter
+    (fun i ->
+      for j = max 0 (y_to_track g r.ly - 1) to min (g.ny - 2) (y_to_track g r.hy + 1) do
+        let ya = track_y g j and yb = track_y g (j + 1) in
+        if max ya r.ly < min yb r.hy then begin
+          let n = node g ~layer:1 ~i ~j in
+          let owner = g.wire_owner.(n) in
+          if owner = free then g.wire_owner.(n) <- net
+          else if owner <> net then g.wire_owner.(n) <- blocked
+        end
+      done)
+    tracks
+
+(* Conventional 12-track: horizontal M1 power rails at every row boundary
+   block the M1 edges crossing them. *)
+let install_m1_rails g =
+  let p = g.placement in
+  let rh = p.Place.Placement.tech.Pdk.Tech.row_height in
+  for r = 0 to p.Place.Placement.num_rows do
+    let y = r * rh in
+    for i = 0 to g.nx - 1 do
+      for j = max 0 (y_to_track g y - 2) to min (g.ny - 2) (y_to_track g y + 1) do
+        let ya = track_y g j and yb = track_y g (j + 1) in
+        if ya < y && y <= yb then
+          g.wire_owner.(node g ~layer:1 ~i ~j) <- blocked
+      done
+    done
+  done
+
+(* 7.5-track ClosedM1/OpenM1 cells draw power from M2 rails running along
+   every placement-row boundary (the paper's Fig. 1b); the M2 track nearest
+   each boundary is lost to routing. *)
+let install_m2_rails g =
+  let p = g.placement in
+  let rh = p.Place.Placement.tech.Pdk.Tech.row_height in
+  for r = 0 to p.Place.Placement.num_rows do
+    let y = r * rh in
+    let j = max 0 (min (g.ny - 1) ((y - (g.pitch / 2) + (g.pitch / 2)) / g.pitch)) in
+    (* pick the track whose centre is nearest the boundary *)
+    let j =
+      if j + 1 < g.ny && abs (track_y g (j + 1) - y) < abs (track_y g j - y)
+      then j + 1
+      else j
+    in
+    for i = 0 to g.nx - 2 do
+      g.wire_owner.(node g ~layer:2 ~i ~j) <- blocked
+    done
+  done
+
+(* Power-distribution stripes on the upper layers: every [period]-th
+   vertical M5 track and horizontal M6 track carries power straps. *)
+let install_pdn_stripes g =
+  let period = 8 in
+  if g.nl >= 5 then
+    for i = 0 to g.nx - 1 do
+      if i mod period = 0 then
+        for j = 0 to g.ny - 2 do
+          g.wire_owner.(node g ~layer:5 ~i ~j) <- blocked
+        done
+    done;
+  if g.nl >= 6 then
+    for j = 0 to g.ny - 1 do
+      if j mod period = 0 then
+        for i = 0 to g.nx - 2 do
+          g.wire_owner.(node g ~layer:6 ~i ~j) <- blocked
+        done
+    done
+
+let of_placement ?(layers = num_layers) ?(pdn_stripes = true)
+    (p : Place.Placement.t) =
+  if layers < 2 || layers > num_layers then
+    invalid_arg "Grid.of_placement: layers must be in 2..6";
+  let tech = p.Place.Placement.tech in
+  let pitch = tech.Pdk.Tech.m2_pitch in
+  let nx = max 2 (Geom.Rect.width p.die / pitch) in
+  let ny = max 2 (Geom.Rect.height p.die / pitch) in
+  let size = layers * nx * ny in
+  let g =
+    {
+      placement = p;
+      nx;
+      ny;
+      nl = layers;
+      pitch;
+      wire_owner = Array.make size free;
+      wire_usage = Array.make size 0;
+      via_usage = Array.make size 0;
+    }
+  in
+  if tech.Pdk.Tech.arch = Pdk.Cell_arch.Conventional12 then install_m1_rails g
+  else install_m2_rails g;
+  if pdn_stripes then install_pdn_stripes g;
+  let design = p.Place.Placement.design in
+  Array.iteri
+    (fun inst_id (inst : Netlist.Design.instance) ->
+      List.iteri
+        (fun k (_ : Pdk.Stdcell.pin) ->
+          let pr = { Netlist.Design.inst = inst_id; pin = k } in
+          let net = inst.pin_nets.(k) in
+          let shapes = Place.Placement.pin_shapes p pr in
+          List.iter
+            (fun (layer, r) ->
+              if Pdk.Layer.equal layer Pdk.Layer.M1 then
+                install_m1_shape g ~net:(if net >= 0 then net else blocked) r)
+            shapes)
+        inst.master.Pdk.Stdcell.pins)
+    design.Netlist.Design.instances;
+  g
+
+let pin_access g (pr : Netlist.Design.pin_ref) =
+  let p = g.placement in
+  let shapes = Place.Placement.pin_shapes p pr in
+  let nodes = ref [] in
+  let add n = if not (List.mem n !nodes) then nodes := n :: !nodes in
+  List.iter
+    (fun (layer, (r : Geom.Rect.t)) ->
+      match layer with
+      | Pdk.Layer.M1 ->
+        for i = 0 to g.nx - 1 do
+          let x = track_x g i in
+          if r.lx <= x && x <= r.hx then
+            for j = 0 to g.ny - 1 do
+              let y = track_y g j in
+              if r.ly <= y && y <= r.hy then add (node g ~layer:1 ~i ~j)
+            done
+        done
+      | Pdk.Layer.M0 ->
+        let j = y_to_track g ((r.ly + r.hy) / 2) in
+        for i = 0 to g.nx - 1 do
+          let x = track_x g i in
+          if r.lx <= x && x <= r.hx then add (node g ~layer:1 ~i ~j)
+        done
+      | Pdk.Layer.M2 | Pdk.Layer.M3 | Pdk.Layer.M4 -> ())
+    shapes;
+  if !nodes = [] then begin
+    (* degenerate pin: fall back to the node nearest the pin centre *)
+    let c = Place.Placement.pin_pos p pr in
+    add
+      (node g ~layer:1 ~i:(x_to_track g c.Geom.Point.x)
+         ~j:(y_to_track g c.Geom.Point.y))
+  end;
+  !nodes
+
+let overflow_count g =
+  let count = ref 0 in
+  let size = node_count g in
+  for n = 0 to size - 1 do
+    if has_wire_edge g n && g.wire_usage.(n) > 1 then incr count;
+    if has_via_edge g n && g.via_usage.(n) > 1 then incr count
+  done;
+  !count
+
+let clear_usage g =
+  Array.fill g.wire_usage 0 (Array.length g.wire_usage) 0;
+  Array.fill g.via_usage 0 (Array.length g.via_usage) 0

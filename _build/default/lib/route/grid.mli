@@ -1,0 +1,100 @@
+(** Track-level routing grid over layers M1..M6.
+
+    Tracks sit at the real track pitch (vertical M1/M3 tracks at the
+    placement-site pitch, horizontal M2/M4 tracks at the M2 pitch), so one
+    wire per track edge is the physical capacity — an edge used twice is a
+    routing DRV, which is how the congestion experiments count violations.
+
+    Each layer only has edges along its preferred direction (odd layers
+    M1/M3/M5 vertical, even layers M2/M4/M6 horizontal); adjacent layers
+    are connected by via edges at every track crossing.
+
+    Pin geometry from the placement becomes blockage-with-owner: M1 edges
+    covered by a ClosedM1 (or conventional) pin are reserved for that pin's
+    net — other nets cannot pass through, but the owner net can. The
+    conventional 12-track architecture additionally blocks every M1 edge
+    that crosses a row boundary (the horizontal M1 power rails), which is
+    exactly why it cannot route inter-row M1. *)
+
+type t = {
+  placement : Place.Placement.t;
+  nx : int;                (** vertical track count (x direction) *)
+  ny : int;                (** horizontal track count (y direction) *)
+  nl : int;                (** number of metal layers in this grid *)
+  pitch : int;             (** track pitch in DBU, both directions *)
+  wire_owner : int array;  (** per (layer,node): [free] / [blocked] / net id *)
+  wire_usage : int array;  (** routes using the wire edge *)
+  via_usage : int array;   (** routes using the via edge above the node *)
+}
+
+(** wire_owner value: unreserved. *)
+val free : int
+
+(** wire_owner value: hard blockage. *)
+val blocked : int
+
+(** 6: M1..M6, alternating vertical/horizontal preferred directions. *)
+val num_layers : int
+
+(** [node g ~layer ~i ~j] is the dense node index. [layer] is the metal
+    index, 1..6. *)
+val node : t -> layer:int -> i:int -> j:int -> int
+
+val layer_of_node : t -> int -> int
+val i_of_node : t -> int -> int
+val j_of_node : t -> int -> int
+
+(** [node_count g] is the total number of nodes (= size of the edge
+    arrays; the wire edge at a node leads to the next node in the layer's
+    preferred direction, the via edge leads to the same (i,j) one layer
+    up). *)
+val node_count : t -> int
+
+(** [track_x g i] / [track_y g j] are the chip coordinates of track
+    centres. *)
+val track_x : t -> int -> int
+
+val track_y : t -> int -> int
+
+(** [x_to_track g x] is the nearest vertical-track index, clamped to the
+    grid. *)
+val x_to_track : t -> int -> int
+
+val y_to_track : t -> int -> int
+
+(** [is_vertical_layer l] is true for the odd (vertical) layers. *)
+val is_vertical_layer : int -> bool
+
+(** [has_wire_edge g n] is true when node [n] has a successor along its
+    layer's preferred direction. *)
+val has_wire_edge : t -> int -> bool
+
+(** [wire_dest g n] is that successor node. *)
+val wire_dest : t -> int -> int
+
+(** [has_via_edge g n] is true when node [n] is on M1..M3 (via up). *)
+val has_via_edge : t -> int -> bool
+
+(** [via_dest g n] is the node one layer up at the same (i,j). *)
+val via_dest : t -> int -> int
+
+(** [of_placement ?layers ?pdn_stripes p] builds the grid and installs
+    blockage: per-pin M1 blockage with net ownership; M1 power rails for
+    the conventional architecture or M2 power rails along row boundaries
+    for the 7.5-track architectures; and, when [pdn_stripes] (default
+    true), periodic M5/M6 power straps. [layers] (2..6, default 6) limits
+    the routable stack. Rebuild after the placement changes. *)
+val of_placement : ?layers:int -> ?pdn_stripes:bool -> Place.Placement.t -> t
+
+(** [pin_access g pr] is the list of grid nodes at which a route may
+    terminate for the given pin: on-M1 nodes along the pin segment for
+    ClosedM1/conventional pins, on-M1 via-landing nodes over the M0
+    segment for OpenM1 pins. Never empty for pins inside the die. *)
+val pin_access : t -> Netlist.Design.pin_ref -> int list
+
+(** [overflow_count g] is the number of wire and via edges whose usage
+    exceeds capacity 1 — the DRV proxy. *)
+val overflow_count : t -> int
+
+(** [clear_usage g] zeroes all usage counters. *)
+val clear_usage : t -> unit

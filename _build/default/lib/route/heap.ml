@@ -1,0 +1,70 @@
+type t = {
+  mutable prios : int array;
+  mutable values : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 256) () =
+  { prios = Array.make capacity 0; values = Array.make capacity 0; len = 0 }
+
+let is_empty h = h.len = 0
+let size h = h.len
+
+let grow h =
+  let cap = Array.length h.prios in
+  let prios = Array.make (cap * 2) 0 and values = Array.make (cap * 2) 0 in
+  Array.blit h.prios 0 prios 0 h.len;
+  Array.blit h.values 0 values 0 h.len;
+  h.prios <- prios;
+  h.values <- values
+
+let push h ~prio ~value =
+  if h.len = Array.length h.prios then grow h;
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  h.prios.(!i) <- prio;
+  h.values.(!i) <- value;
+  (* sift up *)
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if h.prios.(parent) > h.prios.(!i) then begin
+      let tp = h.prios.(parent) and tv = h.values.(parent) in
+      h.prios.(parent) <- h.prios.(!i);
+      h.values.(parent) <- h.values.(!i);
+      h.prios.(!i) <- tp;
+      h.values.(!i) <- tv;
+      i := parent
+    end
+    else continue_ := false
+  done
+
+let pop h =
+  if h.len = 0 then invalid_arg "Heap.pop: empty";
+  let prio = h.prios.(0) and value = h.values.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.prios.(0) <- h.prios.(h.len);
+    h.values.(0) <- h.values.(h.len);
+    (* sift down *)
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && h.prios.(l) < h.prios.(!smallest) then smallest := l;
+      if r < h.len && h.prios.(r) < h.prios.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tp = h.prios.(!smallest) and tv = h.values.(!smallest) in
+        h.prios.(!smallest) <- h.prios.(!i);
+        h.values.(!smallest) <- h.values.(!i);
+        h.prios.(!i) <- tp;
+        h.values.(!i) <- tv;
+        i := !smallest
+      end
+      else continue_ := false
+    done
+  end;
+  (prio, value)
+
+let clear h = h.len <- 0

@@ -1,0 +1,136 @@
+type summary = {
+  dm1 : int;
+  m1_wl_um : float;
+  via12 : int;
+  hpwl_um : float;
+  rwl_um : float;
+  drvs : int;
+  failed : int;
+}
+
+let subnet_is_dm1 (r : Router.result) (sn : Router.subnet) =
+  let g = r.grid in
+  sn.routed && sn.path <> []
+  &&
+  let column = ref (-1) in
+  List.for_all
+    (fun e ->
+      match e with
+      | Router.Via _ -> false
+      | Router.Wire n ->
+        Grid.layer_of_node g n = 1
+        &&
+        let i = Grid.i_of_node g n in
+        if !column < 0 then begin
+          column := i;
+          true
+        end
+        else !column = i)
+    sn.path
+
+let dm1_count r =
+  Array.fold_left
+    (fun acc (nr : Router.net_route) ->
+      acc
+      + Array.fold_left
+          (fun a sn -> if subnet_is_dm1 r sn then a + 1 else a)
+          0 nr.subnets)
+    0 r.routes
+
+let wire_stats (r : Router.result) =
+  let g = r.grid in
+  let total = ref 0 and m1 = ref 0 and via12 = ref 0 in
+  Array.iter
+    (fun (nr : Router.net_route) ->
+      Array.iter
+        (fun (sn : Router.subnet) ->
+          List.iter
+            (fun e ->
+              match e with
+              | Router.Wire n ->
+                total := !total + g.Grid.pitch;
+                if Grid.layer_of_node g n = 1 then m1 := !m1 + g.Grid.pitch
+              | Router.Via n ->
+                if Grid.layer_of_node g n = 1 then incr via12)
+            sn.path)
+        nr.subnets)
+    r.routes;
+  (!total, !m1, !via12)
+
+let summarize (r : Router.result) =
+  let total, m1, via12 = wire_stats r in
+  let overflow = Grid.overflow_count r.grid in
+  {
+    dm1 = dm1_count r;
+    m1_wl_um = float_of_int m1 /. 1000.0;
+    via12;
+    hpwl_um = Place.Hpwl.total_um r.grid.Grid.placement;
+    rwl_um = float_of_int total /. 1000.0;
+    drvs = overflow + r.failed_subnets;
+    failed = r.failed_subnets;
+  }
+
+(* wirelength per metal layer, micrometres; index 0 unused, 1..nl are
+   M1..M6 *)
+let per_layer_wl_um (r : Router.result) =
+  let g = r.grid in
+  let wl = Array.make (Grid.num_layers + 1) 0 in
+  Array.iter
+    (fun (nr : Router.net_route) ->
+      Array.iter
+        (fun (sn : Router.subnet) ->
+          List.iter
+            (fun e ->
+              match e with
+              | Router.Wire n ->
+                let l = Grid.layer_of_node g n in
+                wl.(l) <- wl.(l) + g.Grid.pitch
+              | Router.Via _ -> ())
+            sn.path)
+        nr.subnets)
+    r.routes;
+  Array.map (fun v -> float_of_int v /. 1000.0) wl
+
+(* vias per layer boundary; index l counts vias between Ml and M(l+1) *)
+let vias_per_boundary (r : Router.result) =
+  let g = r.grid in
+  let vias = Array.make Grid.num_layers 0 in
+  Array.iter
+    (fun (nr : Router.net_route) ->
+      Array.iter
+        (fun (sn : Router.subnet) ->
+          List.iter
+            (fun e ->
+              match e with
+              | Router.Via n ->
+                let l = Grid.layer_of_node g n in
+                vias.(l) <- vias.(l) + 1
+              | Router.Wire _ -> ())
+            sn.path)
+        nr.subnets)
+    r.routes;
+  vias
+
+let net_lengths (r : Router.result) =
+  let g = r.grid in
+  let design = g.Grid.placement.Place.Placement.design in
+  let lengths = Array.make (Netlist.Design.num_nets design) 0 in
+  Array.iter
+    (fun (nr : Router.net_route) ->
+      Array.iter
+        (fun (sn : Router.subnet) ->
+          List.iter
+            (fun e ->
+              match e with
+              | Router.Wire _ ->
+                lengths.(nr.net_id) <- lengths.(nr.net_id) + g.Grid.pitch
+              | Router.Via _ -> ())
+            sn.path)
+        nr.subnets)
+    r.routes;
+  lengths
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "dm1=%d m1wl=%.1fum via12=%d hpwl=%.1fum rwl=%.1fum drvs=%d failed=%d"
+    s.dm1 s.m1_wl_um s.via12 s.hpwl_um s.rwl_um s.drvs s.failed

@@ -1,0 +1,36 @@
+(** Post-routing metrics: the columns of the paper's Table 2 and the DRV
+    counts of Figure 8. *)
+
+type summary = {
+  dm1 : int;          (** direct vertical M1 routes (single-segment M1) *)
+  m1_wl_um : float;   (** total M1 wirelength, micrometres *)
+  via12 : int;        (** vias between M1 and M2 *)
+  hpwl_um : float;    (** placement HPWL, micrometres *)
+  rwl_um : float;     (** total routed wirelength, micrometres *)
+  drvs : int;         (** overflowed edges + unrouted subnets *)
+  failed : int;       (** unrouted subnets *)
+}
+
+(** [subnet_is_dm1 r sn] is true when the subnet is routed as one vertical
+    M1 segment (all wire edges on M1 in a single column, no vias to M2). *)
+val subnet_is_dm1 : Router.result -> Router.subnet -> bool
+
+val dm1_count : Router.result -> int
+
+(** [summarize r] computes all metrics from the routed result. *)
+val summarize : Router.result -> summary
+
+(** [per_layer_wl_um r] is the wirelength per metal layer in micrometres;
+    index 0 is unused, indices 1..6 are M1..M6. *)
+val per_layer_wl_um : Router.result -> float array
+
+(** [vias_per_boundary r] counts vias per layer boundary; index l is the
+    number of vias between Ml and M(l+1) (so index 1 equals the via12
+    column of Table 2). *)
+val vias_per_boundary : Router.result -> int array
+
+(** [net_lengths r] is the routed wirelength in DBU per net id (0 for
+    unrouted or non-signal nets); used by the timing and power models. *)
+val net_lengths : Router.result -> int array
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,418 @@
+type config = {
+  via_cost : int;
+  overflow_penalty : int;
+  ripup_passes : int;
+  search_margin : int;
+  use_dm1 : bool;
+  astar_weight_pct : int;
+  m1_surcharge : int;
+  layers : int;
+  pdn_stripes : bool;
+}
+
+let default_config =
+  {
+    via_cost = 72;
+    overflow_penalty = 600;
+    ripup_passes = 2;
+    search_margin = 16;
+    use_dm1 = true;
+    astar_weight_pct = 125;
+    m1_surcharge = 6;
+    layers = 6;
+    pdn_stripes = true;
+  }
+
+type edge =
+  | Wire of int
+  | Via of int
+
+type subnet = {
+  src : Netlist.Design.pin_ref;
+  dst : Netlist.Design.pin_ref;
+  mutable path : edge list;
+  mutable routed : bool;
+}
+
+type net_route = {
+  net_id : int;
+  subnets : subnet array;
+}
+
+type result = {
+  grid : Grid.t;
+  routes : net_route array;
+  config : config;
+  mutable failed_subnets : int;
+}
+
+(* --- search context with generation-stamped per-node state --- *)
+
+type ctx = {
+  g : Grid.t;
+  cfg : config;
+  mutable penalty : int;  (** congestion penalty, escalated per RRR pass *)
+  dist : int array;
+  gen : int array;
+  parent : int array;
+  is_target : int array;  (* generation-stamped target marks *)
+  tgen : int array;
+  heap : Heap.t;
+  mutable generation : int;
+  row_tracks : int;       (* horizontal tracks per placement row *)
+}
+
+let make_ctx g cfg =
+  let n = Grid.node_count g in
+  let rh = g.Grid.placement.Place.Placement.tech.Pdk.Tech.row_height in
+  {
+    g;
+    cfg;
+    penalty = cfg.overflow_penalty;
+    dist = Array.make n 0;
+    gen = Array.make n 0;
+    parent = Array.make n (-1);
+    is_target = Array.make n 0;
+    tgen = Array.make n 0;
+    heap = Heap.create ~capacity:4096 ();
+    generation = 0;
+    row_tracks = max 1 (rh / g.Grid.pitch);
+  }
+
+(* When dM1 is disabled, forbid M1 wire edges that cross a placement-row
+   boundary, confining M1 to intra-row jogs. *)
+let m1_edge_allowed ctx n =
+  ctx.cfg.use_dm1
+  ||
+  let g = ctx.g in
+  let j = Grid.j_of_node g n in
+  let y0 = Grid.track_y g j and y1 = Grid.track_y g (j + 1) in
+  let rh = g.Grid.placement.Place.Placement.tech.Pdk.Tech.row_height in
+  y0 / rh = (y1 - 1) / rh && y1 mod rh <> 0
+
+let wire_cost ctx ~net n =
+  let g = ctx.g in
+  let owner = g.Grid.wire_owner.(n) in
+  if owner = Grid.blocked || (owner >= 0 && owner <> net) then None
+  else if Grid.layer_of_node g n = 1 && not (m1_edge_allowed ctx n) then None
+  else begin
+    let usage = g.Grid.wire_usage.(n) in
+    let surcharge =
+      if Grid.layer_of_node g n = 1 then ctx.cfg.m1_surcharge else 0
+    in
+    Some (g.Grid.pitch + surcharge + (usage * ctx.penalty))
+  end
+
+let via_cost ctx n =
+  let usage = ctx.g.Grid.via_usage.(n) in
+  Some (ctx.cfg.via_cost + (usage * ctx.penalty))
+
+(* A*: multi-source (the net's current tree plus the source pin's access
+   nodes) to the target pin's access nodes, within a window around the
+   subnet bounding box. *)
+let search ctx ~net ~sources ~targets =
+  let g = ctx.g in
+  ctx.generation <- ctx.generation + 1;
+  let gen = ctx.generation in
+  Heap.clear ctx.heap;
+  (* window *)
+  let imin = ref max_int and imax = ref min_int in
+  let jmin = ref max_int and jmax = ref min_int in
+  let widen n =
+    let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
+    if i < !imin then imin := i;
+    if i > !imax then imax := i;
+    if j < !jmin then jmin := j;
+    if j > !jmax then jmax := j
+  in
+  List.iter widen sources;
+  List.iter widen targets;
+  let ti_min = ref max_int and ti_max = ref min_int in
+  let tj_min = ref max_int and tj_max = ref min_int in
+  List.iter
+    (fun n ->
+      let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
+      if i < !ti_min then ti_min := i;
+      if i > !ti_max then ti_max := i;
+      if j < !tj_min then tj_min := j;
+      if j > !tj_max then tj_max := j;
+      ctx.is_target.(n) <- 1;
+      ctx.tgen.(n) <- gen)
+    targets;
+  let run margin =
+    let ilo = max 0 (!imin - margin) and ihi = min (g.Grid.nx - 1) (!imax + margin) in
+    let jlo = max 0 (!jmin - margin) and jhi = min (g.Grid.ny - 1) (!jmax + margin) in
+    let in_window n =
+      let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
+      i >= ilo && i <= ihi && j >= jlo && j <= jhi
+    in
+    let h n =
+      let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
+      let dx = max 0 (max (!ti_min - i) (i - !ti_max)) in
+      let dy = max 0 (max (!tj_min - j) (j - !tj_max)) in
+      (* weighted A*: inflating the admissible Manhattan bound trades a
+         bounded amount of path optimality for much smaller search trees *)
+      (dx + dy) * g.Grid.pitch * ctx.cfg.astar_weight_pct / 100
+    in
+    Heap.clear ctx.heap;
+    ctx.generation <- ctx.generation + 1;
+    let gen2 = ctx.generation in
+    let relax ~from n cost =
+      let nd = ctx.dist.(from) + cost in
+      if ctx.gen.(n) <> gen2 || ctx.dist.(n) > nd then begin
+        ctx.gen.(n) <- gen2;
+        ctx.dist.(n) <- nd;
+        ctx.parent.(n) <- from;
+        Heap.push ctx.heap ~prio:(nd + h n) ~value:n
+      end
+    in
+    List.iter
+      (fun n ->
+        ctx.gen.(n) <- gen2;
+        ctx.dist.(n) <- 0;
+        ctx.parent.(n) <- -1;
+        Heap.push ctx.heap ~prio:(h n) ~value:n)
+      sources;
+    let found = ref (-1) in
+    while !found < 0 && not (Heap.is_empty ctx.heap) do
+      let d, u = Heap.pop ctx.heap in
+      if ctx.gen.(u) = gen2 && d - h u <= ctx.dist.(u) then begin
+        if ctx.tgen.(u) = gen && ctx.is_target.(u) = 1 then found := u
+        else begin
+          (* forward wire *)
+          if Grid.has_wire_edge g u then begin
+            let v = Grid.wire_dest g u in
+            if in_window v then
+              match wire_cost ctx ~net u with
+              | Some c -> relax ~from:u v c
+              | None -> ()
+          end;
+          (* backward wire *)
+          let l = Grid.layer_of_node g u in
+          let back =
+            if Grid.is_vertical_layer l then
+              if Grid.j_of_node g u > 0 then Some (u - g.Grid.nx) else None
+            else if Grid.i_of_node g u > 0 then Some (u - 1)
+            else None
+          in
+          (match back with
+          | Some v when in_window v -> begin
+            match wire_cost ctx ~net v with
+            | Some c -> relax ~from:u v c
+            | None -> ()
+          end
+          | Some _ | None -> ());
+          (* via up *)
+          if Grid.has_via_edge g u then begin
+            let v = Grid.via_dest g u in
+            match via_cost ctx u with
+            | Some c -> relax ~from:u v c
+            | None -> ()
+          end;
+          (* via down *)
+          if l > 1 then begin
+            let v = u - (g.Grid.nx * g.Grid.ny) in
+            match via_cost ctx v with
+            | Some c -> relax ~from:u v c
+            | None -> ()
+          end
+        end
+      end
+    done;
+    !found
+  in
+  let rec attempt margins =
+    match margins with
+    | [] -> None
+    | m :: rest -> begin
+      match run m with
+      | -1 -> attempt rest
+      | t -> Some t
+    end
+  in
+  let whole = max g.Grid.nx g.Grid.ny in
+  attempt [ ctx.cfg.search_margin; ctx.cfg.search_margin * 4; whole ]
+
+(* Reconstruct the edge list from the parent chain ending at [t]. *)
+let reconstruct ctx t =
+  let g = ctx.g in
+  let rec go node acc =
+    let p = ctx.parent.(node) in
+    if p < 0 then acc
+    else begin
+      let e =
+        if p + (g.Grid.nx * g.Grid.ny) = node then Via p
+        else if node + (g.Grid.nx * g.Grid.ny) = p then Via node
+        else if Grid.has_wire_edge g p && Grid.wire_dest g p = node then Wire p
+        else Wire node
+      in
+      go p (e :: acc)
+    end
+  in
+  go t []
+
+let commit g path =
+  List.iter
+    (function
+      | Wire n -> g.Grid.wire_usage.(n) <- g.Grid.wire_usage.(n) + 1
+      | Via n -> g.Grid.via_usage.(n) <- g.Grid.via_usage.(n) + 1)
+    path
+
+let uncommit g path =
+  List.iter
+    (function
+      | Wire n -> g.Grid.wire_usage.(n) <- g.Grid.wire_usage.(n) - 1
+      | Via n -> g.Grid.via_usage.(n) <- g.Grid.via_usage.(n) - 1)
+    path
+
+(* Nodes touched by a path (for growing the net's source set). *)
+let path_nodes g path =
+  List.concat_map
+    (function
+      | Wire n -> [ n; Grid.wire_dest g n ]
+      | Via n -> [ n; Grid.via_dest g n ])
+    path
+
+(* Manhattan-MST decomposition of a net's pins (Prim). *)
+let decompose (p : Place.Placement.t) (net : Netlist.Design.net) =
+  let pins = net.pins in
+  let k = Array.length pins in
+  if k < 2 then [||]
+  else begin
+    let pos = Array.map (Place.Placement.pin_pos p) pins in
+    let in_tree = Array.make k false in
+    let best_d = Array.make k max_int in
+    let best_src = Array.make k 0 in
+    in_tree.(0) <- true;
+    for v = 1 to k - 1 do
+      best_d.(v) <- Geom.Point.manhattan pos.(0) pos.(v)
+    done;
+    let edges = ref [] in
+    for _ = 1 to k - 1 do
+      let u = ref (-1) in
+      for v = 0 to k - 1 do
+        if (not in_tree.(v)) && (!u < 0 || best_d.(v) < best_d.(!u)) then u := v
+      done;
+      let v = !u in
+      in_tree.(v) <- true;
+      edges := (best_src.(v), v) :: !edges;
+      for w = 0 to k - 1 do
+        if not in_tree.(w) then begin
+          let d = Geom.Point.manhattan pos.(v) pos.(w) in
+          if d < best_d.(w) then begin
+            best_d.(w) <- d;
+            best_src.(w) <- v
+          end
+        end
+      done
+    done;
+    Array.of_list
+      (List.rev_map
+         (fun (a, b) ->
+           { src = pins.(a); dst = pins.(b); path = []; routed = false })
+         !edges)
+  end
+
+let route_subnet ctx ~net ~tree_nodes subnet =
+  let g = ctx.g in
+  let src_access = Grid.pin_access g subnet.src in
+  let dst_access = Grid.pin_access g subnet.dst in
+  let sources = List.rev_append !tree_nodes src_access in
+  (* trivial case: a source IS a target *)
+  let direct =
+    List.exists (fun s -> List.mem s dst_access) sources
+  in
+  if direct then begin
+    subnet.path <- [];
+    subnet.routed <- true;
+    tree_nodes := List.rev_append dst_access !tree_nodes;
+    true
+  end
+  else
+    match search ctx ~net ~sources ~targets:dst_access with
+    | Some t ->
+      let path = reconstruct ctx t in
+      commit g path;
+      subnet.path <- path;
+      subnet.routed <- true;
+      tree_nodes :=
+        List.rev_append (path_nodes g path)
+          (List.rev_append dst_access !tree_nodes);
+      true
+    | None ->
+      subnet.path <- [];
+      subnet.routed <- false;
+      false
+
+let path_overflows g path =
+  List.exists
+    (function
+      | Wire n -> g.Grid.wire_usage.(n) > 1
+      | Via n -> g.Grid.via_usage.(n) > 1)
+    path
+
+let route ?(config = default_config) (p : Place.Placement.t) =
+  let g =
+    Grid.of_placement ~layers:config.layers ~pdn_stripes:config.pdn_stripes p
+  in
+  let ctx = make_ctx g config in
+  let design = p.Place.Placement.design in
+  let signal = Netlist.Design.signal_nets design in
+  (* shorter nets first: they have fewer detour options *)
+  let order =
+    List.sort
+      (fun a b -> Int.compare (Place.Hpwl.net p a) (Place.Hpwl.net p b))
+      signal
+  in
+  let routes =
+    List.map
+      (fun nid -> { net_id = nid; subnets = decompose p design.nets.(nid) })
+      order
+  in
+  let failed = ref 0 in
+  let route_net (nr : net_route) =
+    let tree_nodes = ref [] in
+    Array.iter
+      (fun sn ->
+        if not (route_subnet ctx ~net:nr.net_id ~tree_nodes sn) then
+          incr failed)
+      nr.subnets
+  in
+  List.iter route_net routes;
+  (* rip-up and reroute nets crossing overflowed edges, with the
+     congestion penalty escalating each pass *)
+  for pass = 1 to config.ripup_passes do
+    ctx.penalty <- config.overflow_penalty * (pass + 1);
+    List.iter
+      (fun nr ->
+        let congested =
+          Array.exists (fun sn -> sn.routed && path_overflows g sn.path) nr.subnets
+        in
+        if congested then begin
+          Array.iter
+            (fun sn ->
+              if sn.routed then begin
+                uncommit g sn.path;
+                sn.path <- [];
+                sn.routed <- false
+              end)
+            nr.subnets;
+          let tree_nodes = ref [] in
+          Array.iter
+            (fun sn ->
+              if not (route_subnet ctx ~net:nr.net_id ~tree_nodes sn) then
+                incr failed)
+            nr.subnets
+        end)
+      routes
+  done;
+  let failed_final =
+    List.fold_left
+      (fun acc nr ->
+        acc
+        + Array.fold_left
+            (fun a sn -> if sn.routed then a else a + 1)
+            0 nr.subnets)
+      0 routes
+  in
+  { grid = g; routes = Array.of_list routes; config; failed_subnets = failed_final }

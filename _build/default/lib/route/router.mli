@@ -1,0 +1,61 @@
+(** Capacity-aware detailed router.
+
+    Every signal net is decomposed into 2-pin subnets by a Manhattan
+    minimum spanning tree over its pin positions; subnets are routed with
+    multi-source A* over the track grid (sources include the net's
+    already-routed nodes, so routes reuse the growing tree). Costs are
+    wirelength plus via cost plus a congestion penalty on overfull edges;
+    rip-up-and-reroute passes with escalating penalty resolve overflow.
+
+    Because A* is cost-optimal and a direct vertical M1 route is the
+    cheapest possible connection (no vias onto M2, shortest length), the
+    router exploits dM1 opportunities exactly when the placement makes
+    them feasible — the behaviour the paper relies on from its commercial
+    router. Set [use_dm1 = false] to forbid M1 inter-row routing and
+    measure the ablation. *)
+
+type config = {
+  via_cost : int;          (** cost of one via, in DBU-equivalents *)
+  overflow_penalty : int;  (** added cost per existing user of an edge *)
+  ripup_passes : int;
+  search_margin : int;     (** A* window margin around the subnet bbox, tracks *)
+  use_dm1 : bool;          (** when false, M1 edges crossing row boundaries
+                               are treated as blocked *)
+  astar_weight_pct : int;  (** heuristic inflation for weighted A*, percent;
+                               100 = admissible/optimal, 125 = default *)
+  m1_surcharge : int;      (** extra cost per M1 wire edge: M1 tracks are
+                               partially consumed by pins, so the router
+                               treats them as scarcer than upper layers;
+                               short dM1 connections remain the cheapest
+                               way to join aligned pins *)
+  layers : int;            (** metal layers available to the router, 2..6 *)
+  pdn_stripes : bool;      (** install power-distribution blockage *)
+}
+
+val default_config : config
+
+type edge =
+  | Wire of int  (** wire edge at node n: n -- successor in pref. dir. *)
+  | Via of int   (** via edge at node n: n -- same (i,j) one layer up *)
+
+type subnet = {
+  src : Netlist.Design.pin_ref;
+  dst : Netlist.Design.pin_ref;
+  mutable path : edge list;
+  mutable routed : bool;
+}
+
+type net_route = {
+  net_id : int;
+  subnets : subnet array;
+}
+
+type result = {
+  grid : Grid.t;
+  routes : net_route array;
+  config : config;
+  mutable failed_subnets : int;
+}
+
+(** [route ?config placement] routes all signal nets of the placement. *)
+val route : ?config:config -> Place.Placement.t -> result

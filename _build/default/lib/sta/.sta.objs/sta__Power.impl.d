@@ -1,0 +1,1 @@
+lib/sta/power.ml: Array List Netlist Pdk Timing

@@ -1,0 +1,1 @@
+lib/sta/power.mli: Netlist

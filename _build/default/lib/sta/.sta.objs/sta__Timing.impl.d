@@ -1,0 +1,1 @@
+lib/sta/timing.ml: Array Float List Netlist Pdk

@@ -1,0 +1,46 @@
+type result = {
+  dynamic_mw : float;
+  leakage_mw : float;
+  total_mw : float;
+}
+
+let vdd = 0.7
+let frequency_ghz = 1.0
+let activity = 0.12
+let clock_activity = 1.0
+
+let analyze (design : Netlist.Design.t) ~net_lengths =
+  let nn = Netlist.Design.num_nets design in
+  let sink_cap = Array.make nn 0.0 in
+  Array.iter
+    (fun (inst : Netlist.Design.instance) ->
+      List.iteri
+        (fun k (pin : Pdk.Stdcell.pin) ->
+          match pin.Pdk.Stdcell.dir with
+          | Pdk.Stdcell.Input | Pdk.Stdcell.Clock ->
+            let n = inst.pin_nets.(k) in
+            if n >= 0 then
+              sink_cap.(n) <- sink_cap.(n) +. inst.master.Pdk.Stdcell.cap_in
+          | Pdk.Stdcell.Output -> ())
+        inst.master.Pdk.Stdcell.pins)
+    design.instances;
+  (* dynamic: a * C * V^2 * f; C in fF, f in GHz -> uW; sum in mW *)
+  let dynamic = ref 0.0 in
+  Array.iteri
+    (fun n (net : Netlist.Design.net) ->
+      let wire_cap =
+        Timing.wire_cap_per_um *. (float_of_int net_lengths.(n) /. 1000.0)
+      in
+      let c = sink_cap.(n) +. wire_cap in
+      let a = if net.is_clock then clock_activity else activity in
+      dynamic := !dynamic +. (a *. c *. vdd *. vdd *. frequency_ghz))
+    design.nets;
+  let dynamic_mw = !dynamic /. 1000.0 in
+  let leakage_nw =
+    Array.fold_left
+      (fun acc (inst : Netlist.Design.instance) ->
+        acc +. inst.master.Pdk.Stdcell.leakage)
+      0.0 design.instances
+  in
+  let leakage_mw = leakage_nw /. 1.0e6 in
+  { dynamic_mw; leakage_mw; total_mw = dynamic_mw +. leakage_mw }

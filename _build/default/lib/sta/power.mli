@@ -1,0 +1,21 @@
+(** Power model: dynamic switching power over net capacitances (sink pin
+    caps plus wire cap from routed length) plus cell leakage. Matches the
+    paper's behaviour where total power moves fractionally with routed
+    wirelength. *)
+
+type result = {
+  dynamic_mw : float;
+  leakage_mw : float;
+  total_mw : float;
+}
+
+(** Supply voltage, V. *)
+val vdd : float
+
+val frequency_ghz : float
+
+(** Switching activity factor for signal nets. *)
+val activity : float
+
+(** [analyze design ~net_lengths] with routed net lengths in DBU. *)
+val analyze : Netlist.Design.t -> net_lengths:int array -> result

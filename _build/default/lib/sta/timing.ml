@@ -1,0 +1,125 @@
+type result = {
+  wns_ns : float;
+  critical_ps : float;
+  clock_ps : float;
+}
+
+let wire_cap_per_um = 0.20
+let wire_res_per_um = 0.40
+let setup_ps = 10.0
+
+(* Shared computation: per-net arrival times and the critical path. *)
+let arrivals (design : Netlist.Design.t) ~net_lengths =
+  let nn = Netlist.Design.num_nets design in
+  let ni = Netlist.Design.num_instances design in
+  (* net loads *)
+  let length_um n = float_of_int net_lengths.(n) /. 1000.0 in
+  let sink_cap = Array.make nn 0.0 in
+  Array.iteri
+    (fun _ (inst : Netlist.Design.instance) ->
+      List.iteri
+        (fun k (pin : Pdk.Stdcell.pin) ->
+          match pin.dir with
+          | Pdk.Stdcell.Input | Pdk.Stdcell.Clock ->
+            let n = inst.pin_nets.(k) in
+            if n >= 0 then
+              sink_cap.(n) <- sink_cap.(n) +. inst.master.Pdk.Stdcell.cap_in
+          | Pdk.Stdcell.Output -> ())
+        inst.master.Pdk.Stdcell.pins)
+    design.instances;
+  let net_load n = sink_cap.(n) +. (wire_cap_per_um *. length_um n) in
+  (* stage delay of a net given its driver master *)
+  let stage_delay (m : Pdk.Stdcell.t) n =
+    let wire_r = wire_res_per_um *. length_um n in
+    let wire_c = wire_cap_per_um *. length_um n in
+    m.intrinsic_delay
+    +. (m.drive_res *. net_load n)
+    +. (0.5 *. wire_r *. wire_c)
+  in
+  (* arrival per net; -1 = not yet known. PI nets (no driver) arrive at 0;
+     flip-flop outputs launch at clk->q independent of their D input. *)
+  let arrival = Array.make nn (-1.0) in
+  Array.iteri
+    (fun n (net : Netlist.Design.net) ->
+      if net.is_clock then arrival.(n) <- 0.0
+      else
+        match Array.length net.pins with
+        | 0 -> arrival.(n) <- 0.0
+        | _ ->
+          let d = net.pins.(0) in
+          let m = Netlist.Design.instance_master design d.inst in
+          let mp = List.nth m.Pdk.Stdcell.pins d.pin in
+          if mp.Pdk.Stdcell.dir <> Pdk.Stdcell.Output then
+            (* driverless: primary input *)
+            arrival.(n) <- 0.0
+          else if Pdk.Stdcell.is_sequential m then
+            arrival.(n) <- stage_delay m n)
+    design.nets;
+  (* combinational instances in id order: every combinational input comes
+     from a lower id (generator invariant), a flip-flop or a PI *)
+  for i = 0 to ni - 1 do
+    let inst = design.instances.(i) in
+    let m = inst.master in
+    if not (Pdk.Stdcell.is_sequential m) then begin
+      let in_arrival = ref 0.0 in
+      List.iteri
+        (fun k (pin : Pdk.Stdcell.pin) ->
+          if pin.Pdk.Stdcell.dir = Pdk.Stdcell.Input then begin
+            let n = inst.pin_nets.(k) in
+            if n >= 0 && arrival.(n) >= 0.0 then
+              in_arrival := max !in_arrival arrival.(n)
+          end)
+        m.pins;
+      List.iteri
+        (fun k (pin : Pdk.Stdcell.pin) ->
+          if pin.Pdk.Stdcell.dir = Pdk.Stdcell.Output then begin
+            let n = inst.pin_nets.(k) in
+            if n >= 0 then arrival.(n) <- !in_arrival +. stage_delay m n
+          end)
+        m.pins
+    end
+  done;
+  (* capture at flip-flop D pins *)
+  let critical = ref 0.0 in
+  Array.iter
+    (fun (inst : Netlist.Design.instance) ->
+      let m = inst.master in
+      if Pdk.Stdcell.is_sequential m then
+        List.iteri
+          (fun k (pin : Pdk.Stdcell.pin) ->
+            if pin.Pdk.Stdcell.dir = Pdk.Stdcell.Input then begin
+              let n = inst.pin_nets.(k) in
+              if n >= 0 && arrival.(n) >= 0.0 then
+                critical := max !critical (arrival.(n) +. setup_ps)
+            end)
+          m.pins)
+    design.instances;
+  (arrival, !critical)
+
+let analyze ?clock_ps (design : Netlist.Design.t) ~net_lengths =
+  let _, critical = arrivals design ~net_lengths in
+  let clock_ps =
+    match clock_ps with Some c -> c | None -> critical *. 1.05
+  in
+  let slack = clock_ps -. critical in
+  {
+    wns_ns = Float.min 0.0 slack /. 1000.0;
+    critical_ps = critical;
+    clock_ps;
+  }
+
+(* Criticality of a net: how close the latest path through it runs to the
+   clock period, in [0, 1]; 1 = on (or beyond) the critical path. A net's
+   "path arrival" is approximated by its own arrival time plus the worst
+   downstream margin being unknown — we use arrival / critical, the usual
+   cheap proxy. *)
+let net_criticality ?clock_ps (design : Netlist.Design.t) ~net_lengths =
+  let arrival, critical = arrivals design ~net_lengths in
+  let clock_ps =
+    match clock_ps with Some c -> c | None -> critical *. 1.05
+  in
+  Array.map
+    (fun a ->
+      if a <= 0.0 || clock_ps <= 0.0 then 0.0
+      else Float.min 1.0 (a /. clock_ps))
+    arrival

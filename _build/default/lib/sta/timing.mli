@@ -1,0 +1,41 @@
+(** Static timing analysis over the combinational core.
+
+    Gate delay follows a linear model: intrinsic delay plus drive
+    resistance times load capacitance; load capacitance is the sum of
+    sink input capacitances plus wire capacitance from the routed length
+    of the driven net. Launch points are primary-input nets and flip-flop
+    outputs; capture points are flip-flop D pins. The netlist generator
+    guarantees the combinational core is acyclic, so arrival times
+    propagate in topological order.
+
+    The paper reports WNS with designs meeting timing (WNS ~ 0); the
+    clock period here is chosen per-design the same way (critical path of
+    the initial placement plus margin), so WNS deltas reflect wirelength
+    deltas, as in Table 2. *)
+
+type result = {
+  wns_ns : float;       (** worst negative slack (0 when timing is met) *)
+  critical_ps : float;  (** critical path delay, ps *)
+  clock_ps : float;     (** clock period used, ps *)
+}
+
+(** Wire capacitance per micrometre of routed wire, fF. *)
+val wire_cap_per_um : float
+
+(** Wire resistance per micrometre, kOhm (used for an Elmore-style wire
+    delay term). *)
+val wire_res_per_um : float
+
+(** [analyze ?clock_ps design ~net_lengths] runs STA. [net_lengths] is
+    routed length per net id in DBU (from [Route.Metrics.net_lengths]).
+    When [clock_ps] is omitted, the period is set to the measured
+    critical path plus 5 %, i.e. the design just meets timing. *)
+val analyze :
+  ?clock_ps:float -> Netlist.Design.t -> net_lengths:int array -> result
+
+(** [net_criticality ?clock_ps design ~net_lengths] is a per-net timing
+    criticality in [0, 1] (arrival time of the net relative to the clock
+    period): the input to the timing-driven placement extension (the
+    paper's future work (ii)). *)
+val net_criticality :
+  ?clock_ps:float -> Netlist.Design.t -> net_lengths:int array -> float array

@@ -1,0 +1,1 @@
+lib/vm1/align.ml: Array Geom List Netlist Params Pdk Place

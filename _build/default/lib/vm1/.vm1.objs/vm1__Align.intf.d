@@ -1,0 +1,1 @@
+lib/vm1/align.mli: Geom Netlist Params Pdk Place

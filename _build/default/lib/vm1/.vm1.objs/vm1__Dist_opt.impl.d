@@ -1,0 +1,1 @@
+lib/vm1/dist_opt.ml: Array Atomic Domain List Params Place Scp_solver Window Wproblem

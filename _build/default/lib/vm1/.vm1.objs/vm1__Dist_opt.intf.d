@@ -1,0 +1,1 @@
+lib/vm1/dist_opt.mli: Params Place Scp_solver

@@ -1,0 +1,1 @@
+lib/vm1/formulate.ml: Align Array Hashtbl List Milp Netlist Option Params Pdk Place Printf Wproblem

@@ -1,0 +1,1 @@
+lib/vm1/formulate.mli: Milp Wproblem

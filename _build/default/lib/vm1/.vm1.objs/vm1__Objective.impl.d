@@ -1,0 +1,1 @@
+lib/vm1/objective.ml: Align Array List Netlist Params Pdk Place

@@ -1,0 +1,1 @@
+lib/vm1/objective.mli: Netlist Params Place

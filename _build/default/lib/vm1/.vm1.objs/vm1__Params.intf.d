@@ -1,0 +1,1 @@
+lib/vm1/params.mli: Pdk

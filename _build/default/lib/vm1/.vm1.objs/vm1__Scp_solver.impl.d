@@ -1,0 +1,1 @@
+lib/vm1/scp_solver.ml: Array List Random Wproblem

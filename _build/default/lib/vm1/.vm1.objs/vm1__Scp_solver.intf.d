@@ -1,0 +1,1 @@
+lib/vm1/scp_solver.mli: Wproblem

@@ -1,0 +1,1 @@
+lib/vm1/vm1_opt.ml: Dist_opt List Objective Params Pdk Place Scp_solver Sys

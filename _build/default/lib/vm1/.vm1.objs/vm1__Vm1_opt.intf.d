@@ -1,0 +1,1 @@
+lib/vm1/vm1_opt.mli: Params Place Scp_solver

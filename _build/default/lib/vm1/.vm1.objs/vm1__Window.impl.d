@@ -1,0 +1,1 @@
+lib/vm1/window.ml: Array Hashtbl List Netlist Option Pdk Place

@@ -1,0 +1,1 @@
+lib/vm1/window.mli: Place

@@ -1,0 +1,1 @@
+lib/vm1/wproblem.ml: Align Array Bytes Char Geom Hashtbl Int List Netlist Params Pdk Place

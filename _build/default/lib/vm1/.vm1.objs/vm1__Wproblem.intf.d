@@ -1,0 +1,1 @@
+lib/vm1/wproblem.mli: Align Bytes Geom Hashtbl Netlist Params Place

@@ -1,0 +1,53 @@
+type pin_geom = {
+  ax : int;
+  x_lo : int;
+  x_hi : int;
+  y : int;
+}
+
+let of_bbox (r : Geom.Rect.t) =
+  {
+    ax = (r.lx + r.hx) / 2;
+    x_lo = r.lx;
+    x_hi = r.hx;
+    y = (r.ly + r.hy) / 2;
+  }
+
+let master_pin (p : Place.Placement.t) (pr : Netlist.Design.pin_ref) =
+  let m = p.design.Netlist.Design.instances.(pr.inst).master in
+  (m, List.nth m.Pdk.Stdcell.pins pr.pin)
+
+let of_placed p pr =
+  let m, pin = master_pin p pr in
+  of_bbox
+    (Pdk.Stdcell.placed_pin_bbox m ~orient:p.orients.(pr.inst)
+       ~origin:(Geom.Point.make p.xs.(pr.inst) p.ys.(pr.inst))
+       pin)
+
+let of_candidate (p : Place.Placement.t) pr ~site ~row ~orient =
+  let m, pin = master_pin p pr in
+  let tech = p.tech in
+  let origin =
+    Geom.Point.make (site * tech.Pdk.Tech.site_width)
+      (row * tech.Pdk.Tech.row_height)
+  in
+  of_bbox (Pdk.Stdcell.placed_pin_bbox m ~orient ~origin pin)
+
+let aligned (params : Params.t) (tech : Pdk.Tech.t) a b =
+  a.ax = b.ax
+  && a.y <> b.y
+  && abs (a.y - b.y) <= params.closed_gamma * tech.row_height
+
+let overlap (params : Params.t) (tech : Pdk.Tech.t) a b =
+  let ov = min a.x_hi b.x_hi - max a.x_lo b.x_lo in
+  if ov >= params.delta && abs (a.y - b.y) <= params.gamma * tech.row_height
+  then (true, ov - params.delta)
+  else (false, 0)
+
+let pair_gain (params : Params.t) (tech : Pdk.Tech.t) a b =
+  match tech.arch with
+  | Pdk.Cell_arch.Open_m1 ->
+    let d, o = overlap params tech a b in
+    if d then params.alpha +. (params.epsilon *. float_of_int o) else 0.0
+  | Pdk.Cell_arch.Closed_m1 | Pdk.Cell_arch.Conventional12 ->
+    if aligned params tech a b then params.alpha else 0.0

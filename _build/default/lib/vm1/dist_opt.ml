@@ -1,0 +1,79 @@
+type config = {
+  tx : int;
+  ty : int;
+  bw : int;
+  bh : int;
+  lx : int;
+  ly : int;
+  allow_flip : bool;
+  allow_move : bool;
+  mode : Scp_solver.mode;
+  parallel : bool;
+  candidate_cost : (site:int -> row:int -> float) option;
+}
+
+type stats = {
+  windows : int;
+  batches : int;
+  total_moves : int;
+}
+
+(* Windows of one diagonal batch have pairwise-disjoint projections, so
+   their subproblems are independent: extraction reads the placement,
+   solving touches only problem-internal state, committing writes disjoint
+   cells. Extract and commit run sequentially; solving fans out over
+   domains. The result is identical to the sequential order. *)
+let solve_batch ~parallel ~mode problems =
+  let n = Array.length problems in
+  let stats = Array.make n None in
+  let solve i = stats.(i) <- Some (Scp_solver.solve ~mode problems.(i)) in
+  if (not parallel) || n <= 1 then
+    for i = 0 to n - 1 do
+      solve i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          solve i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let extra = min (Domain.recommended_domain_count () - 1) (n - 1) in
+    let domains = List.init (max 0 extra) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  Array.fold_left
+    (fun acc s ->
+      match s with Some s -> acc + s.Scp_solver.moves | None -> acc)
+    0 stats
+
+let run (p : Place.Placement.t) (params : Params.t) (c : config) =
+  let windows = Window.partition p ~tx:c.tx ~ty:c.ty ~bw:c.bw ~bh:c.bh in
+  let batches = Window.diagonal_batches windows in
+  let total_moves = ref 0 in
+  List.iter
+    (fun batch ->
+      let problems =
+        Array.map
+          (fun (w : Window.t) ->
+            Wproblem.extract ?candidate_cost:c.candidate_cost p params
+              ~site_lo:w.site_lo ~row_lo:w.row_lo ~bw:w.bw ~bh:w.bh
+              ~movable:w.movable ~lx:c.lx ~ly:c.ly ~allow_flip:c.allow_flip
+              ~allow_move:c.allow_move)
+          batch
+      in
+      total_moves :=
+        !total_moves + solve_batch ~parallel:c.parallel ~mode:c.mode problems;
+      Array.iter Wproblem.commit problems)
+    batches;
+  {
+    windows = Array.length windows;
+    batches = List.length batches;
+    total_moves = !total_moves;
+  }

@@ -1,0 +1,33 @@
+(** Algorithm 2 (DistOpt): partition the layout into windows, then
+    process diagonally-independent batches, optimising every window of a
+    batch independently — in parallel over OCaml domains when [parallel]
+    is set, which is the paper's distributable optimisation. The
+    placement is updated after each batch, so later batches see earlier
+    solutions as boundary conditions. *)
+
+type config = {
+  tx : int;            (** window-grid x offset, sites *)
+  ty : int;            (** window-grid y offset, rows *)
+  bw : int;            (** window width, sites *)
+  bh : int;            (** window height, rows *)
+  lx : int;            (** max x displacement, sites *)
+  ly : int;            (** max y displacement, rows *)
+  allow_flip : bool;   (** the f flag of Algorithm 1 *)
+  allow_move : bool;
+  mode : Scp_solver.mode;
+  parallel : bool;     (** solve each diagonal batch's windows on multiple
+                           domains; deterministic (identical to the
+                           sequential result) because window subproblems
+                           are self-contained after extraction *)
+  candidate_cost : (site:int -> row:int -> float) option;
+  (** static per-candidate penalty (congestion-aware extension) *)
+}
+
+type stats = {
+  windows : int;
+  batches : int;
+  total_moves : int;
+}
+
+(** [run p params config] optimises in place. *)
+val run : Place.Placement.t -> Params.t -> config -> stats

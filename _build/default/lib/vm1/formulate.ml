@@ -1,0 +1,214 @@
+type built = {
+  model : Milp.Model.t;
+  lambda : Milp.Model.var array array;
+}
+
+let big_g = 1.0e6
+
+(* Linear expression for one geometric attribute of a pin: a constant for
+   fixed pins, sum over candidates of (attribute * lambda) for movable. *)
+let pin_expr (t : Wproblem.t) lambda (wp : Wproblem.wpin)
+    (attr : Align.pin_geom -> int) =
+  if wp.owner < 0 then Milp.Model.const (float_of_int (attr wp.fixed_geom))
+  else begin
+    let cell = t.cells.(wp.owner) in
+    let terms =
+      Array.to_list
+        (Array.mapi
+           (fun k geoms ->
+             Milp.Model.term
+               (float_of_int (attr geoms.(wp.pr.Netlist.Design.pin)))
+               lambda.(wp.owner).(k))
+           cell.geoms)
+    in
+    Milp.Model.sum terms
+  end
+
+(* The MILP is formulated in problem-relative coordinates: the minimum
+   corner over every pin position (fixed and candidate) is subtracted from
+   all geometry. The objective and every predicate are translation-
+   invariant, and the smaller coefficient magnitudes keep the dense Big-M
+   simplex numerically comfortable next to the big-G indicator rows. *)
+let problem_origin (t : Wproblem.t) =
+  let x0 = ref max_int and y0 = ref max_int in
+  let see (g : Align.pin_geom) =
+    if g.x_lo < !x0 then x0 := g.x_lo;
+    if g.y < !y0 then y0 := g.y
+  in
+  Array.iter
+    (fun (wnet : Wproblem.wnet) ->
+      Array.iter
+        (fun (wp : Wproblem.wpin) ->
+          if wp.owner < 0 then see wp.fixed_geom
+          else
+            Array.iter
+              (fun geoms -> see geoms.(wp.pr.Netlist.Design.pin))
+              t.cells.(wp.owner).geoms)
+        wnet.wpins)
+    t.nets;
+  if !x0 = max_int then (0, 0) else (!x0, !y0)
+
+let build (t : Wproblem.t) =
+  let m = Milp.Model.create () in
+  let params = t.params in
+  let tech = t.placement.Place.Placement.tech in
+  let row_h = float_of_int tech.Pdk.Tech.row_height in
+  let x0, y0 = problem_origin t in
+  let ax g = g.Align.ax - x0 in
+  let ay g = g.Align.y - y0 in
+  let x_lo g = g.Align.x_lo - x0 in
+  let x_hi g = g.Align.x_hi - x0 in
+  (* lambda variables, constraint (5) *)
+  let lambda =
+    Array.mapi
+      (fun c (cell : Wproblem.cell) ->
+        Array.init (Array.length cell.cands) (fun k ->
+            Milp.Model.binary m (Printf.sprintf "l_%d_%d" c k)))
+      t.cells
+  in
+  Array.iter
+    (fun lams ->
+      Milp.Model.add_eq m
+        (Milp.Model.sum (Array.to_list (Array.map Milp.Model.v lams)))
+        (Milp.Model.const 1.0))
+    lambda;
+  (* constraint (9): site disjointness over the window grid *)
+  let coverers = Hashtbl.create 256 in
+  Array.iteri
+    (fun c (cell : Wproblem.cell) ->
+      Array.iteri
+        (fun k (cand : Wproblem.candidate) ->
+          for s = cand.site to cand.site + cell.width - 1 do
+            let key = ((cand.row - t.row_lo) * t.bw) + (s - t.site_lo) in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt coverers key) in
+            Hashtbl.replace coverers key ((c, k) :: prev)
+          done)
+        cell.cands)
+    t.cells;
+  Hashtbl.iter
+    (fun _ cover ->
+      match cover with
+      | [] | [ _ ] -> ()
+      | _ ->
+        Milp.Model.add_le m
+          (Milp.Model.sum
+             (List.map (fun (c, k) -> Milp.Model.v lambda.(c).(k)) cover))
+          (Milp.Model.const 1.0))
+    coverers;
+  (* per-net HPWL, constraints (2)-(3) *)
+  let hpwl_terms = ref [] in
+  Array.iteri
+    (fun nidx (wnet : Wproblem.wnet) ->
+      let xmin = Milp.Model.continuous m (Printf.sprintf "xmin_%d" nidx) in
+      let xmax = Milp.Model.continuous m (Printf.sprintf "xmax_%d" nidx) in
+      let ymin = Milp.Model.continuous m (Printf.sprintf "ymin_%d" nidx) in
+      let ymax = Milp.Model.continuous m (Printf.sprintf "ymax_%d" nidx) in
+      Array.iter
+        (fun wp ->
+          let px = pin_expr t lambda wp ax in
+          let py = pin_expr t lambda wp ay in
+          Milp.Model.add_ge m (Milp.Model.v xmax) px;
+          Milp.Model.add_le m (Milp.Model.v xmin) px;
+          Milp.Model.add_ge m (Milp.Model.v ymax) py;
+          Milp.Model.add_le m (Milp.Model.v ymin) py)
+        wnet.wpins;
+      let w_n =
+        Milp.Model.sum
+          [
+            Milp.Model.v xmax;
+            Milp.Model.scale (-1.0) (Milp.Model.v xmin);
+            Milp.Model.v ymax;
+            Milp.Model.scale (-1.0) (Milp.Model.v ymin);
+          ]
+      in
+      hpwl_terms :=
+        Milp.Model.scale (params.Params.beta *. wnet.weight) w_n :: !hpwl_terms)
+    t.nets;
+  (* pair variables *)
+  let gain_terms = ref [] in
+  Array.iteri
+    (fun pidx (a, b) ->
+      let d = Milp.Model.binary m (Printf.sprintf "d_%d" pidx) in
+      let one_minus_d =
+        Milp.Model.sub (Milp.Model.const 1.0) (Milp.Model.v d)
+      in
+      let slack = Milp.Model.scale big_g one_minus_d in
+      let py_a = pin_expr t lambda a ay in
+      let py_b = pin_expr t lambda b ay in
+      let dy = Milp.Model.sub py_a py_b in
+      if not t.is_open then begin
+        (* ClosedM1, constraint (4) *)
+        let px_a = pin_expr t lambda a ax in
+        let px_b = pin_expr t lambda b ax in
+        let dx = Milp.Model.sub px_a px_b in
+        Milp.Model.add_le m dx slack;
+        Milp.Model.add_ge m dx (Milp.Model.scale (-1.0) slack);
+        let reach =
+          Milp.Model.const (float_of_int params.Params.closed_gamma *. row_h)
+        in
+        Milp.Model.add_le m dy (Milp.Model.add slack reach);
+        Milp.Model.add_ge m dy
+          (Milp.Model.scale (-1.0) (Milp.Model.add slack reach));
+        gain_terms := Milp.Model.term (-.params.Params.alpha) d :: !gain_terms
+      end
+      else begin
+        (* OpenM1, constraints (11)-(14) *)
+        let av = Milp.Model.continuous m (Printf.sprintf "a_%d" pidx) in
+        let bv = Milp.Model.continuous m (Printf.sprintf "b_%d" pidx) in
+        let o = Milp.Model.continuous m (Printf.sprintf "o_%d" pidx) in
+        let vpq = Milp.Model.binary m (Printf.sprintf "v_%d" pidx) in
+        let lo_a = pin_expr t lambda a x_lo in
+        let lo_b = pin_expr t lambda b x_lo in
+        let hi_a = pin_expr t lambda a x_hi in
+        let hi_b = pin_expr t lambda b x_hi in
+        Milp.Model.add_ge m (Milp.Model.v av) lo_a;
+        Milp.Model.add_ge m (Milp.Model.v av) lo_b;
+        Milp.Model.add_le m (Milp.Model.v bv) hi_a;
+        Milp.Model.add_le m (Milp.Model.v bv) hi_b;
+        (* (12): |dy| > gamma*H forces v = 1 *)
+        let g_v = Milp.Model.scale big_g (Milp.Model.v vpq) in
+        let reach =
+          Milp.Model.const (float_of_int params.Params.gamma *. row_h)
+        in
+        Milp.Model.add_le m dy (Milp.Model.add g_v reach);
+        Milp.Model.add_ge m dy
+          (Milp.Model.scale (-1.0) (Milp.Model.add g_v reach));
+        (* (13) *)
+        Milp.Model.add_le m (Milp.Model.v o)
+          (Milp.Model.add
+             (Milp.Model.sub (Milp.Model.sub (Milp.Model.v bv) (Milp.Model.v av))
+                (Milp.Model.const (float_of_int params.Params.delta)))
+             slack);
+        Milp.Model.add_le m (Milp.Model.v o)
+          (Milp.Model.scale big_g (Milp.Model.v d));
+        Milp.Model.add_ge m (Milp.Model.v o) (Milp.Model.scale (-1.0) slack);
+        (* (14) *)
+        Milp.Model.add_le m
+          (Milp.Model.add (Milp.Model.v d) (Milp.Model.v vpq))
+          (Milp.Model.const 1.0);
+        (* overlap must reach delta for d = 1: o >= 0 and o <= b-a-delta *)
+        gain_terms :=
+          Milp.Model.term (-.params.Params.alpha) d
+          :: Milp.Model.term (-.params.Params.epsilon) o
+          :: !gain_terms
+      end)
+    t.pairs;
+  Milp.Model.set_objective m
+    (Milp.Model.add (Milp.Model.sum !hpwl_terms) (Milp.Model.sum !gain_terms));
+  { model = m; lambda }
+
+let solve ?node_limit (t : Wproblem.t) =
+  let { model; lambda } = build t in
+  let sol = Milp.Bnb.solve ?node_limit model in
+  (match sol.Milp.Bnb.status with
+  | Milp.Bnb.Infeasible -> ()
+  | Milp.Bnb.Optimal | Milp.Bnb.Node_limit ->
+    Array.iteri
+      (fun c lams ->
+        Array.iteri
+          (fun k lam ->
+            if sol.Milp.Bnb.values.(Milp.Model.var_index lam) > 0.5 then
+              Wproblem.apply t ~cell:c ~cand:k)
+          lams)
+      lambda);
+  sol

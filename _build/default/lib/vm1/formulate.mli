@@ -1,0 +1,27 @@
+(** The paper's MILP formulation, built verbatim over a window problem.
+
+    Variables: one binary lambda per (cell, candidate) — the SCP model of
+    constraints (5)-(8); per-net continuous xmin/xmax/ymin/ymax bounded by
+    every pin coordinate (constraints (2)-(3)); one binary d_pq per
+    pre-filtered pin pair with the big-G alignment constraints (4) for
+    ClosedM1, or the overlap system a/b/o_pq/v_pq of constraints
+    (11)-(14) for OpenM1. Site-disjointness (constraint (9)) is emitted
+    for every window site covered by at least two candidate footprints.
+
+    Objective (1) / (10):
+      minimize  -alpha sum d_pq [- epsilon sum o_pq] + sum beta_n w_n.
+
+    Intended for validation and for small windows; the production flow
+    uses [Scp_solver]. *)
+
+type built = {
+  model : Milp.Model.t;
+  lambda : Milp.Model.var array array;  (** cell -> candidate *)
+}
+
+val build : Wproblem.t -> built
+
+(** [solve ?node_limit t] builds and solves the MILP, then installs the
+    chosen candidates into the window problem (call [Wproblem.commit] to
+    write back). Returns the branch-and-bound solution. *)
+val solve : ?node_limit:int -> Wproblem.t -> Milp.Bnb.solution

@@ -1,0 +1,54 @@
+type counts = {
+  hpwl_dbu : int;
+  weighted_hpwl : float;
+  alignments : int;
+  overlap_sum : int;
+}
+
+let net_pairs (design : Netlist.Design.t) n =
+  let pins = design.nets.(n).pins in
+  let k = Array.length pins in
+  let acc = ref [] in
+  for i = 0 to k - 2 do
+    for j = i + 1 to k - 1 do
+      if pins.(i).inst <> pins.(j).inst then acc := (pins.(i), pins.(j)) :: !acc
+    done
+  done;
+  !acc
+
+let counts (params : Params.t) (p : Place.Placement.t) =
+  let design = p.design in
+  let tech = p.tech in
+  let hpwl = ref 0 and alignments = ref 0 and overlap_sum = ref 0 in
+  let weighted = ref 0.0 in
+  let is_open = tech.arch = Pdk.Cell_arch.Open_m1 in
+  List.iter
+    (fun n ->
+      let h = Place.Hpwl.net p n in
+      hpwl := !hpwl + h;
+      weighted := !weighted +. (Params.net_weight params n *. float_of_int h);
+      List.iter
+        (fun (a, b) ->
+          let ga = Align.of_placed p a and gb = Align.of_placed p b in
+          if is_open then begin
+            let d, o = Align.overlap params tech ga gb in
+            if d then begin
+              incr alignments;
+              overlap_sum := !overlap_sum + o
+            end
+          end
+          else if Align.aligned params tech ga gb then incr alignments)
+        (net_pairs design n))
+    (Netlist.Design.signal_nets design);
+  {
+    hpwl_dbu = !hpwl;
+    weighted_hpwl = !weighted;
+    alignments = !alignments;
+    overlap_sum = !overlap_sum;
+  }
+
+let value params p =
+  let c = counts params p in
+  (params.Params.beta *. c.weighted_hpwl)
+  -. (params.Params.alpha *. float_of_int c.alignments)
+  -. (params.Params.epsilon *. float_of_int c.overlap_sum)

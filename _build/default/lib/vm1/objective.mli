@@ -1,0 +1,24 @@
+(** Global objective of the optimisation (equations (1) and (10)):
+
+      beta * sum HPWL  -  alpha * #alignments  [- epsilon * sum overlaps]
+
+    evaluated over all signal nets of a placement. The alignment count is
+    the number of *potential* direct vertical M1 routes the placement
+    offers — the router realises them after the fact. *)
+
+type counts = {
+  hpwl_dbu : int;        (** summed HPWL over signal nets, unweighted *)
+  weighted_hpwl : float; (** sum of beta_n-weighted net HPWL *)
+  alignments : int;      (** pin pairs satisfying the dM1 predicate *)
+  overlap_sum : int;     (** summed o_pq (OpenM1; 0 for ClosedM1) *)
+}
+
+val counts : Params.t -> Place.Placement.t -> counts
+
+(** [value params p] is the scalar objective (lower is better). *)
+val value : Params.t -> Place.Placement.t -> float
+
+(** [net_pairs design n] is the list of distinct-instance pin pairs of net
+    [n] — the (p, q) pairs the formulation ranges over. *)
+val net_pairs :
+  Netlist.Design.t -> int -> (Netlist.Design.pin_ref * Netlist.Design.pin_ref) list

@@ -1,0 +1,50 @@
+type t = {
+  alpha : float;
+  beta : float;
+  epsilon : float;
+  gamma : int;
+  closed_gamma : int;
+  delta : int;
+  theta : float;
+  net_weights : float array option;
+}
+
+let default (tech : Pdk.Tech.t) =
+  let alpha =
+    match tech.arch with
+    | Pdk.Cell_arch.Open_m1 -> 1000.0
+    | Pdk.Cell_arch.Closed_m1 | Pdk.Cell_arch.Conventional12 -> 1200.0
+  in
+  {
+    alpha;
+    beta = 1.0;
+    epsilon = 0.5;
+    gamma = tech.gamma;
+    closed_gamma = 1;
+    delta = tech.delta;
+    theta = 0.01;
+    net_weights = None;
+  }
+
+type step = {
+  bw_um : float;
+  lx : int;
+  ly : int;
+}
+
+let step bw_um lx ly = { bw_um; lx; ly }
+
+let sequence = function
+  | 1 -> [ step 20.0 4 1 ]
+  | 2 -> [ step 10.0 3 1; step 10.0 4 0; step 20.0 4 0 ]
+  | 3 -> [ step 10.0 3 1; step 20.0 3 1; step 20.0 3 0 ]
+  | 4 -> [ step 10.0 3 1; step 20.0 3 0 ]
+  | 5 -> [ step 10.0 3 1; step 10.0 3 0; step 20.0 3 1; step 20.0 3 0 ]
+  | k -> invalid_arg (Printf.sprintf "Params.sequence: no sequence %d" k)
+
+let default_sequence = sequence 1
+
+let net_weight t nid =
+  match t.net_weights with
+  | Some w when nid >= 0 && nid < Array.length w -> w.(nid)
+  | Some _ | None -> 1.0

@@ -1,0 +1,41 @@
+(** Parameters of the vertical-M1 detailed placement optimisation
+    (Table 1 of the paper). *)
+
+type t = {
+  alpha : float;        (** weight of a direct-vertical-M1 pin alignment *)
+  beta : float;         (** per-net HPWL weight (paper uses 1) *)
+  epsilon : float;      (** weight of summed overlap lengths (OpenM1 only) *)
+  gamma : int;          (** max rows a dM1 may span (OpenM1 constraint 12) *)
+  closed_gamma : int;   (** row-span bound for a ClosedM1 alignment; the
+                            paper's constraint (4) uses one row height *)
+  delta : int;          (** min overlap length for an OpenM1 dM1, DBU *)
+  theta : float;        (** convergence threshold of Algorithm 1 *)
+  net_weights : float array option;
+  (** optional per-net HPWL weights (the beta_n of objective (1)); [None]
+      means every net weighs [beta]. The timing-driven extension (the
+      paper's future work (ii)) fills this from STA criticality. *)
+}
+
+(** Paper defaults: alpha 1200 (ClosedM1) / 1000 (OpenM1), beta 1,
+    gamma 3, closed_gamma 1, delta half a site, theta 1 %, uniform net
+    weights. *)
+val default : Pdk.Tech.t -> t
+
+(** [net_weight t nid] is the multiplicative weight of net [nid]
+    (1.0 when no table is installed). *)
+val net_weight : t -> int -> float
+
+(** One entry of the input parameter queue U of Algorithm 1: window size
+    (square, in micrometres) and maximum displacement in sites / rows. *)
+type step = {
+  bw_um : float;
+  lx : int;
+  ly : int;
+}
+
+(** The five optimisation sequences evaluated in ExptA-3 (Fig. 7),
+    1-indexed as in the paper. *)
+val sequence : int -> step list
+
+(** The preferred sequence selected by the paper: a single (20, 4, 1). *)
+val default_sequence : step list

@@ -1,0 +1,196 @@
+type mode = [ `Exact | `Greedy | `Anneal | `Auto ]
+
+type stats = {
+  objective_before : float;
+  objective_after : float;
+  moves : int;
+  passes : int;
+}
+
+let exact_limit = 1_000_000
+
+let exact_search_space (t : Wproblem.t) =
+  Array.fold_left
+    (fun acc (c : Wproblem.cell) ->
+      let k = Array.length c.cands in
+      if acc > exact_limit then acc else acc * k)
+    1 t.cells
+
+let greedy ?(max_passes = 8) (t : Wproblem.t) =
+  let before = Wproblem.objective t in
+  let moves = ref 0 in
+  let passes = ref 0 in
+  let improved = ref true in
+  let n = Array.length t.cells in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    for cell = 0 to n - 1 do
+      let c = t.cells.(cell) in
+      let cur_gain = Wproblem.cell_pair_gain_at t ~cell ~cand:c.cur in
+      let best_action = ref None in
+      let best_delta = ref 0.0 in
+      for cand = 0 to Array.length c.cands - 1 do
+        if cand <> c.cur then begin
+          if Wproblem.candidate_free t ~cell ~cand then begin
+            let d = Wproblem.move_delta t ~cell ~cand in
+            if d < !best_delta -. 1e-9 then begin
+              best_delta := d;
+              best_action := Some (`Move cand)
+            end
+          end
+          else if
+            (* occupied: worth a ripple move only when it buys pair gain *)
+            Wproblem.cell_pair_gain_at t ~cell ~cand > cur_gain +. 1e-9
+          then begin
+            match Wproblem.shove_plan t ~cell ~cand with
+            | Some plan ->
+              let d = Wproblem.plan_delta t plan in
+              if d < !best_delta -. 1e-9 then begin
+                best_delta := d;
+                best_action := Some (`Plan plan)
+              end
+            | None -> ()
+          end
+        end
+      done;
+      match !best_action with
+      | Some (`Move cand) ->
+        Wproblem.apply t ~cell ~cand;
+        incr moves;
+        improved := true
+      | Some (`Plan plan) ->
+        Wproblem.apply_plan t plan;
+        moves := !moves + List.length plan;
+        improved := true
+      | None -> ()
+    done
+  done;
+  {
+    objective_before = before;
+    objective_after = Wproblem.objective t;
+    moves = !moves;
+    passes = !passes;
+  }
+
+let exact (t : Wproblem.t) =
+  if exact_search_space t > exact_limit then
+    invalid_arg "Scp_solver: window too large for exact search";
+  let before = Wproblem.objective t in
+  let n = Array.length t.cells in
+  let saved = Array.map (fun (c : Wproblem.cell) -> c.cur) t.cells in
+  let best_obj = ref before in
+  let best_assign = Array.copy saved in
+  (* lift every movable cell so that candidate feasibility is tested only
+     against fixed blockage and already-assigned cells; otherwise a joint
+     configuration where one cell takes another's vacated spot would be
+     wrongly pruned *)
+  for cell = 0 to n - 1 do
+    Wproblem.lift t ~cell
+  done;
+  let rec go cell =
+    if cell = n then begin
+      let obj = Wproblem.objective t in
+      if obj < !best_obj -. 1e-9 then begin
+        best_obj := obj;
+        Array.iteri
+          (fun i (c : Wproblem.cell) -> best_assign.(i) <- c.cur)
+          t.cells
+      end
+    end
+    else begin
+      let c = t.cells.(cell) in
+      for cand = 0 to Array.length c.cands - 1 do
+        if Wproblem.footprint_free_at t ~cell ~cand then begin
+          Wproblem.set_cur t ~cell ~cand;
+          Wproblem.drop t ~cell;
+          go (cell + 1);
+          Wproblem.lift t ~cell
+        end
+      done;
+      Wproblem.set_cur t ~cell ~cand:saved.(cell)
+    end
+  in
+  go 0;
+  (* restore occupancy at the saved assignment, then apply the best one
+     through the normal API *)
+  for cell = 0 to n - 1 do
+    Wproblem.set_cur t ~cell ~cand:saved.(cell);
+    Wproblem.drop t ~cell
+  done;
+  Array.iteri (fun i cand -> Wproblem.apply t ~cell:i ~cand) best_assign;
+  let moves =
+    Array.fold_left
+      (fun acc (c : Wproblem.cell) -> if c.cur <> 0 then acc + 1 else acc)
+      0 t.cells
+  in
+  {
+    objective_before = before;
+    objective_after = Wproblem.objective t;
+    moves;
+    passes = 1;
+  }
+
+(* Simulated annealing on top of the greedy solution (the paper's
+   future-work direction (iii)): random single-cell moves accepted by the
+   Metropolis rule with a geometric cooling schedule, the best visited
+   assignment kept, and a final greedy polish. Deterministic: the RNG is
+   seeded from the problem shape. *)
+let anneal ?max_passes (t : Wproblem.t) =
+  let g_stats = greedy ?max_passes t in
+  let n = Array.length t.cells in
+  if n = 0 then g_stats
+  else begin
+    let rng = Random.State.make [| n; Array.length t.pairs; 0xa11ea1 |] in
+    let best = Array.map (fun (c : Wproblem.cell) -> c.cur) t.cells in
+    let best_obj = ref (Wproblem.objective t) in
+    let current_obj = ref !best_obj in
+    let temp = ref 400.0 in
+    let iters = max 200 (40 * n) in
+    let moves = ref 0 in
+    for _ = 1 to iters do
+      let cell = Random.State.int rng n in
+      let c = t.cells.(cell) in
+      let k = Array.length c.cands in
+      if k > 1 then begin
+        let cand = Random.State.int rng k in
+        if cand <> c.cur && Wproblem.candidate_free t ~cell ~cand then begin
+          let delta = Wproblem.move_delta t ~cell ~cand in
+          let accept =
+            delta < 0.0
+            || Random.State.float rng 1.0 < exp (-.delta /. !temp)
+          in
+          if accept then begin
+            Wproblem.apply t ~cell ~cand;
+            incr moves;
+            current_obj := !current_obj +. delta;
+            if !current_obj < !best_obj -. 1e-9 then begin
+              best_obj := !current_obj;
+              Array.iteri
+                (fun i (c : Wproblem.cell) -> best.(i) <- c.cur)
+                t.cells
+            end
+          end
+        end
+      end;
+      temp := !temp *. 0.999
+    done;
+    Array.iteri (fun i cand -> Wproblem.apply t ~cell:i ~cand) best;
+    let polish = greedy ?max_passes t in
+    {
+      objective_before = g_stats.objective_before;
+      objective_after = polish.objective_after;
+      moves = g_stats.moves + !moves + polish.moves;
+      passes = g_stats.passes + 1 + polish.passes;
+    }
+  end
+
+let solve ?(mode = `Auto) ?max_passes t =
+  match mode with
+  | `Greedy -> greedy ?max_passes t
+  | `Exact -> exact t
+  | `Anneal -> anneal ?max_passes t
+  | `Auto ->
+    if Array.length t.Wproblem.cells <= 6 && exact_search_space t <= 50_000
+    then exact t
+    else greedy ?max_passes t

@@ -1,0 +1,38 @@
+(** Window solvers over the SCP candidate structure.
+
+    [`Exact] is an exhaustive depth-first search over candidate
+    assignments with occupancy pruning and incumbent pruning — optimal,
+    and only usable when the product of candidate counts is small (it
+    refuses otherwise). [`Greedy] is iterated coordinate descent: each
+    pass scans cells and moves each to its best feasible candidate with
+    the others fixed, until a pass finds no improving move. [`Auto] picks
+    [`Exact] for tiny windows and [`Greedy] otherwise. [`Anneal] runs
+    simulated annealing (Metropolis acceptance, geometric cooling, best
+    assignment kept) on top of the greedy solution and polishes with a
+    final greedy pass — the paper's future-work direction (iii);
+    deterministic, never worse than [`Greedy] on the same problem.
+
+    Tests validate [`Exact] against the generic MILP formulation and
+    measure the [`Greedy]-vs-[`Exact] gap on small windows. *)
+
+type mode = [ `Exact | `Greedy | `Anneal | `Auto ]
+
+type stats = {
+  objective_before : float;
+  objective_after : float;
+  moves : int;
+  passes : int;
+}
+
+(** [solve ?mode ?max_passes t] optimises the window problem in place (the
+    problem's candidate choices change; call [Wproblem.commit] to write
+    back into the placement).
+    @raise Invalid_argument if [`Exact] is requested on a too-large
+    window. *)
+val solve : ?mode:mode -> ?max_passes:int -> Wproblem.t -> stats
+
+(** [exact_search_space t] is the product of candidate counts, saturating
+    at [max_int / 2]; [`Exact] accepts problems up to [exact_limit]. *)
+val exact_search_space : Wproblem.t -> int
+
+val exact_limit : int

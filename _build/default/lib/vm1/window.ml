@@ -1,0 +1,68 @@
+type t = {
+  ix : int;
+  iy : int;
+  site_lo : int;
+  row_lo : int;
+  bw : int;
+  bh : int;
+  movable : int list;
+}
+
+let partition (p : Place.Placement.t) ~tx ~ty ~bw ~bh =
+  if bw <= 0 || bh <= 0 then invalid_arg "Window.partition: bad window size";
+  let windows = Hashtbl.create 64 in
+  let n = Place.Placement.num_instances p in
+  for i = n - 1 downto 0 do
+    let s = Place.Placement.site_of_inst p i in
+    let r = Place.Placement.row_of_inst p i in
+    let w =
+      p.design.Netlist.Design.instances.(i).master.Pdk.Stdcell.width_sites
+    in
+    (* window index along x; offset tx shifts the grid left *)
+    let ix_lo = (s + tx) / bw and ix_hi = (s + w - 1 + tx) / bw in
+    let iy = (r + ty) / bh in
+    if ix_lo = ix_hi then begin
+      let key = (ix_lo, iy) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt windows key) in
+      Hashtbl.replace windows key (i :: prev)
+    end
+  done;
+  let result = ref [] in
+  Hashtbl.iter
+    (fun (ix, iy) movable ->
+      (* clip the window tile to the die *)
+      let site_lo = max 0 ((ix * bw) - tx) in
+      let site_hi = min (p.sites_per_row - 1) ((((ix + 1) * bw) - tx) - 1) in
+      let row_lo = max 0 ((iy * bh) - ty) in
+      let row_hi = min (p.num_rows - 1) ((((iy + 1) * bh) - ty) - 1) in
+      if site_lo <= site_hi && row_lo <= row_hi then
+        result :=
+          {
+            ix;
+            iy;
+            site_lo;
+            row_lo;
+            bw = site_hi - site_lo + 1;
+            bh = row_hi - row_lo + 1;
+            movable;
+          }
+          :: !result)
+    windows;
+  Array.of_list !result
+
+let diagonal_batches (ws : t array) =
+  if Array.length ws = 0 then []
+  else begin
+    let max_ix = Array.fold_left (fun acc w -> max acc w.ix) 0 ws in
+    let max_iy = Array.fold_left (fun acc w -> max acc w.iy) 0 ws in
+    let m = max (max_ix + 1) (max_iy + 1) in
+    let batches = Array.make m [] in
+    Array.iter
+      (fun w ->
+        let k = ((w.ix - w.iy) mod m + m) mod m in
+        batches.(k) <- w :: batches.(k))
+      ws;
+    Array.to_list batches
+    |> List.filter_map (fun batch ->
+           match batch with [] -> None | _ -> Some (Array.of_list batch))
+  end

@@ -1,0 +1,31 @@
+(** Window partition of the layout and diagonally-independent batches
+    (Section 4.1, Fig. 3).
+
+    Windows form a grid of bw x bh (sites x rows) tiles, offset by (tx,
+    ty) to expose cells left unoptimised at the previous iteration's
+    window boundaries. A batch contains windows with pairwise-disjoint
+    projections onto both axes — the condition under which per-window
+    delta-HPWL values add up exactly (Fig. 4) and the windows could be
+    solved in parallel. *)
+
+type t = {
+  ix : int;
+  iy : int;
+  site_lo : int;
+  row_lo : int;
+  bw : int;
+  bh : int;
+  movable : int list;  (** instances fully inside this window *)
+}
+
+(** [partition p ~tx ~ty ~bw ~bh] tiles the die and assigns every
+    instance: fully-contained instances become [movable] of their window;
+    boundary-crossing instances are movable nowhere this iteration.
+    Windows with no movable cells are dropped. *)
+val partition :
+  Place.Placement.t -> tx:int -> ty:int -> bw:int -> bh:int -> t array
+
+(** [diagonal_batches ws] groups windows into batches with disjoint x and
+    y projections; the number of batches is max of the window-grid
+    dimensions (~ sqrt of the window count for a square grid). *)
+val diagonal_batches : t array -> t array list

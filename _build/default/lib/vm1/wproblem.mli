@@ -1,0 +1,122 @@
+(** A window subproblem of the detailed placement optimisation.
+
+    Movable cells are those whose footprint lies fully inside the window;
+    every movable cell carries its SCP candidate list — the (site, row,
+    orientation) placements reachable within the perturbation range that
+    stay inside the window and clear of fixed cells. Nets touching a
+    movable cell contribute their full HPWL (fixed pins included, so the
+    window's delta-HPWL is exact when concurrently-optimised windows have
+    disjoint projections — the Fig. 4 argument). Pin pairs are
+    pre-filtered to those that could satisfy the dM1 predicate under some
+    candidate combination. *)
+
+type candidate = {
+  site : int;
+  row : int;
+  orient : Geom.Orient.t;
+}
+
+type cell = {
+  inst : int;
+  width : int;  (** sites *)
+  cands : candidate array;  (** index 0 is the input position *)
+  geoms : Align.pin_geom array array;  (** candidate -> master pin -> geometry *)
+  cand_cost : float array;
+  (** static per-candidate objective penalty; used by the
+      congestion-aware extension to tax candidates in hot routing tiles *)
+  mutable cur : int;
+}
+
+type wpin = {
+  pr : Netlist.Design.pin_ref;
+  owner : int;  (** movable cell index, or -1 when fixed *)
+  fixed_geom : Align.pin_geom;  (** valid when [owner] = -1 *)
+}
+
+type wnet = {
+  net_id : int;
+  weight : float;  (** the per-net beta_n multiplier from [Params] *)
+  wpins : wpin array;
+}
+
+type t = {
+  placement : Place.Placement.t;
+  params : Params.t;
+  is_open : bool;
+  site_lo : int;
+  row_lo : int;
+  bw : int;  (** window width, sites *)
+  bh : int;  (** window height, rows *)
+  cells : cell array;
+  nets : wnet array;
+  pairs : (wpin * wpin) array;
+  cell_nets : int list array;   (** local net indices touching each cell *)
+  cell_pairs : int list array;  (** pair indices touching each cell *)
+  occ : Bytes.t;  (** bw x bh per-site occupant count (fixed + movable) *)
+  fixed_occ : Bytes.t;  (** fixed blockage only *)
+  cand_index : (int, int) Hashtbl.t array;  (** encoded candidate -> index *)
+}
+
+(** [extract ?candidate_cost placement params ~site_lo ~row_lo ~bw ~bh
+    ~movable ~lx ~ly ~allow_flip ~allow_move] builds the subproblem.
+    [movable] lists the instances fully inside the window; instances
+    overlapping the window but not listed are treated as fixed blockage.
+    [candidate_cost], when given, assigns each candidate a static
+    objective penalty (e.g. congestion of its tile). *)
+val extract :
+  ?candidate_cost:(site:int -> row:int -> float) ->
+  Place.Placement.t -> Params.t ->
+  site_lo:int -> row_lo:int -> bw:int -> bh:int ->
+  movable:int list -> lx:int -> ly:int ->
+  allow_flip:bool -> allow_move:bool -> t
+
+(** [pin_geom t wp] is the pin's geometry in the problem's current state. *)
+val pin_geom : t -> wpin -> Align.pin_geom
+
+(** [objective t] is the window-local objective:
+    beta * sum HPWL(nets) - sum pair_gain(pairs). *)
+val objective : t -> float
+
+(** [candidate_free t ~cell ~cand] checks the candidate footprint against
+    the occupancy map, ignoring the cell's own current footprint. *)
+val candidate_free : t -> cell:int -> cand:int -> bool
+
+(** [move_delta t ~cell ~cand] is the objective change if [cell] moved to
+    [cand] with everything else at its current position. *)
+val move_delta : t -> cell:int -> cand:int -> float
+
+(** [apply t ~cell ~cand] moves the cell (updates occupancy and [cur]). *)
+val apply : t -> cell:int -> cand:int -> unit
+
+(** Multi-cell plans (ripple moves): a plan is a list of (cell, candidate)
+    moves applied together. [shove_plan t ~cell ~cand] tries to make the
+    (possibly occupied) candidate feasible by pushing same-row neighbours
+    sideways within their own candidate sets — the coordinated moves the
+    MILP finds natively. Returns the full plan (including the triggering
+    move) or [None]. *)
+val shove_plan : t -> cell:int -> cand:int -> (int * int) list option
+
+(** [plan_delta t plan] is the objective change of applying the plan
+    (evaluated by applying and reverting). *)
+val plan_delta : t -> (int * int) list -> float
+
+val apply_plan : t -> (int * int) list -> unit
+
+(** [cell_pair_gain_at t ~cell ~cand] is the summed pair gain of the
+    cell's incident pairs if it sat at [cand] — used to pick which
+    occupied candidates deserve a shove attempt. *)
+val cell_pair_gain_at : t -> cell:int -> cand:int -> float
+
+(** [commit t] writes the current candidates back into the placement. *)
+val commit : t -> unit
+
+(** Raw occupancy primitives for exhaustive search: [lift]/[drop] remove
+    or add a cell's current footprint; [footprint_free_at] checks a
+    candidate against the occupancy as-is (no self-lifting); [set_cur]
+    changes the chosen candidate without touching occupancy. Callers must
+    keep occupancy consistent themselves. *)
+val lift : t -> cell:int -> unit
+
+val drop : t -> cell:int -> unit
+val footprint_free_at : t -> cell:int -> cand:int -> bool
+val set_cur : t -> cell:int -> cand:int -> unit

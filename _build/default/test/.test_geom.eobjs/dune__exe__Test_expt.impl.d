@@ -1,0 +1,1 @@
+test/test_expt.ml: Alcotest List Netlist Pdk Report String

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Lazy Netlist Pdk Place Report Vm1

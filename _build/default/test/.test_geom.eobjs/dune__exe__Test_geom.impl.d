@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Geom List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Float List Milp Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pdk.ml: Alcotest Geom Int List Pdk Printf

@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Geom Int List Netlist Pdk Place String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Geom List Netlist Pdk Place Printf QCheck2 QCheck_alcotest Random Route Sta Vm1

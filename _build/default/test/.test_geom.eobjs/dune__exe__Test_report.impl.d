@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array List Netlist Pdk Place Report Route Str String Vm1

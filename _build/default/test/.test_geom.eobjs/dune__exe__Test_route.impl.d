@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Geom Int List Netlist Pdk Place QCheck2 QCheck_alcotest Route

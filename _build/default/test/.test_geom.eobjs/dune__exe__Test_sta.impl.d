@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Netlist Pdk Sta

@@ -1,0 +1,1 @@
+test/test_vm1.ml: Alcotest Array Geom Hashtbl List Milp Netlist Pdk Place Printf Vm1

@@ -1,0 +1,71 @@
+(* Smoke coverage for the experiment drivers at tiny scale: each driver
+   must run, produce self-consistent points, and render. *)
+
+let checkb = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+let test_fig6_driver () =
+  let points = Report.Expt.Fig6.run ~scale:32 ~alphas:[ 0.0; 1200.0 ] () in
+  check "two points" 2 (List.length points);
+  (match points with
+   | [ zero; high ] ->
+     checkb "alpha=1200 finds more alignments" true
+       (high.Report.Expt.Fig6.alignments >= zero.Report.Expt.Fig6.alignments);
+     checkb "dm1 tracks alignments" true (high.Report.Expt.Fig6.dm1 > 0)
+   | _ -> Alcotest.fail "expected two points");
+  checkb "renders" true
+    (String.length (Report.Expt.Fig6.render points) > 0)
+
+let test_fig7_driver () =
+  let points = Report.Expt.Fig7.run ~scale:32 () in
+  check "five sequences" 5 (List.length points);
+  List.iter
+    (fun (pt : Report.Expt.Fig7.point) ->
+      checkb "positive rwl" true (pt.rwl_um > 0.0);
+      checkb "nonnegative runtime" true (pt.runtime_s >= 0.0))
+    points
+
+let test_fig8_driver () =
+  let points = Report.Expt.Fig8.run ~scale:32 ~utils:[ 0.80; 0.88 ] () in
+  check "two points" 2 (List.length points);
+  List.iter
+    (fun (pt : Report.Expt.Fig8.point) ->
+      checkb "optimiser never adds DRVs" true (pt.drvs_opt <= pt.drvs_init);
+      checkb "dm1 grows" true (pt.dm1_opt >= pt.dm1_init))
+    points
+
+let test_table2_driver () =
+  let rows =
+    Report.Expt.Table2.run ~scale:32 ~archs:[ Pdk.Cell_arch.Closed_m1 ]
+      ~designs:[ Netlist.Designs.M0 ] ()
+  in
+  check "one row" 1 (List.length rows);
+  let c = List.hd rows in
+  checkb "dm1 increases" true
+    (c.Report.Flow.final.Report.Flow.dm1 >= c.Report.Flow.init.Report.Flow.dm1);
+  checkb "renders" true (String.length (Report.Expt.Table2.render rows) > 0)
+
+let test_fig5_driver () =
+  let points = Report.Expt.Fig5.run ~scale:32 () in
+  checkb "several points" true (List.length points >= 6);
+  List.iter
+    (fun (pt : Report.Expt.Fig5.point) ->
+      checkb "positive rwl" true (pt.rwl_um > 0.0))
+    points;
+  (* the render normalises against the best point *)
+  let rendered = Report.Expt.Fig5.render points in
+  checkb "contains normalised column" true
+    (String.length rendered > 0)
+
+let () =
+  Alcotest.run "expt"
+    [
+      ( "drivers",
+        [
+          Alcotest.test_case "fig5" `Slow test_fig5_driver;
+          Alcotest.test_case "fig6" `Quick test_fig6_driver;
+          Alcotest.test_case "fig7" `Quick test_fig7_driver;
+          Alcotest.test_case "fig8" `Slow test_fig8_driver;
+          Alcotest.test_case "table2" `Quick test_table2_driver;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Unit and property tests for the geometry kernel. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Point --- *)
+
+let test_point_ops () =
+  let a = Geom.Point.make 3 4 and b = Geom.Point.make (-1) 2 in
+  check "add x" 2 (Geom.Point.add a b).Geom.Point.x;
+  check "add y" 6 (Geom.Point.add a b).Geom.Point.y;
+  check "sub x" 4 (Geom.Point.sub a b).Geom.Point.x;
+  check "sub y" 2 (Geom.Point.sub a b).Geom.Point.y;
+  check "neg x" (-3) (Geom.Point.neg a).Geom.Point.x;
+  check "manhattan" 6 (Geom.Point.manhattan a b);
+  checkb "equal refl" true (Geom.Point.equal a a);
+  checkb "equal diff" false (Geom.Point.equal a b);
+  check "compare eq" 0 (Geom.Point.compare a a)
+
+let test_point_zero () =
+  checkb "zero + a = a" true
+    (Geom.Point.equal (Geom.Point.add Geom.Point.zero (Geom.Point.make 5 7))
+       (Geom.Point.make 5 7));
+  check "manhattan to self" 0 (Geom.Point.manhattan Geom.Point.zero Geom.Point.zero)
+
+(* --- Interval --- *)
+
+let test_interval_basic () =
+  let i = Geom.Interval.make 2 10 in
+  check "length" 8 (Geom.Interval.length i);
+  checkb "contains lo" true (Geom.Interval.contains i 2);
+  checkb "contains hi" true (Geom.Interval.contains i 10);
+  checkb "not contains" false (Geom.Interval.contains i 11);
+  checkb "empty is empty" true (Geom.Interval.is_empty Geom.Interval.empty);
+  check "empty length" 0 (Geom.Interval.length Geom.Interval.empty)
+
+let test_interval_of_unordered () =
+  let i = Geom.Interval.of_unordered 9 3 in
+  check "lo" 3 i.Geom.Interval.lo;
+  check "hi" 9 i.Geom.Interval.hi
+
+let test_interval_overlap () =
+  let a = Geom.Interval.make 0 10 and b = Geom.Interval.make 5 20 in
+  check "overlap positive" 5 (Geom.Interval.overlap a b);
+  let c = Geom.Interval.make 15 20 in
+  check "overlap negative is minus gap" (-5) (Geom.Interval.overlap a c);
+  check "overlap symmetric" (Geom.Interval.overlap a b) (Geom.Interval.overlap b a)
+
+let test_interval_set_ops () =
+  let a = Geom.Interval.make 0 10 and b = Geom.Interval.make 5 20 in
+  checkb "intersect" true
+    (Geom.Interval.equal (Geom.Interval.intersect a b) (Geom.Interval.make 5 10));
+  checkb "union" true
+    (Geom.Interval.equal (Geom.Interval.union a b) (Geom.Interval.make 0 20));
+  checkb "union with empty" true
+    (Geom.Interval.equal (Geom.Interval.union a Geom.Interval.empty) a);
+  checkb "shift" true
+    (Geom.Interval.equal (Geom.Interval.shift a 3) (Geom.Interval.make 3 13))
+
+(* --- Rect --- *)
+
+let test_rect_basic () =
+  let r = Geom.Rect.make ~lx:1 ~ly:2 ~hx:5 ~hy:10 in
+  check "width" 4 (Geom.Rect.width r);
+  check "height" 8 (Geom.Rect.height r);
+  check "half perimeter" 12 (Geom.Rect.half_perimeter r);
+  check "area" 32 (Geom.Rect.area r);
+  checkb "contains center" true (Geom.Rect.contains_point r (Geom.Rect.center r));
+  checkb "empty" true (Geom.Rect.is_empty Geom.Rect.empty);
+  check "empty width" 0 (Geom.Rect.width Geom.Rect.empty)
+
+let test_rect_overlap () =
+  let a = Geom.Rect.make ~lx:0 ~ly:0 ~hx:10 ~hy:10 in
+  let b = Geom.Rect.make ~lx:10 ~ly:0 ~hx:20 ~hy:10 in
+  checkb "edge abut overlaps (closed)" true (Geom.Rect.overlaps a b);
+  checkb "edge abut not strict" false (Geom.Rect.overlaps_strictly a b);
+  let c = Geom.Rect.make ~lx:5 ~ly:5 ~hx:15 ~hy:15 in
+  checkb "strict overlap" true (Geom.Rect.overlaps_strictly a c);
+  let d = Geom.Rect.make ~lx:11 ~ly:11 ~hx:12 ~hy:12 in
+  checkb "disjoint" false (Geom.Rect.overlaps a d)
+
+let test_rect_bbox () =
+  let pts = [ Geom.Point.make 3 7; Geom.Point.make (-1) 2; Geom.Point.make 5 0 ] in
+  let bb = Geom.Rect.bbox_of_points pts in
+  checkb "bbox" true
+    (Geom.Rect.equal bb (Geom.Rect.make ~lx:(-1) ~ly:0 ~hx:5 ~hy:7));
+  Alcotest.check_raises "empty bbox raises"
+    (Invalid_argument "Rect.bbox_of_points: empty list") (fun () ->
+      ignore (Geom.Rect.bbox_of_points []))
+
+let test_rect_expand_shift () =
+  let r = Geom.Rect.make ~lx:2 ~ly:2 ~hx:4 ~hy:4 in
+  checkb "expand" true
+    (Geom.Rect.equal (Geom.Rect.expand r 2)
+       (Geom.Rect.make ~lx:0 ~ly:0 ~hx:6 ~hy:6));
+  checkb "shift" true
+    (Geom.Rect.equal (Geom.Rect.shift r (Geom.Point.make 1 (-1)))
+       (Geom.Rect.make ~lx:3 ~ly:1 ~hx:5 ~hy:3))
+
+(* --- Orient --- *)
+
+let test_orient_flip () =
+  checkb "N flips to FN" true (Geom.Orient.flip_y Geom.Orient.N = Geom.Orient.FN);
+  checkb "FN flips to N" true (Geom.Orient.flip_y Geom.Orient.FN = Geom.Orient.N);
+  checkb "S flips to FS" true (Geom.Orient.flip_y Geom.Orient.S = Geom.Orient.FS);
+  checkb "is_flipped FN" true (Geom.Orient.is_flipped Geom.Orient.FN);
+  checkb "is_flipped N" false (Geom.Orient.is_flipped Geom.Orient.N)
+
+let test_orient_apply () =
+  (* a 100x200 cell with a pin at [10,20]x[30,40] *)
+  let r = Geom.Rect.make ~lx:10 ~ly:30 ~hx:20 ~hy:40 in
+  let fn = Geom.Orient.apply Geom.Orient.FN ~cell_width:100 ~cell_height:200 r in
+  checkb "FN mirrors x" true
+    (Geom.Rect.equal fn (Geom.Rect.make ~lx:80 ~ly:30 ~hx:90 ~hy:40));
+  let fs = Geom.Orient.apply Geom.Orient.FS ~cell_width:100 ~cell_height:200 r in
+  checkb "FS mirrors y" true
+    (Geom.Rect.equal fs (Geom.Rect.make ~lx:10 ~ly:160 ~hx:20 ~hy:170));
+  let n = Geom.Orient.apply Geom.Orient.N ~cell_width:100 ~cell_height:200 r in
+  checkb "N is identity" true (Geom.Rect.equal n r)
+
+let test_orient_apply_x () =
+  check "N keeps x" 10 (Geom.Orient.apply_x Geom.Orient.N ~cell_width:100 10);
+  check "FN mirrors x" 90 (Geom.Orient.apply_x Geom.Orient.FN ~cell_width:100 10)
+
+(* --- properties --- *)
+
+let point_gen =
+  QCheck2.Gen.map2 Geom.Point.make
+    (QCheck2.Gen.int_range (-1000) 1000)
+    (QCheck2.Gen.int_range (-1000) 1000)
+
+let rect_gen = QCheck2.Gen.map2 Geom.Rect.of_points point_gen point_gen
+
+let prop_manhattan_triangle =
+  QCheck2.Test.make ~name:"manhattan satisfies triangle inequality" ~count:500
+    (QCheck2.Gen.triple point_gen point_gen point_gen)
+    (fun (a, b, c) ->
+      Geom.Point.manhattan a c
+      <= Geom.Point.manhattan a b + Geom.Point.manhattan b c)
+
+let prop_union_contains =
+  QCheck2.Test.make ~name:"rect union contains both" ~count:500
+    (QCheck2.Gen.pair rect_gen rect_gen)
+    (fun (a, b) ->
+      let u = Geom.Rect.union a b in
+      Geom.Rect.contains_point u (Geom.Rect.center a)
+      && Geom.Rect.contains_point u (Geom.Rect.center b))
+
+let prop_intersect_subset =
+  QCheck2.Test.make ~name:"rect intersection within union" ~count:500
+    (QCheck2.Gen.pair rect_gen rect_gen)
+    (fun (a, b) ->
+      let i = Geom.Rect.intersect a b in
+      Geom.Rect.is_empty i
+      ||
+      let u = Geom.Rect.union a b in
+      Geom.Rect.contains_point u (Geom.Rect.center i))
+
+let prop_orient_involution =
+  QCheck2.Test.make ~name:"FN applied twice is identity" ~count:500 rect_gen
+    (fun r ->
+      let r =
+        Geom.Rect.make
+          ~lx:(abs r.Geom.Rect.lx mod 100)
+          ~ly:(abs r.Geom.Rect.ly mod 100)
+          ~hx:((abs r.Geom.Rect.lx mod 100) + 5)
+          ~hy:((abs r.Geom.Rect.ly mod 100) + 5)
+      in
+      let once = Geom.Orient.apply Geom.Orient.FN ~cell_width:200 ~cell_height:200 r in
+      let twice = Geom.Orient.apply Geom.Orient.FN ~cell_width:200 ~cell_height:200 once in
+      Geom.Rect.equal twice r)
+
+let prop_hpwl_union_superadditive =
+  QCheck2.Test.make
+    ~name:"half-perimeter of union >= max of parts" ~count:500
+    (QCheck2.Gen.pair rect_gen rect_gen)
+    (fun (a, b) ->
+      let u = Geom.Rect.union a b in
+      Geom.Rect.half_perimeter u >= Geom.Rect.half_perimeter a
+      && Geom.Rect.half_perimeter u >= Geom.Rect.half_perimeter b)
+
+let prop_interval_overlap_symmetric =
+  QCheck2.Test.make ~name:"interval overlap symmetric" ~count:500
+    (QCheck2.Gen.quad
+       (QCheck2.Gen.int_range (-100) 100) (QCheck2.Gen.int_range (-100) 100)
+       (QCheck2.Gen.int_range (-100) 100) (QCheck2.Gen.int_range (-100) 100))
+    (fun (a, b, c, d) ->
+      let i = Geom.Interval.of_unordered a b in
+      let j = Geom.Interval.of_unordered c d in
+      Geom.Interval.overlap i j = Geom.Interval.overlap j i)
+
+let () =
+  Alcotest.run "geom"
+    [
+      ( "point",
+        [
+          Alcotest.test_case "ops" `Quick test_point_ops;
+          Alcotest.test_case "zero" `Quick test_point_zero;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "basic" `Quick test_interval_basic;
+          Alcotest.test_case "of_unordered" `Quick test_interval_of_unordered;
+          Alcotest.test_case "overlap" `Quick test_interval_overlap;
+          Alcotest.test_case "set ops" `Quick test_interval_set_ops;
+        ] );
+      ( "rect",
+        [
+          Alcotest.test_case "basic" `Quick test_rect_basic;
+          Alcotest.test_case "overlap" `Quick test_rect_overlap;
+          Alcotest.test_case "bbox" `Quick test_rect_bbox;
+          Alcotest.test_case "expand/shift" `Quick test_rect_expand_shift;
+        ] );
+      ( "orient",
+        [
+          Alcotest.test_case "flip" `Quick test_orient_flip;
+          Alcotest.test_case "apply" `Quick test_orient_apply;
+          Alcotest.test_case "apply_x" `Quick test_orient_apply_x;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_manhattan_triangle;
+            prop_union_contains;
+            prop_intersect_subset;
+            prop_orient_involution;
+            prop_hpwl_union_superadditive;
+            prop_interval_overlap_symmetric;
+          ] );
+    ]

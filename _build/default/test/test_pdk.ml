@@ -1,0 +1,262 @@
+(* Tests for the PDK: technology parameters, cell architectures and the
+   generated standard-cell libraries. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let closed_tech = Pdk.Tech.default Pdk.Cell_arch.Closed_m1
+let open_tech = Pdk.Tech.default Pdk.Cell_arch.Open_m1
+let conv_tech = Pdk.Tech.default Pdk.Cell_arch.Conventional12
+let closed_lib = Pdk.Libgen.generate closed_tech
+let open_lib = Pdk.Libgen.generate open_tech
+let conv_lib = Pdk.Libgen.generate conv_tech
+
+(* --- Layer --- *)
+
+let test_layer_directions () =
+  checkb "M1 vertical" true (Pdk.Layer.direction Pdk.Layer.M1 = Pdk.Layer.Vertical);
+  checkb "M2 horizontal" true
+    (Pdk.Layer.direction Pdk.Layer.M2 = Pdk.Layer.Horizontal);
+  checkb "M0 horizontal" true
+    (Pdk.Layer.direction Pdk.Layer.M0 = Pdk.Layer.Horizontal);
+  checkb "M3 vertical" true (Pdk.Layer.direction Pdk.Layer.M3 = Pdk.Layer.Vertical)
+
+let test_layer_index_roundtrip () =
+  List.iter
+    (fun l -> checkb "roundtrip" true (Pdk.Layer.of_index (Pdk.Layer.index l) = l))
+    Pdk.Layer.all;
+  Alcotest.check_raises "bad index" (Invalid_argument "Layer.of_index: 9")
+    (fun () -> ignore (Pdk.Layer.of_index 9))
+
+(* --- Cell_arch --- *)
+
+let test_arch_strings () =
+  List.iter
+    (fun a ->
+      checkb "roundtrip" true
+        (Pdk.Cell_arch.of_string (Pdk.Cell_arch.to_string a) = Some a))
+    [ Pdk.Cell_arch.Conventional12; Pdk.Cell_arch.Closed_m1; Pdk.Cell_arch.Open_m1 ];
+  checkb "unknown" true (Pdk.Cell_arch.of_string "bogus" = None)
+
+let test_arch_inter_row_m1 () =
+  checkb "conv blocks" false
+    (Pdk.Cell_arch.allows_inter_row_m1 Pdk.Cell_arch.Conventional12);
+  checkb "closed allows" true
+    (Pdk.Cell_arch.allows_inter_row_m1 Pdk.Cell_arch.Closed_m1);
+  checkb "open allows" true
+    (Pdk.Cell_arch.allows_inter_row_m1 Pdk.Cell_arch.Open_m1)
+
+(* --- Tech --- *)
+
+let test_tech_dimensions () =
+  check "site width" 36 closed_tech.Pdk.Tech.site_width;
+  check "7.5-track row" 270 closed_tech.Pdk.Tech.row_height;
+  check "12-track row" 432 conv_tech.Pdk.Tech.row_height;
+  check "gamma" 3 closed_tech.Pdk.Tech.gamma;
+  checkb "m1 pitch = site width (ClosedM1 requirement)" true
+    (closed_tech.Pdk.Tech.site_width = 36)
+
+let test_tech_tracks () =
+  check "track 0" 18 (Pdk.Tech.m1_track_x closed_tech 0);
+  check "track 5" (5 * 36 + 18) (Pdk.Tech.m1_track_x closed_tech 5);
+  check "track_of_x" 5 (Pdk.Tech.m1_track_of_x closed_tech (5 * 36 + 18));
+  checkb "on track" true (Pdk.Tech.is_on_m1_track closed_tech 18);
+  checkb "off track" false (Pdk.Tech.is_on_m1_track closed_tech 19);
+  check "row y" (3 * 270) (Pdk.Tech.row_y closed_tech 3)
+
+(* --- Library shape invariants --- *)
+
+let test_extended_kinds_present () =
+  List.iter
+    (fun name ->
+      checkb (name ^ " present") true (Pdk.Libgen.find_opt closed_lib name <> None))
+    [ "AND2_X1"; "OR2_X1"; "XNOR2_X1" ]
+
+let test_library_complete () =
+  check "same cell count across archs" (List.length closed_lib.cells)
+    (List.length open_lib.cells);
+  check "same cell count conv" (List.length closed_lib.cells)
+    (List.length conv_lib.cells);
+  checkb "has INV_X1" true (Pdk.Libgen.find_opt closed_lib "INV_X1" <> None);
+  checkb "has DFF_X1" true (Pdk.Libgen.find_opt closed_lib "DFF_X1" <> None);
+  checkb "no bogus" true (Pdk.Libgen.find_opt closed_lib "NAND9_X9" = None);
+  Alcotest.check_raises "find raises" (Invalid_argument "Libgen.find: no master FOO")
+    (fun () -> ignore (Pdk.Libgen.find closed_lib "FOO"))
+
+let test_library_partitions () =
+  let n_comb = List.length (Pdk.Libgen.combinational closed_lib) in
+  let n_seq = List.length (Pdk.Libgen.sequential closed_lib) in
+  let n_fill = List.length (Pdk.Libgen.fillers closed_lib) in
+  check "partition covers library" (List.length closed_lib.cells)
+    (n_comb + n_seq + n_fill);
+  check "two flop drives" 2 n_seq;
+  check "three fillers" 3 n_fill
+
+let test_master_geometry lib () =
+  let tech = lib.Pdk.Libgen.tech in
+  List.iter
+    (fun (c : Pdk.Stdcell.t) ->
+      checkb "width consistent" true (c.width = c.width_sites * tech.site_width);
+      check "height = row" tech.row_height c.height;
+      List.iter
+        (fun (p : Pdk.Stdcell.pin) ->
+          let bb = Pdk.Stdcell.pin_bbox p in
+          checkb
+            (Printf.sprintf "%s.%s inside cell" c.name p.pin_name)
+            true
+            (bb.Geom.Rect.lx >= 0 && bb.Geom.Rect.hx <= c.width
+             && bb.Geom.Rect.ly >= 0 && bb.Geom.Rect.hy <= c.height))
+        c.pins)
+    lib.Pdk.Libgen.cells
+
+let test_closed_pins_on_m1_tracks () =
+  List.iter
+    (fun (c : Pdk.Stdcell.t) ->
+      List.iter
+        (fun (p : Pdk.Stdcell.pin) ->
+          List.iter
+            (fun (layer, r) ->
+              checkb "ClosedM1 pin on M1" true (Pdk.Layer.equal layer Pdk.Layer.M1);
+              let cx = (r.Geom.Rect.lx + r.Geom.Rect.hx) / 2 in
+              checkb
+                (Printf.sprintf "%s.%s centred on track" c.name p.pin_name)
+                true
+                (Pdk.Tech.is_on_m1_track closed_tech cx);
+              checkb "1D vertical (taller than wide)" true
+                (Geom.Rect.height r > Geom.Rect.width r))
+            p.shapes)
+        c.pins)
+    closed_lib.cells
+
+let test_open_pins_on_m0 () =
+  List.iter
+    (fun (c : Pdk.Stdcell.t) ->
+      List.iter
+        (fun (p : Pdk.Stdcell.pin) ->
+          List.iter
+            (fun (layer, r) ->
+              checkb "OpenM1 pin on M0" true (Pdk.Layer.equal layer Pdk.Layer.M0);
+              checkb "horizontal (wider than tall)" true
+                (Geom.Rect.width r > Geom.Rect.height r))
+            p.shapes)
+        c.pins)
+    open_lib.cells
+
+let test_distinct_pin_tracks_closed () =
+  (* within a ClosedM1 master, no two pins share an M1 track *)
+  List.iter
+    (fun (c : Pdk.Stdcell.t) ->
+      let tracks =
+        List.concat_map
+          (fun (p : Pdk.Stdcell.pin) ->
+            List.map
+              (fun (_, r) -> (r.Geom.Rect.lx + r.Geom.Rect.hx) / 2)
+              p.shapes)
+          c.pins
+      in
+      let sorted = List.sort_uniq Int.compare tracks in
+      check (c.name ^ " distinct tracks") (List.length tracks) (List.length sorted))
+    closed_lib.cells
+
+let test_electrical_scaling () =
+  let x1 = Pdk.Libgen.find closed_lib "INV_X1" in
+  let x4 = Pdk.Libgen.find closed_lib "INV_X4" in
+  checkb "bigger drive, lower resistance" true
+    (x4.Pdk.Stdcell.drive_res < x1.Pdk.Stdcell.drive_res);
+  checkb "bigger drive, higher cap" true
+    (x4.Pdk.Stdcell.cap_in > x1.Pdk.Stdcell.cap_in);
+  checkb "bigger drive, higher leakage" true
+    (x4.Pdk.Stdcell.leakage > x1.Pdk.Stdcell.leakage)
+
+let test_pin_accessors () =
+  let nand = Pdk.Libgen.find closed_lib "NAND2_X1" in
+  check "two inputs" 2 (List.length (Pdk.Stdcell.inputs nand));
+  checkb "has output" true (Pdk.Stdcell.output nand <> None);
+  checkb "no clock" true (Pdk.Stdcell.clock nand = None);
+  checkb "not sequential" false (Pdk.Stdcell.is_sequential nand);
+  let dff = Pdk.Libgen.find closed_lib "DFF_X1" in
+  checkb "dff sequential" true (Pdk.Stdcell.is_sequential dff);
+  checkb "dff has clock" true (Pdk.Stdcell.clock dff <> None);
+  checks "find_pin" "ZN" (Pdk.Stdcell.find_pin nand "ZN").Pdk.Stdcell.pin_name;
+  Alcotest.check_raises "find_pin raises"
+    (Invalid_argument "Stdcell.find_pin: NAND2_X1 has no pin Q") (fun () ->
+      ignore (Pdk.Stdcell.find_pin nand "Q"))
+
+let test_placed_pin_shapes () =
+  let inv = Pdk.Libgen.find closed_lib "INV_X1" in
+  let pin = Pdk.Stdcell.find_pin inv "A" in
+  let origin = Geom.Point.make 720 540 in
+  let placed =
+    Pdk.Stdcell.placed_pin_bbox inv ~orient:Geom.Orient.N ~origin pin
+  in
+  let local = Pdk.Stdcell.pin_bbox pin in
+  check "x shifted" (local.Geom.Rect.lx + 720) placed.Geom.Rect.lx;
+  check "y shifted" (local.Geom.Rect.ly + 540) placed.Geom.Rect.ly;
+  (* flipping about y keeps the pin inside the cell and on a track *)
+  let flipped =
+    Pdk.Stdcell.placed_pin_bbox inv ~orient:Geom.Orient.FN ~origin pin
+  in
+  checkb "flipped inside cell" true
+    (flipped.Geom.Rect.lx >= 720 && flipped.Geom.Rect.hx <= 720 + inv.width);
+  let cx = (flipped.Geom.Rect.lx + flipped.Geom.Rect.hx) / 2 in
+  checkb "flipped still on track" true (Pdk.Tech.is_on_m1_track closed_tech cx)
+
+let test_flip_preserves_track_alignment_all_masters () =
+  (* the FN orientation must keep every ClosedM1 pin on the M1 track grid,
+     otherwise the flip degree of freedom would break alignment *)
+  List.iter
+    (fun (c : Pdk.Stdcell.t) ->
+      List.iter
+        (fun (p : Pdk.Stdcell.pin) ->
+          let bb =
+            Pdk.Stdcell.placed_pin_bbox c ~orient:Geom.Orient.FN
+              ~origin:Geom.Point.zero p
+          in
+          let cx = (bb.Geom.Rect.lx + bb.Geom.Rect.hx) / 2 in
+          checkb
+            (Printf.sprintf "%s.%s" c.name p.pin_name)
+            true
+            (Pdk.Tech.is_on_m1_track closed_tech cx))
+        c.pins)
+    closed_lib.cells
+
+let () =
+  Alcotest.run "pdk"
+    [
+      ( "layer",
+        [
+          Alcotest.test_case "directions" `Quick test_layer_directions;
+          Alcotest.test_case "index roundtrip" `Quick test_layer_index_roundtrip;
+        ] );
+      ( "cell_arch",
+        [
+          Alcotest.test_case "strings" `Quick test_arch_strings;
+          Alcotest.test_case "inter-row M1" `Quick test_arch_inter_row_m1;
+        ] );
+      ( "tech",
+        [
+          Alcotest.test_case "dimensions" `Quick test_tech_dimensions;
+          Alcotest.test_case "tracks" `Quick test_tech_tracks;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "complete" `Quick test_library_complete;
+          Alcotest.test_case "extended kinds" `Quick test_extended_kinds_present;
+          Alcotest.test_case "partitions" `Quick test_library_partitions;
+          Alcotest.test_case "geometry closed" `Quick (test_master_geometry closed_lib);
+          Alcotest.test_case "geometry open" `Quick (test_master_geometry open_lib);
+          Alcotest.test_case "geometry conv" `Quick (test_master_geometry conv_lib);
+          Alcotest.test_case "closed pins on tracks" `Quick test_closed_pins_on_m1_tracks;
+          Alcotest.test_case "open pins on M0" `Quick test_open_pins_on_m0;
+          Alcotest.test_case "distinct pin tracks" `Quick test_distinct_pin_tracks_closed;
+          Alcotest.test_case "electrical scaling" `Quick test_electrical_scaling;
+        ] );
+      ( "stdcell",
+        [
+          Alcotest.test_case "pin accessors" `Quick test_pin_accessors;
+          Alcotest.test_case "placed pin shapes" `Quick test_placed_pin_shapes;
+          Alcotest.test_case "flip keeps track alignment" `Quick
+            test_flip_preserves_track_alignment_all_masters;
+        ] );
+    ]

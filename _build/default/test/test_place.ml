@@ -1,0 +1,295 @@
+(* Tests for placement: die sizing, legalisation, HPWL, global placement. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let lib = Pdk.Libgen.generate (Pdk.Tech.default Pdk.Cell_arch.Closed_m1)
+
+let design ?(n = 300) ?(seed = 5) () =
+  Netlist.Generator.generate lib
+    (Netlist.Generator.default_config ~n_instances:n ~seed)
+    ~name:"t"
+
+let fresh ?(n = 300) ?(utilization = 0.75) () =
+  Place.Placement.create (design ~n ()) ~utilization
+
+(* --- Placement DB --- *)
+
+let test_create_die_sizing () =
+  let p = fresh () in
+  let u = Place.Placement.utilization p in
+  checkb "utilization near target" true (u > 0.65 && u <= 0.85);
+  checkb "die roughly square" true
+    (let w = float_of_int (Geom.Rect.width p.die) in
+     let h = float_of_int (Geom.Rect.height p.die) in
+     w /. h > 0.5 && w /. h < 2.0);
+  check "rows consistent" (Geom.Rect.height p.die)
+    (p.num_rows * p.tech.Pdk.Tech.row_height)
+
+let test_create_rejects_bad_util () =
+  let d = design () in
+  Alcotest.check_raises "zero util"
+    (Invalid_argument "Placement.create: utilization must be in (0,1]")
+    (fun () -> ignore (Place.Placement.create d ~utilization:0.0))
+
+let test_move_and_accessors () =
+  let p = fresh () in
+  Place.Placement.move p 3 ~site:10 ~row:2 ~orient:Geom.Orient.FN;
+  check "x" (10 * 36) p.xs.(3);
+  check "y" (2 * 270) p.ys.(3);
+  check "site" 10 (Place.Placement.site_of_inst p 3);
+  check "row" 2 (Place.Placement.row_of_inst p 3);
+  checkb "orient" true (Geom.Orient.equal p.orients.(3) Geom.Orient.FN);
+  let r = Place.Placement.instance_rect p 3 in
+  check "rect lx" (10 * 36) r.Geom.Rect.lx;
+  check "rect height" 270 (Geom.Rect.height r)
+
+let test_copy_assign_independent () =
+  let p = fresh () in
+  Place.Global.place p;
+  let q = Place.Placement.copy p in
+  Place.Placement.move p 0 ~site:1 ~row:1 ~orient:Geom.Orient.N;
+  checkb "copy unaffected" true (q.xs.(0) <> p.xs.(0) || q.ys.(0) <> p.ys.(0) ||
+                                 (q.xs.(0) = p.xs.(0) && q.ys.(0) = p.ys.(0) &&
+                                  Place.Placement.site_of_inst p 0 = 1));
+  Place.Placement.assign p q;
+  check "assign restores x" q.xs.(0) p.xs.(0);
+  check "assign restores y" q.ys.(0) p.ys.(0)
+
+let test_pin_pos_on_track () =
+  let p = fresh () in
+  Place.Global.place p;
+  (* every ClosedM1 pin centre must sit on the M1 track grid *)
+  Array.iteri
+    (fun i (inst : Netlist.Design.instance) ->
+      List.iteri
+        (fun k _ ->
+          let pos = Place.Placement.pin_pos p { Netlist.Design.inst = i; pin = k } in
+          checkb "pin x on track" true
+            (Pdk.Tech.is_on_m1_track p.tech pos.Geom.Point.x))
+        inst.master.Pdk.Stdcell.pins)
+    p.design.Netlist.Design.instances
+
+let test_overlap_count_detects () =
+  let p = fresh () in
+  Place.Global.place p;
+  check "legal has no overlap" 0 (Place.Placement.overlap_count p);
+  (* force one overlap *)
+  let s0 = Place.Placement.site_of_inst p 0 and r0 = Place.Placement.row_of_inst p 0 in
+  Place.Placement.move p 1 ~site:s0 ~row:r0 ~orient:Geom.Orient.N;
+  checkb "overlap detected" true (Place.Placement.overlap_count p > 0)
+
+(* --- Legalize --- *)
+
+let all_at p x y =
+  Array.iteri (fun i _ -> p.Place.Placement.xs.(i) <- x; p.Place.Placement.ys.(i) <- y)
+    p.Place.Placement.xs
+
+let test_legalize_from_origin () =
+  let p = fresh () in
+  all_at p 0 0;
+  Place.Legalize.legalize p;
+  Alcotest.(check (list string)) "legal" [] (Place.Legalize.check p)
+
+let test_legalize_from_center () =
+  let p = fresh () in
+  all_at p (Geom.Rect.width p.die / 2) (Geom.Rect.height p.die / 2);
+  Place.Legalize.legalize p;
+  Alcotest.(check (list string)) "legal" [] (Place.Legalize.check p)
+
+let test_legalize_from_corner () =
+  let p = fresh () in
+  all_at p (Geom.Rect.width p.die) (Geom.Rect.height p.die);
+  Place.Legalize.legalize p;
+  Alcotest.(check (list string)) "legal" [] (Place.Legalize.check p)
+
+let test_legalize_high_util () =
+  let p = fresh ~utilization:0.92 () in
+  all_at p 0 0;
+  Place.Legalize.legalize p;
+  Alcotest.(check (list string)) "legal at 92%" [] (Place.Legalize.check p)
+
+let test_legalize_idempotent_when_legal () =
+  let p = fresh () in
+  Place.Global.place p;
+  let before = Array.copy p.xs in
+  Place.Legalize.legalize p;
+  (* already-legal placements should not move much: displacement bounded by
+     a few sites on average *)
+  let total_disp = ref 0 in
+  Array.iteri (fun i x -> total_disp := !total_disp + abs (x - before.(i))) p.xs;
+  let avg = float_of_int !total_disp /. float_of_int (Array.length p.xs) in
+  checkb "small average displacement" true (avg < 3.0 *. 36.0)
+
+let test_check_reports_offgrid () =
+  let p = fresh () in
+  Place.Global.place p;
+  p.xs.(0) <- p.xs.(0) + 1;
+  checkb "offgrid reported" true
+    (List.exists
+       (fun s -> String.length s > 0)
+       (Place.Legalize.check p));
+  p.xs.(0) <- p.xs.(0) - 1
+
+(* --- Hpwl --- *)
+
+let test_hpwl_two_pin_net () =
+  (* build a 2-instance design by hand and verify HPWL against geometry *)
+  let inv = Pdk.Libgen.find lib "INV_X1" in
+  let mk name =
+    { Netlist.Design.inst_name = name; master = inv; pin_nets = [| 0; 0 |] }
+  in
+  let d =
+    {
+      Netlist.Design.name = "pair";
+      lib;
+      instances = [| mk "a"; mk "b" |];
+      nets =
+        [|
+          {
+            Netlist.Design.net_name = "n";
+            pins =
+              [|
+                { Netlist.Design.inst = 0; pin = 1 };
+                { Netlist.Design.inst = 1; pin = 0 };
+              |];
+            is_clock = false;
+          };
+        |];
+    }
+  in
+  let p = Place.Placement.create d ~utilization:0.3 in
+  Place.Placement.move p 0 ~site:0 ~row:0 ~orient:Geom.Orient.N;
+  Place.Placement.move p 1 ~site:4 ~row:1 ~orient:Geom.Orient.N;
+  let pos0 = Place.Placement.pin_pos p { Netlist.Design.inst = 0; pin = 1 } in
+  let pos1 = Place.Placement.pin_pos p { Netlist.Design.inst = 1; pin = 0 } in
+  check "hpwl matches pin geometry"
+    (abs (pos0.Geom.Point.x - pos1.Geom.Point.x)
+     + abs (pos0.Geom.Point.y - pos1.Geom.Point.y))
+    (Place.Hpwl.net p 0);
+  checkb "total positive" true (Place.Hpwl.total p > 0)
+
+let test_hpwl_single_pin_zero () =
+  let d = design () in
+  let p = Place.Placement.create d ~utilization:0.75 in
+  Place.Global.place p;
+  (* dangling nets (degree < 2) contribute nothing *)
+  Array.iteri
+    (fun nid (net : Netlist.Design.net) ->
+      if Array.length net.pins < 2 then check "dangling zero" 0 (Place.Hpwl.net p nid))
+    d.nets
+
+(* --- Global --- *)
+
+let test_global_improves_hpwl () =
+  let p = fresh ~n:600 () in
+  (* seed-only baseline: run with 0 relax passes *)
+  let q = Place.Placement.copy p in
+  Place.Global.place ~config:{ Place.Global.default_config with relax_passes = 0; float_iters = 0; reassign_rounds = 0 } q;
+  let seeded = Place.Hpwl.total q in
+  Place.Global.place p;
+  let relaxed = Place.Hpwl.total p in
+  checkb "relaxation does not hurt much" true
+    (float_of_int relaxed < 1.1 *. float_of_int seeded);
+  Alcotest.(check (list string)) "legal" [] (Place.Legalize.check p)
+
+let test_global_deterministic () =
+  let p1 = fresh () and p2 = fresh () in
+  Place.Global.place p1;
+  Place.Global.place p2;
+  Alcotest.(check (array int)) "same xs" p1.xs p2.xs;
+  Alcotest.(check (array int)) "same ys" p1.ys p2.ys
+
+(* --- row DP baseline --- *)
+
+let test_row_opt_improves_and_legal () =
+  let p = fresh ~n:500 () in
+  Place.Global.place p;
+  let before = Place.Hpwl.total p in
+  let gain = Place.Row_opt.optimize ~passes:2 p in
+  let after = Place.Hpwl.total p in
+  checkb "reported gain nonnegative" true (gain >= 0);
+  checkb "hpwl not worse" true (after <= before);
+  Alcotest.(check (list string)) "legal" [] (Place.Legalize.check p)
+
+let test_row_opt_preserves_order () =
+  let p = fresh ~n:400 () in
+  Place.Global.place p;
+  let order_of_row row =
+    let cells = ref [] in
+    for i = Place.Placement.num_instances p - 1 downto 0 do
+      if Place.Placement.row_of_inst p i = row then cells := i :: !cells
+    done;
+    List.sort (fun a b -> Int.compare p.xs.(a) p.xs.(b)) !cells
+  in
+  let before = List.init p.num_rows order_of_row in
+  ignore (Place.Row_opt.optimize ~passes:1 p);
+  let after = List.init p.num_rows order_of_row in
+  checkb "left-right order preserved per row" true (before = after)
+
+let test_row_opt_single_row_optimal_monotone () =
+  (* intra-row nets couple the cells, so one DP pass is not a fixpoint;
+     repeated passes must converge to zero gain quickly *)
+  let p = fresh ~n:300 () in
+  Place.Global.place p;
+  let rec converge tries =
+    if tries = 0 then Alcotest.fail "row DP did not converge"
+    else if Place.Row_opt.optimize_row p ~row:2 <= 0 then ()
+    else converge (tries - 1)
+  in
+  converge 10;
+  checkb "no gain at fixpoint" true (Place.Row_opt.optimize_row p ~row:2 <= 0)
+
+(* --- def conversion --- *)
+
+let test_to_from_def () =
+  let p = fresh () in
+  Place.Global.place p;
+  let def = Place.Placement.to_def p in
+  let q = Place.Placement.of_def p.design def in
+  Alcotest.(check (array int)) "xs" p.xs q.xs;
+  Alcotest.(check (array int)) "ys" p.ys q.ys;
+  check "rows" p.num_rows q.num_rows;
+  check "sites" p.sites_per_row q.sites_per_row
+
+let () =
+  Alcotest.run "place"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "die sizing" `Quick test_create_die_sizing;
+          Alcotest.test_case "bad util" `Quick test_create_rejects_bad_util;
+          Alcotest.test_case "move/accessors" `Quick test_move_and_accessors;
+          Alcotest.test_case "copy/assign" `Quick test_copy_assign_independent;
+          Alcotest.test_case "pins on tracks" `Quick test_pin_pos_on_track;
+          Alcotest.test_case "overlap detection" `Quick test_overlap_count_detects;
+        ] );
+      ( "legalize",
+        [
+          Alcotest.test_case "from origin" `Quick test_legalize_from_origin;
+          Alcotest.test_case "from center" `Quick test_legalize_from_center;
+          Alcotest.test_case "from corner" `Quick test_legalize_from_corner;
+          Alcotest.test_case "high utilization" `Quick test_legalize_high_util;
+          Alcotest.test_case "near-idempotent" `Quick test_legalize_idempotent_when_legal;
+          Alcotest.test_case "reports off-grid" `Quick test_check_reports_offgrid;
+        ] );
+      ( "hpwl",
+        [
+          Alcotest.test_case "two-pin net" `Quick test_hpwl_two_pin_net;
+          Alcotest.test_case "dangling zero" `Quick test_hpwl_single_pin_zero;
+        ] );
+      ( "global",
+        [
+          Alcotest.test_case "improves hpwl" `Quick test_global_improves_hpwl;
+          Alcotest.test_case "deterministic" `Quick test_global_deterministic;
+        ] );
+      ( "row_opt",
+        [
+          Alcotest.test_case "improves and legal" `Quick test_row_opt_improves_and_legal;
+          Alcotest.test_case "preserves order" `Quick test_row_opt_preserves_order;
+          Alcotest.test_case "converged after one pass" `Quick
+            test_row_opt_single_row_optimal_monotone;
+        ] );
+      ( "def",
+        [ Alcotest.test_case "to/from def" `Quick test_to_from_def ] );
+    ]

@@ -1,0 +1,195 @@
+(* Tests for the reporting layer: table rendering, CSV, flow helpers. *)
+
+let checks = Alcotest.(check string)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_render_alignment () =
+  let out =
+    Report.Table.render ~header:[ "a"; "long" ] ~rows:[ [ "xx"; "y" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+   | h :: sep :: row :: _ ->
+     checkb "header and row same width" true
+       (String.length h = String.length row);
+     checkb "separator dashes" true (String.contains sep '-')
+   | _ -> Alcotest.fail "expected three lines");
+  checkb "contains all cells" true
+    (List.for_all
+       (fun cell ->
+         (* each cell appears in the output *)
+         let re = Str.regexp_string cell in
+         (try ignore (Str.search_forward re out 0); true with Not_found -> false))
+       [ "a"; "long"; "xx"; "y" ])
+
+let test_csv_escaping () =
+  let out =
+    Report.Table.to_csv ~header:[ "x" ] ~rows:[ [ "has,comma" ]; [ "plain" ] ]
+  in
+  checks "csv" "x\n\"has,comma\"\nplain\n" out
+
+let test_number_formats () =
+  checks "fi" "42" (Report.Table.fi 42);
+  checks "f1" "3.1" (Report.Table.f1 3.14159);
+  checks "f3" "3.142" (Report.Table.f3 3.14159);
+  checks "pct up" "(+10.0)" (Report.Table.pct 10.0 11.0);
+  checks "pct down" "(-50.0)" (Report.Table.pct 10.0 5.0);
+  checks "pct zero base" "(0.0)" (Report.Table.pct 0.0 5.0)
+
+let test_delta_pct () =
+  checkf "delta" 10.0 (Report.Flow.delta_pct 100.0 110.0);
+  checkf "zero base" 0.0 (Report.Flow.delta_pct 0.0 5.0)
+
+let test_prepare_legal () =
+  let p = Report.Flow.prepare ~scale:32 Netlist.Designs.M0 Pdk.Cell_arch.Closed_m1 in
+  Alcotest.(check (list string)) "legal" [] (Place.Legalize.check p)
+
+let test_evaluate_consistent_clock () =
+  let p = Report.Flow.prepare ~scale:32 Netlist.Designs.M0 Pdk.Cell_arch.Closed_m1 in
+  let params = Vm1.Params.default p.Place.Placement.tech in
+  let e1, clock = Report.Flow.evaluate params p in
+  let e2, clock2 = Report.Flow.evaluate ~clock_ps:clock params p in
+  checkf "same clock when passed" clock clock2;
+  checkb "same dm1 on re-evaluation" true (e1.Report.Flow.dm1 = e2.Report.Flow.dm1)
+
+(* --- svg --- *)
+
+let test_svg_placement_wellformed () =
+  let p = Report.Flow.prepare ~scale:32 Netlist.Designs.M0 Pdk.Cell_arch.Closed_m1 in
+  let svg = Report.Svg.placement p in
+  checkb "opens svg" true (String.length svg > 100);
+  checkb "has xmlns" true
+    (try ignore (Str.search_forward (Str.regexp_string "xmlns") svg 0); true
+     with Not_found -> false);
+  checkb "closes svg" true
+    (try ignore (Str.search_forward (Str.regexp_string "</svg>") svg 0); true
+     with Not_found -> false);
+  (* one rect per instance at least (plus die + pins) *)
+  let rects = ref 0 in
+  let idx = ref 0 in
+  (try
+     while true do
+       idx := Str.search_forward (Str.regexp_string "<rect") svg !idx + 1;
+       incr rects
+     done
+   with Not_found -> ());
+  checkb "a rect per instance" true
+    (!rects > Place.Placement.num_instances p)
+
+let test_svg_routed_and_congestion () =
+  let p = Report.Flow.prepare ~scale:32 Netlist.Designs.M0 Pdk.Cell_arch.Closed_m1 in
+  let r = Route.Router.route p in
+  let routed = Report.Svg.routed r in
+  checkb "routed has lines" true
+    (try ignore (Str.search_forward (Str.regexp_string "<line") routed 0); true
+     with Not_found -> false);
+  let heat = Report.Svg.congestion r in
+  checkb "congestion has tiles" true
+    (try ignore (Str.search_forward (Str.regexp_string "rgb(255,") heat 0); true
+     with Not_found -> false)
+
+(* --- ablations --- *)
+
+let test_solver_ladder_ordering () =
+  let points = Report.Ablation.Solver_ladder.run ~scale:32 ~windows:4 () in
+  let find name =
+    List.find (fun (pt : Report.Ablation.Solver_ladder.point) -> pt.solver = name) points
+  in
+  let greedy = find "greedy" and anneal = find "anneal" in
+  let exact = find "exact" and milp = find "milp" in
+  checkb "exact is the optimum" true (exact.optimal_gap = 0.0);
+  checkb "milp matches exact" true (abs_float milp.optimal_gap < 0.5);
+  checkb "anneal no worse than greedy" true
+    (anneal.total_objective <= greedy.total_objective +. 1e-6);
+  checkb "greedy gap nonnegative" true (greedy.optimal_gap >= -1e-6)
+
+let test_no_dm1_ablation () =
+  let points = Report.Ablation.No_dm1.run ~scale:32 () in
+  match points with
+  | [ with_dm1; without ] ->
+    checkb "dM1 only with the mechanism" true
+      (with_dm1.Report.Ablation.No_dm1.dm1 > 0
+       && without.Report.Ablation.No_dm1.dm1 = 0);
+    checkb "dM1 saves vias" true
+      (with_dm1.Report.Ablation.No_dm1.via12
+       <= without.Report.Ablation.No_dm1.via12)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_baseline_dp_ablation () =
+  let points = Report.Ablation.Baseline_dp.run ~scale:32 () in
+  match points with
+  | [ raw; dp; vm1 ] ->
+    checkb "DP reduces HPWL" true
+      (dp.Report.Ablation.Baseline_dp.hpwl_um
+       <= raw.Report.Ablation.Baseline_dp.hpwl_um);
+    checkb "vm1 creates far more dM1 than DP" true
+      (vm1.Report.Ablation.Baseline_dp.dm1
+       > 2 * dp.Report.Ablation.Baseline_dp.dm1)
+  | _ -> Alcotest.fail "expected three points"
+
+(* --- congestion map --- *)
+
+let test_congestion_map () =
+  let p = Report.Flow.prepare ~scale:32 Netlist.Designs.M0 Pdk.Cell_arch.Closed_m1 in
+  let r = Route.Router.route p in
+  let map = Route.Congestion.of_result r in
+  checkb "ratios in [0, 3]" true
+    (Array.for_all (fun x -> x >= 0.0 && x < 3.0) map.Route.Congestion.ratio);
+  (* the map reflects usage: the total must be positive after routing *)
+  checkb "some usage" true
+    (Array.exists (fun x -> x > 0.0) map.Route.Congestion.ratio);
+  (* clamping: out-of-die queries do not raise *)
+  checkb "clamped" true (Route.Congestion.at map ~x:(-100) ~y:(max_int / 2) >= 0.0)
+
+let test_congestion_cost_plumbing () =
+  let p = Report.Flow.prepare ~scale:32 Netlist.Designs.M0 Pdk.Cell_arch.Closed_m1 in
+  let cost = Report.Flow.congestion_cost ~weight:10.0 ~threshold:0.0 p in
+  (* threshold 0 taxes every used tile, so some candidate cost is positive *)
+  let found = ref false in
+  for site = 0 to p.Place.Placement.sites_per_row - 1 do
+    for row = 0 to p.Place.Placement.num_rows - 1 do
+      if cost ~site ~row > 0.0 then found := true
+    done
+  done;
+  checkb "cost map active" true !found;
+  (* an optimisation run with the cost installed stays legal *)
+  let params = Vm1.Params.default p.Place.Placement.tech in
+  let config =
+    { Vm1.Vm1_opt.default_config with Vm1.Vm1_opt.candidate_cost = Some cost }
+  in
+  ignore (Vm1.Vm1_opt.run ~config params p);
+  Alcotest.(check (list string)) "legal" [] (Place.Legalize.check p)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render alignment" `Quick test_render_alignment;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "number formats" `Quick test_number_formats;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "delta pct" `Quick test_delta_pct;
+          Alcotest.test_case "prepare legal" `Quick test_prepare_legal;
+          Alcotest.test_case "evaluate clock" `Quick test_evaluate_consistent_clock;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "placement svg" `Quick test_svg_placement_wellformed;
+          Alcotest.test_case "routed + congestion svg" `Quick test_svg_routed_and_congestion;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "solver ladder" `Slow test_solver_ladder_ordering;
+          Alcotest.test_case "no-dm1 router" `Quick test_no_dm1_ablation;
+          Alcotest.test_case "dp baseline" `Quick test_baseline_dp_ablation;
+        ] );
+      ( "congestion",
+        [
+          Alcotest.test_case "map" `Quick test_congestion_map;
+          Alcotest.test_case "cost plumbing" `Quick test_congestion_cost_plumbing;
+        ] );
+    ]

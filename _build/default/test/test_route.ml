@@ -1,0 +1,433 @@
+(* Tests for the routing substrate: heap, grid, router, metrics. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let closed_lib = Pdk.Libgen.generate (Pdk.Tech.default Pdk.Cell_arch.Closed_m1)
+
+let placed_design ?(n = 250) ?(seed = 9) ?(utilization = 0.7) lib =
+  let d =
+    Netlist.Generator.generate lib
+      (Netlist.Generator.default_config ~n_instances:n ~seed)
+      ~name:"t"
+  in
+  let p = Place.Placement.create d ~utilization in
+  Place.Global.place p;
+  p
+
+(* --- Heap --- *)
+
+let test_heap_basic () =
+  let h = Route.Heap.create () in
+  checkb "empty" true (Route.Heap.is_empty h);
+  Route.Heap.push h ~prio:5 ~value:50;
+  Route.Heap.push h ~prio:1 ~value:10;
+  Route.Heap.push h ~prio:3 ~value:30;
+  check "size" 3 (Route.Heap.size h);
+  let p1, v1 = Route.Heap.pop h in
+  check "first prio" 1 p1;
+  check "first value" 10 v1;
+  let p2, _ = Route.Heap.pop h in
+  check "second prio" 3 p2;
+  let p3, _ = Route.Heap.pop h in
+  check "third prio" 5 p3;
+  checkb "empty again" true (Route.Heap.is_empty h);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Heap.pop: empty")
+    (fun () -> ignore (Route.Heap.pop h))
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap pops in priority order" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 10000))
+    (fun prios ->
+      let h = Route.Heap.create ~capacity:4 () in
+      List.iteri (fun i p -> Route.Heap.push h ~prio:p ~value:i) prios;
+      let out = ref [] in
+      while not (Route.Heap.is_empty h) do
+        out := fst (Route.Heap.pop h) :: !out
+      done;
+      List.rev !out = List.sort Int.compare prios)
+
+(* --- Grid --- *)
+
+let test_grid_geometry () =
+  let p = placed_design closed_lib in
+  let g = Route.Grid.of_placement p in
+  checkb "nx positive" true (g.Route.Grid.nx > 0);
+  check "pitch" 36 g.Route.Grid.pitch;
+  (* node index roundtrips *)
+  let n = Route.Grid.node g ~layer:3 ~i:5 ~j:7 in
+  check "layer" 3 (Route.Grid.layer_of_node g n);
+  check "i" 5 (Route.Grid.i_of_node g n);
+  check "j" 7 (Route.Grid.j_of_node g n);
+  check "track x" (5 * 36 + 18) (Route.Grid.track_x g 5);
+  check "x to track" 5 (Route.Grid.x_to_track g (5 * 36 + 18));
+  checkb "vertical M1" true (Route.Grid.is_vertical_layer 1);
+  checkb "horizontal M2" false (Route.Grid.is_vertical_layer 2);
+  checkb "vertical M5" true (Route.Grid.is_vertical_layer 5)
+
+let test_grid_edges () =
+  let p = placed_design closed_lib in
+  let g = Route.Grid.of_placement p in
+  (* vertical layer: wire edge goes up a row of tracks *)
+  let n = Route.Grid.node g ~layer:1 ~i:0 ~j:0 in
+  checkb "has wire edge" true (Route.Grid.has_wire_edge g n);
+  check "wire dest is j+1" (Route.Grid.node g ~layer:1 ~i:0 ~j:1)
+    (Route.Grid.wire_dest g n);
+  (* horizontal layer *)
+  let n2 = Route.Grid.node g ~layer:2 ~i:0 ~j:0 in
+  check "wire dest is i+1" (Route.Grid.node g ~layer:2 ~i:1 ~j:0)
+    (Route.Grid.wire_dest g n2);
+  (* top layer has no via up *)
+  let top = Route.Grid.node g ~layer:Route.Grid.num_layers ~i:0 ~j:0 in
+  checkb "no via from top" false (Route.Grid.has_via_edge g top);
+  checkb "via from M1" true (Route.Grid.has_via_edge g n);
+  check "via dest" (Route.Grid.node g ~layer:2 ~i:0 ~j:0) (Route.Grid.via_dest g n)
+
+let test_grid_pin_access_nonempty () =
+  let p = placed_design closed_lib in
+  let g = Route.Grid.of_placement p in
+  Array.iteri
+    (fun i (inst : Netlist.Design.instance) ->
+      List.iteri
+        (fun k _ ->
+          let access = Route.Grid.pin_access g { Netlist.Design.inst = i; pin = k } in
+          checkb "access nonempty" true (access <> []))
+        inst.master.Pdk.Stdcell.pins)
+    p.design.Netlist.Design.instances
+
+let test_grid_pin_blockage_ownership () =
+  let p = placed_design closed_lib in
+  let g = Route.Grid.of_placement p in
+  (* every ClosedM1 pin's access nodes carry the pin's net as owner on the
+     covered edges (or blocked when overlapping another pin) *)
+  let some_checked = ref false in
+  Array.iteri
+    (fun i (inst : Netlist.Design.instance) ->
+      List.iteri
+        (fun k _ ->
+          let netid = inst.pin_nets.(k) in
+          if netid >= 0 then begin
+            List.iter
+              (fun node ->
+                if Route.Grid.has_wire_edge g node then begin
+                  let owner = g.Route.Grid.wire_owner.(node) in
+                  if owner = netid then some_checked := true;
+                  checkb "owner is net, blocked, or free boundary" true
+                    (owner = netid || owner = Route.Grid.blocked
+                     || owner = Route.Grid.free)
+                end)
+              (Route.Grid.pin_access g { Netlist.Design.inst = i; pin = k })
+          end)
+        inst.master.Pdk.Stdcell.pins)
+    p.design.Netlist.Design.instances;
+  checkb "at least one owned edge seen" true !some_checked
+
+let test_conv12_blocks_inter_row_m1 () =
+  let lib = Pdk.Libgen.generate (Pdk.Tech.default Pdk.Cell_arch.Conventional12) in
+  let p = placed_design lib in
+  let g = Route.Grid.of_placement p in
+  let rh = p.Place.Placement.tech.Pdk.Tech.row_height in
+  (* every M1 wire edge crossing a row boundary must be blocked *)
+  let crossing = ref 0 and blocked = ref 0 in
+  for i = 0 to g.Route.Grid.nx - 1 do
+    for j = 0 to g.Route.Grid.ny - 2 do
+      let ya = Route.Grid.track_y g j and yb = Route.Grid.track_y g (j + 1) in
+      let crosses = ya / rh <> yb / rh in
+      if crosses then begin
+        incr crossing;
+        let n = Route.Grid.node g ~layer:1 ~i ~j in
+        if g.Route.Grid.wire_owner.(n) = Route.Grid.blocked then incr blocked
+      end
+    done
+  done;
+  checkb "has crossings" true (!crossing > 0);
+  check "all crossings blocked" !crossing !blocked
+
+let test_m2_power_rails_blocked () =
+  (* 7.5-track architectures lose the M2 track nearest each row boundary
+     to the power rails *)
+  let p = placed_design closed_lib in
+  let g = Route.Grid.of_placement p in
+  let rh = p.Place.Placement.tech.Pdk.Tech.row_height in
+  let blocked_rows = ref 0 in
+  for r = 1 to p.Place.Placement.num_rows - 1 do
+    let y = r * rh in
+    (* find the nearest M2 track and check it is blocked *)
+    let j = Route.Grid.y_to_track g y in
+    let j =
+      if
+        j + 1 < g.Route.Grid.ny
+        && abs (Route.Grid.track_y g (j + 1) - y) < abs (Route.Grid.track_y g j - y)
+      then j + 1
+      else j
+    in
+    let n = Route.Grid.node g ~layer:2 ~i:(g.Route.Grid.nx / 2) ~j in
+    if g.Route.Grid.wire_owner.(n) = Route.Grid.blocked then incr blocked_rows
+  done;
+  check "rails on every row boundary" (p.Place.Placement.num_rows - 1) !blocked_rows
+
+let test_pdn_stripes_toggle () =
+  let p = placed_design closed_lib in
+  let with_pdn = Route.Grid.of_placement ~pdn_stripes:true p in
+  let without = Route.Grid.of_placement ~pdn_stripes:false p in
+  let count g =
+    Array.fold_left
+      (fun acc o -> if o = Route.Grid.blocked then acc + 1 else acc)
+      0 g.Route.Grid.wire_owner
+  in
+  checkb "pdn adds blockage" true (count with_pdn > count without)
+
+let test_reduced_layer_stack () =
+  let p = placed_design closed_lib in
+  let g = Route.Grid.of_placement ~layers:4 p in
+  check "nl" 4 g.Route.Grid.nl;
+  let top = Route.Grid.node g ~layer:4 ~i:0 ~j:0 in
+  checkb "no via above M4" false (Route.Grid.has_via_edge g top);
+  Alcotest.check_raises "rejects 7 layers"
+    (Invalid_argument "Grid.of_placement: layers must be in 2..6") (fun () ->
+      ignore (Route.Grid.of_placement ~layers:7 p))
+
+let test_route_on_four_layers () =
+  let p = placed_design ~n:150 ~utilization:0.6 closed_lib in
+  let r =
+    Route.Router.route
+      ~config:{ Route.Router.default_config with layers = 4 } p
+  in
+  check "completes on 4 layers" 0 r.Route.Router.failed_subnets
+
+let test_clear_usage () =
+  let p = placed_design closed_lib in
+  let r = Route.Router.route p in
+  let g = r.Route.Router.grid in
+  checkb "some usage" true (Array.exists (fun u -> u > 0) g.Route.Grid.wire_usage);
+  Route.Grid.clear_usage g;
+  checkb "cleared" true (Array.for_all (fun u -> u = 0) g.Route.Grid.wire_usage)
+
+(* --- Router --- *)
+
+let test_route_completes () =
+  let p = placed_design closed_lib in
+  let r = Route.Router.route p in
+  check "no failures" 0 r.Route.Router.failed_subnets;
+  (* every 2+ pin signal net got a route for each MST edge *)
+  Array.iter
+    (fun (nr : Route.Router.net_route) ->
+      Array.iter
+        (fun (sn : Route.Router.subnet) -> checkb "routed" true sn.routed)
+        nr.subnets)
+    r.routes
+
+let test_route_subnet_count () =
+  let p = placed_design closed_lib in
+  let r = Route.Router.route p in
+  Array.iter
+    (fun (nr : Route.Router.net_route) ->
+      let deg = Netlist.Design.net_degree p.design nr.net_id in
+      check "k-1 subnets for k pins" (deg - 1) (Array.length nr.subnets))
+    r.routes
+
+let test_route_low_util_no_drvs () =
+  let p = placed_design ~utilization:0.6 closed_lib in
+  let r = Route.Router.route p in
+  let s = Route.Metrics.summarize r in
+  check "no drvs at 60%" 0 s.Route.Metrics.drvs
+
+let test_use_dm1_ablation () =
+  let p = placed_design closed_lib in
+  let r_on = Route.Router.route p in
+  let r_off =
+    Route.Router.route
+      ~config:{ Route.Router.default_config with use_dm1 = false } p
+  in
+  let s_on = Route.Metrics.summarize r_on in
+  let s_off = Route.Metrics.summarize r_off in
+  check "no inter-row dM1 when disabled" 0 s_off.Route.Metrics.dm1;
+  checkb "dm1 available when enabled" true (s_on.Route.Metrics.dm1 >= 0)
+
+let test_layer_breakdowns () =
+  let p = placed_design closed_lib in
+  let r = Route.Router.route p in
+  let s = Route.Metrics.summarize r in
+  let wl = Route.Metrics.per_layer_wl_um r in
+  let total = Array.fold_left ( +. ) 0.0 wl in
+  Alcotest.(check (float 0.01)) "per-layer sums to RWL" s.Route.Metrics.rwl_um total;
+  Alcotest.(check (float 0.01)) "layer 1 is M1 WL" s.Route.Metrics.m1_wl_um wl.(1);
+  let vias = Route.Metrics.vias_per_boundary r in
+  check "boundary 1 is via12" s.Route.Metrics.via12 vias.(1);
+  checkb "index 0 unused" true (wl.(0) = 0.0)
+
+let test_metrics_consistency () =
+  let p = placed_design closed_lib in
+  let r = Route.Router.route p in
+  let s = Route.Metrics.summarize r in
+  let lengths = Route.Metrics.net_lengths r in
+  let total = Array.fold_left ( + ) 0 lengths in
+  Alcotest.(check (float 0.001)) "net lengths sum to RWL"
+    s.Route.Metrics.rwl_um
+    (float_of_int total /. 1000.0);
+  checkb "m1 <= total" true (s.Route.Metrics.m1_wl_um <= s.Route.Metrics.rwl_um);
+  (* RWL tracks HPWL: it can dip slightly below the centre-to-centre HPWL
+     because routes terminate at pin access points, not pin centres, but
+     it stays the same order of magnitude *)
+  checkb "rwl within a factor of hpwl" true
+    (s.Route.Metrics.rwl_um >= 0.5 *. s.Route.Metrics.hpwl_um
+     && s.Route.Metrics.rwl_um <= 3.0 *. s.Route.Metrics.hpwl_um)
+
+(* constructed alignment: two INVs stacked in adjacent rows with connected
+   pins on the same track must be routed as a dM1 *)
+let test_dm1_detected_on_aligned_pair () =
+  let inv = Pdk.Libgen.find closed_lib "INV_X1" in
+  let mk name nets = { Netlist.Design.inst_name = name; master = inv; pin_nets = nets } in
+  let d =
+    {
+      Netlist.Design.name = "aligned";
+      lib = closed_lib;
+      instances = [| mk "a" [| -1; 0 |]; mk "b" [| 0; -1 |] |];
+      nets =
+        [|
+          {
+            Netlist.Design.net_name = "n";
+            pins =
+              [|
+                { Netlist.Design.inst = 0; pin = 1 };  (* a.ZN, track 1 *)
+                { Netlist.Design.inst = 1; pin = 0 };  (* b.A, track 0 *)
+              |];
+            is_clock = false;
+          };
+        |];
+    }
+  in
+  let p = Place.Placement.create d ~utilization:0.1 in
+  (* align a.ZN (offset track 1) with b.A (offset track 0): place b one
+     site to the right of a, in the row above *)
+  Place.Placement.move p 0 ~site:2 ~row:0 ~orient:Geom.Orient.N;
+  Place.Placement.move p 1 ~site:3 ~row:1 ~orient:Geom.Orient.N;
+  let ga = Place.Placement.pin_pos p { Netlist.Design.inst = 0; pin = 1 } in
+  let gb = Place.Placement.pin_pos p { Netlist.Design.inst = 1; pin = 0 } in
+  check "aligned x" ga.Geom.Point.x gb.Geom.Point.x;
+  let r = Route.Router.route p in
+  let s = Route.Metrics.summarize r in
+  check "routed as dM1" 1 s.Route.Metrics.dm1;
+  check "no via12 needed" 0 s.Route.Metrics.via12
+
+(* misaligned pair must NOT count as dM1 and needs vias *)
+let test_misaligned_pair_needs_vias () =
+  let inv = Pdk.Libgen.find closed_lib "INV_X1" in
+  let mk name nets = { Netlist.Design.inst_name = name; master = inv; pin_nets = nets } in
+  let d =
+    {
+      Netlist.Design.name = "misaligned";
+      lib = closed_lib;
+      instances = [| mk "a" [| -1; 0 |]; mk "b" [| 0; -1 |] |];
+      nets =
+        [|
+          {
+            Netlist.Design.net_name = "n";
+            pins =
+              [|
+                { Netlist.Design.inst = 0; pin = 1 };
+                { Netlist.Design.inst = 1; pin = 0 };
+              |];
+            is_clock = false;
+          };
+        |];
+    }
+  in
+  let p = Place.Placement.create d ~utilization:0.1 in
+  Place.Placement.move p 0 ~site:2 ~row:0 ~orient:Geom.Orient.N;
+  Place.Placement.move p 1 ~site:8 ~row:1 ~orient:Geom.Orient.N;
+  let r = Route.Router.route p in
+  let s = Route.Metrics.summarize r in
+  check "not a dM1" 0 s.Route.Metrics.dm1;
+  checkb "uses vias" true (s.Route.Metrics.via12 > 0)
+
+(* alignment achieved via the flip degree of freedom must also route as a
+   dM1: flip the lower INV so its mirrored ZN lines up with the upper A *)
+let test_dm1_via_flip () =
+  let inv = Pdk.Libgen.find closed_lib "INV_X1" in
+  let mk name nets = { Netlist.Design.inst_name = name; master = inv; pin_nets = nets } in
+  let d =
+    {
+      Netlist.Design.name = "flip";
+      lib = closed_lib;
+      instances = [| mk "a" [| -1; 0 |]; mk "b" [| 0; -1 |] |];
+      nets =
+        [|
+          {
+            Netlist.Design.net_name = "n";
+            pins =
+              [|
+                { Netlist.Design.inst = 0; pin = 1 };
+                { Netlist.Design.inst = 1; pin = 0 };
+              |];
+            is_clock = false;
+          };
+        |];
+    }
+  in
+  let p = Place.Placement.create d ~utilization:0.1 in
+  (* flipped a: ZN moves from track 1 to track 0; b directly above at the
+     same site aligns its A (track 0) *)
+  Place.Placement.move p 0 ~site:3 ~row:0 ~orient:Geom.Orient.FN;
+  Place.Placement.move p 1 ~site:3 ~row:1 ~orient:Geom.Orient.N;
+  let ga = Place.Placement.pin_pos p { Netlist.Design.inst = 0; pin = 1 } in
+  let gb = Place.Placement.pin_pos p { Netlist.Design.inst = 1; pin = 0 } in
+  check "flip aligns x" ga.Geom.Point.x gb.Geom.Point.x;
+  let s = Route.Metrics.summarize (Route.Router.route p) in
+  check "routed as dM1" 1 s.Route.Metrics.dm1
+
+let test_router_deterministic () =
+  let p = placed_design closed_lib in
+  let s1 = Route.Metrics.summarize (Route.Router.route p) in
+  let s2 = Route.Metrics.summarize (Route.Router.route p) in
+  check "same dm1" s1.Route.Metrics.dm1 s2.Route.Metrics.dm1;
+  Alcotest.(check (float 0.0001)) "same rwl" s1.Route.Metrics.rwl_um
+    s2.Route.Metrics.rwl_um
+
+let test_openm1_routes () =
+  let lib = Pdk.Libgen.generate (Pdk.Tech.default Pdk.Cell_arch.Open_m1) in
+  let p = placed_design lib in
+  let r = Route.Router.route p in
+  let s = Route.Metrics.summarize r in
+  check "no failures" 0 r.Route.Router.failed_subnets;
+  checkb "openm1 has baseline dm1" true (s.Route.Metrics.dm1 > 0)
+
+let () =
+  Alcotest.run "route"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "geometry" `Quick test_grid_geometry;
+          Alcotest.test_case "edges" `Quick test_grid_edges;
+          Alcotest.test_case "pin access" `Quick test_grid_pin_access_nonempty;
+          Alcotest.test_case "pin blockage" `Quick test_grid_pin_blockage_ownership;
+          Alcotest.test_case "conv12 rails" `Quick test_conv12_blocks_inter_row_m1;
+          Alcotest.test_case "m2 power rails" `Quick test_m2_power_rails_blocked;
+          Alcotest.test_case "pdn stripes" `Quick test_pdn_stripes_toggle;
+          Alcotest.test_case "reduced layers" `Quick test_reduced_layer_stack;
+          Alcotest.test_case "route on 4 layers" `Quick test_route_on_four_layers;
+          Alcotest.test_case "clear usage" `Quick test_clear_usage;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "completes" `Quick test_route_completes;
+          Alcotest.test_case "subnet count" `Quick test_route_subnet_count;
+          Alcotest.test_case "low util no drvs" `Quick test_route_low_util_no_drvs;
+          Alcotest.test_case "use_dm1 ablation" `Quick test_use_dm1_ablation;
+          Alcotest.test_case "deterministic" `Quick test_router_deterministic;
+          Alcotest.test_case "openm1 routes" `Quick test_openm1_routes;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "consistency" `Quick test_metrics_consistency;
+          Alcotest.test_case "layer breakdowns" `Quick test_layer_breakdowns;
+          Alcotest.test_case "dm1 aligned pair" `Quick test_dm1_detected_on_aligned_pair;
+          Alcotest.test_case "dm1 via flip" `Quick test_dm1_via_flip;
+          Alcotest.test_case "misaligned needs vias" `Quick test_misaligned_pair_needs_vias;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Tests for the timing and power models. *)
+
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-6))
+
+let lib = Pdk.Libgen.generate (Pdk.Tech.default Pdk.Cell_arch.Closed_m1)
+
+(* hand-built chain: PI -> INV -> INV -> DFF.D, with clock on DFF.CK *)
+let chain () =
+  let inv = Pdk.Libgen.find lib "INV_X1" in
+  let dff = Pdk.Libgen.find lib "DFF_X1" in
+  (* nets: 0 = pi, 1 = inv0 out, 2 = inv1 out, 3 = clk *)
+  let instances =
+    [|
+      { Netlist.Design.inst_name = "i0"; master = inv; pin_nets = [| 0; 1 |] };
+      { Netlist.Design.inst_name = "i1"; master = inv; pin_nets = [| 1; 2 |] };
+      { Netlist.Design.inst_name = "f"; master = dff; pin_nets = [| 2; 3; -1 |] };
+    |]
+  in
+  let nets =
+    [|
+      { Netlist.Design.net_name = "pi";
+        pins = [| { Netlist.Design.inst = 0; pin = 0 } |]; is_clock = false };
+      { Netlist.Design.net_name = "n1";
+        pins =
+          [| { Netlist.Design.inst = 0; pin = 1 };
+             { Netlist.Design.inst = 1; pin = 0 } |];
+        is_clock = false };
+      { Netlist.Design.net_name = "n2";
+        pins =
+          [| { Netlist.Design.inst = 1; pin = 1 };
+             { Netlist.Design.inst = 2; pin = 0 } |];
+        is_clock = false };
+      { Netlist.Design.net_name = "clk";
+        pins = [| { Netlist.Design.inst = 2; pin = 1 } |]; is_clock = true };
+    |]
+  in
+  { Netlist.Design.name = "chain"; lib; instances; nets }
+
+let test_chain_arrival_hand_computed () =
+  let d = chain () in
+  let lengths = Array.make 4 0 in
+  let r = Sta.Timing.analyze d ~net_lengths:lengths in
+  (* with zero wire length: stage = intrinsic + drive_res * sink_cap *)
+  let inv = Pdk.Libgen.find lib "INV_X1" in
+  let dff = Pdk.Libgen.find lib "DFF_X1" in
+  let stage1 =
+    inv.Pdk.Stdcell.intrinsic_delay
+    +. (inv.Pdk.Stdcell.drive_res *. inv.Pdk.Stdcell.cap_in)
+  in
+  let stage2 =
+    inv.Pdk.Stdcell.intrinsic_delay
+    +. (inv.Pdk.Stdcell.drive_res *. dff.Pdk.Stdcell.cap_in)
+  in
+  checkf "critical path" (stage1 +. stage2 +. 10.0) r.Sta.Timing.critical_ps
+
+let test_wirelength_slows_path () =
+  let d = chain () in
+  let short = Sta.Timing.analyze d ~net_lengths:(Array.make 4 0) in
+  let long = Sta.Timing.analyze d ~net_lengths:[| 0; 50000; 50000; 0 |] in
+  checkb "longer wires, longer path" true
+    (long.Sta.Timing.critical_ps > short.Sta.Timing.critical_ps)
+
+let test_auto_clock_meets_timing () =
+  let d = chain () in
+  let r = Sta.Timing.analyze d ~net_lengths:(Array.make 4 0) in
+  checkf "wns is zero at auto clock" 0.0 r.Sta.Timing.wns_ns
+
+let test_fixed_clock_violates () =
+  let d = chain () in
+  let r = Sta.Timing.analyze ~clock_ps:5.0 d ~net_lengths:(Array.make 4 0) in
+  checkb "tight clock gives negative wns" true (r.Sta.Timing.wns_ns < 0.0)
+
+let test_generated_design_sta () =
+  let design =
+    Netlist.Generator.generate lib
+      (Netlist.Generator.default_config ~n_instances:400 ~seed:11)
+      ~name:"t"
+  in
+  let lengths = Array.make (Netlist.Design.num_nets design) 1000 in
+  let r = Sta.Timing.analyze design ~net_lengths:lengths in
+  checkb "positive critical path" true (r.Sta.Timing.critical_ps > 0.0);
+  checkf "meets timing at auto clock" 0.0 r.Sta.Timing.wns_ns
+
+(* --- power --- *)
+
+let test_power_positive_and_monotonic () =
+  let d = chain () in
+  let p0 = Sta.Power.analyze d ~net_lengths:(Array.make 4 0) in
+  let p1 = Sta.Power.analyze d ~net_lengths:[| 10000; 10000; 10000; 0 |] in
+  checkb "positive" true (p0.Sta.Power.total_mw > 0.0);
+  checkb "monotonic in wirelength" true
+    (p1.Sta.Power.total_mw > p0.Sta.Power.total_mw);
+  checkf "total = dyn + leak" p0.Sta.Power.total_mw
+    (p0.Sta.Power.dynamic_mw +. p0.Sta.Power.leakage_mw)
+
+let test_power_leakage_scales_with_cells () =
+  let mk n =
+    Netlist.Generator.generate lib
+      (Netlist.Generator.default_config ~n_instances:n ~seed:3)
+      ~name:"t"
+  in
+  let small = mk 100 and big = mk 800 in
+  let p_small =
+    Sta.Power.analyze small ~net_lengths:(Array.make (Netlist.Design.num_nets small) 0)
+  in
+  let p_big =
+    Sta.Power.analyze big ~net_lengths:(Array.make (Netlist.Design.num_nets big) 0)
+  in
+  checkb "leakage grows" true
+    (p_big.Sta.Power.leakage_mw > p_small.Sta.Power.leakage_mw)
+
+let () =
+  Alcotest.run "sta"
+    [
+      ( "timing",
+        [
+          Alcotest.test_case "hand-computed chain" `Quick test_chain_arrival_hand_computed;
+          Alcotest.test_case "wire slows path" `Quick test_wirelength_slows_path;
+          Alcotest.test_case "auto clock meets" `Quick test_auto_clock_meets_timing;
+          Alcotest.test_case "tight clock violates" `Quick test_fixed_clock_violates;
+          Alcotest.test_case "generated design" `Quick test_generated_design_sta;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "positive, monotonic" `Quick test_power_positive_and_monotonic;
+          Alcotest.test_case "leakage scales" `Quick test_power_leakage_scales_with_cells;
+        ] );
+    ]

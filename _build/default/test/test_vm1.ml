@@ -1,0 +1,549 @@
+(* Tests for the core contribution: alignment predicates, objective,
+   window partitioning, SCP candidates, solvers (greedy vs exact vs MILP),
+   DistOpt and the VM1Opt metaheuristic. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-6))
+
+let closed_tech = Pdk.Tech.default Pdk.Cell_arch.Closed_m1
+let open_tech = Pdk.Tech.default Pdk.Cell_arch.Open_m1
+let closed_lib = Pdk.Libgen.generate closed_tech
+let open_lib = Pdk.Libgen.generate open_tech
+let closed_params = Vm1.Params.default closed_tech
+let open_params = Vm1.Params.default open_tech
+
+let placed ?(n = 250) ?(seed = 9) ?(utilization = 0.72) lib =
+  let d =
+    Netlist.Generator.generate lib
+      (Netlist.Generator.default_config ~n_instances:n ~seed)
+      ~name:"t"
+  in
+  let p = Place.Placement.create d ~utilization in
+  Place.Global.place p;
+  p
+
+let whole_die_problem ?(lx = 3) ?(ly = 1) ?(allow_flip = false) p params =
+  let movable = List.init (Place.Placement.num_instances p) (fun i -> i) in
+  Vm1.Wproblem.extract p params ~site_lo:0 ~row_lo:0
+    ~bw:p.Place.Placement.sites_per_row ~bh:p.Place.Placement.num_rows ~movable
+    ~lx ~ly ~allow_flip ~allow_move:true
+
+(* --- Params --- *)
+
+let test_params_defaults () =
+  checkf "alpha closed" 1200.0 closed_params.Vm1.Params.alpha;
+  checkf "alpha open" 1000.0 open_params.Vm1.Params.alpha;
+  checkf "beta" 1.0 closed_params.Vm1.Params.beta;
+  check "gamma" 3 closed_params.Vm1.Params.gamma;
+  check "closed gamma" 1 closed_params.Vm1.Params.closed_gamma
+
+let test_params_sequences () =
+  check "seq1 length" 1 (List.length (Vm1.Params.sequence 1));
+  check "seq2 length" 3 (List.length (Vm1.Params.sequence 2));
+  check "seq5 length" 4 (List.length (Vm1.Params.sequence 5));
+  Alcotest.check_raises "seq 6 raises"
+    (Invalid_argument "Params.sequence: no sequence 6") (fun () ->
+      ignore (Vm1.Params.sequence 6))
+
+(* --- Align --- *)
+
+let geom ax y = { Vm1.Align.ax; x_lo = ax - 9; x_hi = ax + 9; y }
+
+let test_aligned_closed () =
+  let h = closed_tech.Pdk.Tech.row_height in
+  checkb "same track adjacent row" true
+    (Vm1.Align.aligned closed_params closed_tech (geom 54 135) (geom 54 (135 + h)));
+  checkb "same track two rows apart" false
+    (Vm1.Align.aligned closed_params closed_tech (geom 54 135) (geom 54 (135 + 2 * h)));
+  checkb "different track" false
+    (Vm1.Align.aligned closed_params closed_tech (geom 54 135) (geom 90 (135 + h)));
+  checkb "same point not aligned" false
+    (Vm1.Align.aligned closed_params closed_tech (geom 54 135) (geom 54 135))
+
+let test_overlap_open () =
+  let h = open_tech.Pdk.Tech.row_height in
+  let wide ax y = { Vm1.Align.ax; x_lo = ax - 50; x_hi = ax + 50; y } in
+  let d, o =
+    Vm1.Align.overlap open_params open_tech (wide 100 60) (wide 120 (60 + h))
+  in
+  checkb "overlapping pins" true d;
+  check "overlap length beyond delta" (80 - open_params.Vm1.Params.delta) o;
+  (* too far vertically: gamma rows is the limit *)
+  let d2, _ =
+    Vm1.Align.overlap open_params open_tech (wide 100 60)
+      (wide 100 (60 + ((open_params.Vm1.Params.gamma + 1) * h)))
+  in
+  checkb "beyond gamma" false d2;
+  (* tiny overlap below delta *)
+  let d3, o3 =
+    Vm1.Align.overlap open_params open_tech (wide 100 60) (wide 195 (60 + h))
+  in
+  checkb "below delta" false d3;
+  check "zero overlap credit" 0 o3
+
+let test_pair_gain () =
+  let h = closed_tech.Pdk.Tech.row_height in
+  checkf "closed gain is alpha" closed_params.Vm1.Params.alpha
+    (Vm1.Align.pair_gain closed_params closed_tech (geom 54 135) (geom 54 (135 + h)));
+  checkf "no gain" 0.0
+    (Vm1.Align.pair_gain closed_params closed_tech (geom 54 135) (geom 90 (135 + h)))
+
+let test_align_of_candidate_matches_placed () =
+  let p = placed closed_lib in
+  (* for every pin: of_candidate at the current site/row/orient equals
+     of_placed *)
+  for i = 0 to 40 do
+    let inst = p.Place.Placement.design.Netlist.Design.instances.(i) in
+    List.iteri
+      (fun k _ ->
+        let pr = { Netlist.Design.inst = i; pin = k } in
+        let a = Vm1.Align.of_placed p pr in
+        let b =
+          Vm1.Align.of_candidate p pr
+            ~site:(Place.Placement.site_of_inst p i)
+            ~row:(Place.Placement.row_of_inst p i)
+            ~orient:p.Place.Placement.orients.(i)
+        in
+        checkb "geom equal" true (a = b))
+      inst.master.Pdk.Stdcell.pins
+  done
+
+(* --- Objective --- *)
+
+let test_objective_hpwl_matches_place () =
+  let p = placed closed_lib in
+  let c = Vm1.Objective.counts closed_params p in
+  check "hpwl agrees with Place.Hpwl" (Place.Hpwl.total p) c.Vm1.Objective.hpwl_dbu
+
+let test_objective_value_formula () =
+  let p = placed closed_lib in
+  let c = Vm1.Objective.counts closed_params p in
+  let expected =
+    (closed_params.Vm1.Params.beta *. float_of_int c.Vm1.Objective.hpwl_dbu)
+    -. (closed_params.Vm1.Params.alpha *. float_of_int c.Vm1.Objective.alignments)
+    -. (closed_params.Vm1.Params.epsilon *. float_of_int c.Vm1.Objective.overlap_sum)
+  in
+  checkf "value formula" expected (Vm1.Objective.value closed_params p)
+
+let test_net_pairs () =
+  let p = placed closed_lib in
+  let d = p.Place.Placement.design in
+  List.iter
+    (fun n ->
+      let deg = Netlist.Design.net_degree d n in
+      let pairs = Vm1.Objective.net_pairs d n in
+      checkb "pair count bounded" true
+        (List.length pairs <= deg * (deg - 1) / 2);
+      List.iter
+        (fun ((a : Netlist.Design.pin_ref), (b : Netlist.Design.pin_ref)) ->
+          checkb "distinct instances" true (a.inst <> b.inst))
+        pairs)
+    (Netlist.Design.signal_nets d)
+
+(* --- Window --- *)
+
+let test_partition_covers_all_interior_cells () =
+  let p = placed closed_lib in
+  let ws = Vm1.Window.partition p ~tx:0 ~ty:0 ~bw:40 ~bh:6 in
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun (w : Vm1.Window.t) ->
+      List.iter
+        (fun i ->
+          checkb "each cell in one window" false (Hashtbl.mem seen i);
+          Hashtbl.replace seen i ())
+        w.movable)
+    ws;
+  (* every movable cell is fully inside its window *)
+  Array.iter
+    (fun (w : Vm1.Window.t) ->
+      List.iter
+        (fun i ->
+          let s = Place.Placement.site_of_inst p i in
+          let width =
+            p.Place.Placement.design.Netlist.Design.instances.(i)
+              .master.Pdk.Stdcell.width_sites
+          in
+          let r = Place.Placement.row_of_inst p i in
+          checkb "inside x" true
+            (s >= w.site_lo && s + width - 1 <= w.site_lo + w.bw - 1);
+          checkb "inside y" true (r >= w.row_lo && r <= w.row_lo + w.bh - 1))
+        w.movable)
+    ws
+
+let test_diagonal_batches_disjoint () =
+  let p = placed closed_lib in
+  let ws = Vm1.Window.partition p ~tx:7 ~ty:1 ~bw:30 ~bh:4 in
+  let batches = Vm1.Window.diagonal_batches ws in
+  List.iter
+    (fun batch ->
+      Array.iteri
+        (fun i (a : Vm1.Window.t) ->
+          Array.iteri
+            (fun j (b : Vm1.Window.t) ->
+              if i < j then begin
+                checkb "disjoint ix" true (a.ix <> b.ix);
+                checkb "disjoint iy" true (a.iy <> b.iy)
+              end)
+            batch)
+        batch)
+    batches;
+  (* batches partition the windows *)
+  let total = List.fold_left (fun acc b -> acc + Array.length b) 0 batches in
+  check "batches cover windows" (Array.length ws) total
+
+(* --- Wproblem --- *)
+
+let test_candidates_respect_ranges () =
+  let p = placed closed_lib in
+  let t = whole_die_problem ~lx:3 ~ly:1 p closed_params in
+  Array.iter
+    (fun (c : Vm1.Wproblem.cell) ->
+      let cand0 = c.cands.(0) in
+      Array.iter
+        (fun (cand : Vm1.Wproblem.candidate) ->
+          checkb "x range" true (abs (cand.site - cand0.site) <= 3);
+          checkb "y range" true (abs (cand.row - cand0.row) <= 1);
+          checkb "no flip candidates" true
+            (Geom.Orient.equal cand.orient cand0.orient))
+        c.cands)
+    t.cells
+
+let test_flip_only_candidates () =
+  let p = placed closed_lib in
+  let movable = List.init (Place.Placement.num_instances p) (fun i -> i) in
+  let t =
+    Vm1.Wproblem.extract p closed_params ~site_lo:0 ~row_lo:0
+      ~bw:p.Place.Placement.sites_per_row ~bh:p.Place.Placement.num_rows
+      ~movable ~lx:0 ~ly:0 ~allow_flip:true ~allow_move:false
+  in
+  Array.iter
+    (fun (c : Vm1.Wproblem.cell) ->
+      checkb "at most two candidates" true (Array.length c.cands <= 2);
+      Array.iter
+        (fun (cand : Vm1.Wproblem.candidate) ->
+          check "same site" c.cands.(0).site cand.site;
+          check "same row" c.cands.(0).row cand.row)
+        c.cands)
+    t.cells
+
+let test_objective_consistent_with_move_delta () =
+  let p = placed closed_lib in
+  let t = whole_die_problem p closed_params in
+  let before = Vm1.Wproblem.objective t in
+  (* apply a random feasible move and compare delta with full recompute *)
+  let moved = ref false in
+  (try
+     Array.iteri
+       (fun cell (c : Vm1.Wproblem.cell) ->
+         for cand = 0 to Array.length c.cands - 1 do
+           if
+             (not !moved) && cand <> c.cur
+             && Vm1.Wproblem.candidate_free t ~cell ~cand
+           then begin
+             let d = Vm1.Wproblem.move_delta t ~cell ~cand in
+             Vm1.Wproblem.apply t ~cell ~cand;
+             let after = Vm1.Wproblem.objective t in
+             Alcotest.(check (float 0.001)) "delta = recompute" (after -. before) d;
+             moved := true;
+             raise Exit
+           end
+         done)
+       t.cells
+   with Exit -> ());
+  checkb "a move happened" true !moved
+
+let test_commit_writes_back_legal () =
+  let p = placed closed_lib in
+  let t = whole_die_problem p closed_params in
+  ignore (Vm1.Scp_solver.solve ~mode:`Greedy t);
+  Vm1.Wproblem.commit t;
+  Alcotest.(check (list string)) "legal after commit" [] (Place.Legalize.check p)
+
+let test_shove_plans_stay_legal () =
+  let p = placed ~utilization:0.8 closed_lib in
+  let t = whole_die_problem p closed_params in
+  ignore (Vm1.Scp_solver.solve ~mode:`Greedy t);
+  Vm1.Wproblem.commit t;
+  Alcotest.(check (list string)) "legal with shoves at 80%" []
+    (Place.Legalize.check p)
+
+(* --- Scp_solver --- *)
+
+let test_greedy_never_worsens () =
+  let p = placed closed_lib in
+  let t = whole_die_problem p closed_params in
+  let stats = Vm1.Scp_solver.solve ~mode:`Greedy t in
+  checkb "objective not worse" true
+    (stats.Vm1.Scp_solver.objective_after
+     <= stats.Vm1.Scp_solver.objective_before +. 1e-6)
+
+let tiny_window p params =
+  (* a small real window cut from a placement, with few cells *)
+  let ws = Vm1.Window.partition p ~tx:0 ~ty:0 ~bw:14 ~bh:2 in
+  let w =
+    Array.to_list ws
+    |> List.filter (fun (w : Vm1.Window.t) ->
+           let k = List.length w.movable in
+           k >= 2 && k <= 4)
+    |> List.hd
+  in
+  Vm1.Wproblem.extract p params ~site_lo:w.site_lo ~row_lo:w.row_lo ~bw:w.bw
+    ~bh:w.bh ~movable:w.movable ~lx:2 ~ly:1 ~allow_flip:false ~allow_move:true
+
+let test_exact_beats_or_ties_greedy () =
+  let p = placed closed_lib in
+  let t1 = tiny_window p closed_params in
+  let g = Vm1.Scp_solver.solve ~mode:`Greedy t1 in
+  let p2 = placed closed_lib in
+  let t2 = tiny_window p2 closed_params in
+  let e = Vm1.Scp_solver.solve ~mode:`Exact t2 in
+  checkb "exact <= greedy" true
+    (e.Vm1.Scp_solver.objective_after
+     <= g.Vm1.Scp_solver.objective_after +. 1e-6)
+
+let test_anneal_not_worse_than_greedy () =
+  let p1 = placed closed_lib in
+  let t1 = whole_die_problem p1 closed_params in
+  let sg = Vm1.Scp_solver.solve ~mode:`Greedy t1 in
+  let p2 = placed closed_lib in
+  let t2 = whole_die_problem p2 closed_params in
+  let sa = Vm1.Scp_solver.solve ~mode:`Anneal t2 in
+  checkb "anneal <= greedy" true
+    (sa.Vm1.Scp_solver.objective_after
+     <= sg.Vm1.Scp_solver.objective_after +. 1e-6);
+  (* committing the annealed result must stay legal *)
+  Vm1.Wproblem.commit t2;
+  Alcotest.(check (list string)) "legal" [] (Place.Legalize.check p2)
+
+let test_anneal_deterministic () =
+  let run () =
+    let p = placed closed_lib in
+    let t = whole_die_problem p closed_params in
+    let s = Vm1.Scp_solver.solve ~mode:`Anneal t in
+    s.Vm1.Scp_solver.objective_after
+  in
+  Alcotest.(check (float 1e-9)) "same objective" (run ()) (run ())
+
+let test_exact_refuses_large () =
+  let p = placed closed_lib in
+  let t = whole_die_problem p closed_params in
+  checkb "search space saturates" true
+    (Vm1.Scp_solver.exact_search_space t > Vm1.Scp_solver.exact_limit);
+  Alcotest.check_raises "refuses"
+    (Invalid_argument "Scp_solver: window too large for exact search")
+    (fun () -> ignore (Vm1.Scp_solver.solve ~mode:`Exact t))
+
+(* --- Formulate: the MILP agrees with exhaustive search --- *)
+
+let test_milp_matches_exact_on_tiny_windows () =
+  List.iter
+    (fun seed ->
+      let p = placed ~n:120 ~seed closed_lib in
+      let t_exact = tiny_window p closed_params in
+      let before = Vm1.Wproblem.objective t_exact in
+      let e = Vm1.Scp_solver.solve ~mode:`Exact t_exact in
+      (* fresh identical problem for the MILP *)
+      let p2 = placed ~n:120 ~seed closed_lib in
+      let t_milp = tiny_window p2 closed_params in
+      let sol = Vm1.Formulate.solve ~node_limit:20000 t_milp in
+      checkb "milp found a solution" true
+        (sol.Milp.Bnb.status <> Milp.Bnb.Infeasible);
+      let milp_obj = Vm1.Wproblem.objective t_milp in
+      Alcotest.(check (float 0.5))
+        (Printf.sprintf "seed %d: MILP objective equals exhaustive optimum" seed)
+        e.Vm1.Scp_solver.objective_after milp_obj;
+      checkb "both improve or tie" true
+        (milp_obj <= before +. 1e-6))
+    [ 1; 2; 3 ]
+
+let test_milp_matches_exact_with_flip () =
+  (* flip candidates flow through the SCP lambda model untouched; the MILP
+     must still match exhaustive search when they are enabled *)
+  let p = placed ~n:120 ~seed:8 closed_lib in
+  let ws = Vm1.Window.partition p ~tx:0 ~ty:0 ~bw:14 ~bh:2 in
+  let w =
+    Array.to_list ws
+    |> List.filter (fun (w : Vm1.Window.t) ->
+           let k = List.length w.movable in
+           k >= 2 && k <= 3)
+    |> List.hd
+  in
+  let extract pl =
+    Vm1.Wproblem.extract pl closed_params ~site_lo:w.site_lo ~row_lo:w.row_lo
+      ~bw:w.bw ~bh:w.bh ~movable:w.movable ~lx:2 ~ly:1 ~allow_flip:true
+      ~allow_move:true
+  in
+  let te = extract p in
+  let e = Vm1.Scp_solver.solve ~mode:`Exact te in
+  let p2 = placed ~n:120 ~seed:8 closed_lib in
+  let t2 = extract p2 in
+  ignore (Vm1.Formulate.solve ~node_limit:30000 t2);
+  Alcotest.(check (float 0.5)) "flip-enabled MILP equals exhaustive"
+    e.Vm1.Scp_solver.objective_after (Vm1.Wproblem.objective t2)
+
+let test_milp_matches_exact_openm1 () =
+  let p = placed ~n:120 ~seed:4 open_lib in
+  let t_exact = tiny_window p open_params in
+  let e = Vm1.Scp_solver.solve ~mode:`Exact t_exact in
+  let p2 = placed ~n:120 ~seed:4 open_lib in
+  let t_milp = tiny_window p2 open_params in
+  ignore (Vm1.Formulate.solve ~node_limit:20000 t_milp);
+  let milp_obj = Vm1.Wproblem.objective t_milp in
+  Alcotest.(check (float 0.5)) "OpenM1 MILP equals exhaustive optimum"
+    e.Vm1.Scp_solver.objective_after milp_obj
+
+(* --- Dist_opt / Vm1_opt --- *)
+
+let test_dist_opt_legal_and_improves () =
+  let p = placed ~n:400 closed_lib in
+  let before = Vm1.Objective.value closed_params p in
+  let stats =
+    Vm1.Dist_opt.run p closed_params
+      {
+        Vm1.Dist_opt.tx = 0;
+        ty = 0;
+        bw = 50;
+        bh = 8;
+        lx = 3;
+        ly = 1;
+        allow_flip = false;
+        allow_move = true;
+        mode = `Greedy;
+        parallel = false;
+        candidate_cost = None;
+      }
+  in
+  let after = Vm1.Objective.value closed_params p in
+  checkb "objective not worse" true (after <= before +. 1e-6);
+  checkb "some windows" true (stats.Vm1.Dist_opt.windows > 0);
+  Alcotest.(check (list string)) "legal" [] (Place.Legalize.check p)
+
+let test_vm1_opt_improves_and_legal () =
+  let p = placed ~n:400 closed_lib in
+  let report = Vm1.Vm1_opt.run closed_params p in
+  checkb "objective improves" true
+    (report.Vm1.Vm1_opt.final_objective
+     <= report.Vm1.Vm1_opt.initial_objective +. 1e-6);
+  checkb "alignments increase" true
+    ((Vm1.Objective.counts closed_params p).Vm1.Objective.alignments >= 0);
+  Alcotest.(check (list string)) "legal" [] (Place.Legalize.check p)
+
+let test_vm1_opt_deterministic () =
+  let p1 = placed ~n:300 closed_lib in
+  let p2 = placed ~n:300 closed_lib in
+  ignore (Vm1.Vm1_opt.run closed_params p1);
+  ignore (Vm1.Vm1_opt.run closed_params p2);
+  Alcotest.(check (array int)) "same xs" p1.Place.Placement.xs p2.Place.Placement.xs
+
+let test_vm1_opt_alpha_zero_pure_hpwl () =
+  (* with alpha = 0 the optimiser is pure HPWL refinement: HPWL must not
+     increase *)
+  let p = placed ~n:300 closed_lib in
+  let hpwl_before = Place.Hpwl.total p in
+  let params = { closed_params with Vm1.Params.alpha = 0.0; epsilon = 0.0 } in
+  ignore (Vm1.Vm1_opt.run params p);
+  checkb "hpwl not worse" true (Place.Hpwl.total p <= hpwl_before)
+
+let test_parallel_matches_sequential () =
+  (* the distributable optimisation must be bit-identical to sequential *)
+  let run parallel =
+    let p = placed ~n:500 closed_lib in
+    let cfg =
+      {
+        Vm1.Dist_opt.tx = 3;
+        ty = 1;
+        bw = 40;
+        bh = 6;
+        lx = 3;
+        ly = 1;
+        allow_flip = false;
+        allow_move = true;
+        mode = `Greedy;
+        parallel;
+        candidate_cost = None;
+      }
+    in
+    ignore (Vm1.Dist_opt.run p closed_params cfg);
+    p
+  in
+  let seq = run false and par = run true in
+  Alcotest.(check (array int)) "same xs" seq.Place.Placement.xs par.Place.Placement.xs;
+  Alcotest.(check (array int)) "same ys" seq.Place.Placement.ys par.Place.Placement.ys;
+  Array.iteri
+    (fun i o -> checkb "same orient" true (Geom.Orient.equal o par.Place.Placement.orients.(i)))
+    seq.Place.Placement.orients
+
+let test_vm1_opt_openm1 () =
+  let p = placed ~n:300 open_lib in
+  let before = (Vm1.Objective.counts open_params p).Vm1.Objective.alignments in
+  ignore (Vm1.Vm1_opt.run open_params p);
+  let after = (Vm1.Objective.counts open_params p).Vm1.Objective.alignments in
+  checkb "overlapping pairs do not decrease" true (after >= before);
+  Alcotest.(check (list string)) "legal" [] (Place.Legalize.check p)
+
+let () =
+  Alcotest.run "vm1"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "defaults" `Quick test_params_defaults;
+          Alcotest.test_case "sequences" `Quick test_params_sequences;
+        ] );
+      ( "align",
+        [
+          Alcotest.test_case "closed alignment" `Quick test_aligned_closed;
+          Alcotest.test_case "open overlap" `Quick test_overlap_open;
+          Alcotest.test_case "pair gain" `Quick test_pair_gain;
+          Alcotest.test_case "candidate matches placed" `Quick
+            test_align_of_candidate_matches_placed;
+        ] );
+      ( "objective",
+        [
+          Alcotest.test_case "hpwl agrees" `Quick test_objective_hpwl_matches_place;
+          Alcotest.test_case "value formula" `Quick test_objective_value_formula;
+          Alcotest.test_case "net pairs" `Quick test_net_pairs;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "partition covers" `Quick
+            test_partition_covers_all_interior_cells;
+          Alcotest.test_case "diagonal batches" `Quick test_diagonal_batches_disjoint;
+        ] );
+      ( "wproblem",
+        [
+          Alcotest.test_case "candidate ranges" `Quick test_candidates_respect_ranges;
+          Alcotest.test_case "flip-only" `Quick test_flip_only_candidates;
+          Alcotest.test_case "delta consistency" `Quick
+            test_objective_consistent_with_move_delta;
+          Alcotest.test_case "commit legal" `Quick test_commit_writes_back_legal;
+          Alcotest.test_case "shoves legal" `Quick test_shove_plans_stay_legal;
+        ] );
+      ( "scp_solver",
+        [
+          Alcotest.test_case "greedy monotone" `Quick test_greedy_never_worsens;
+          Alcotest.test_case "exact beats greedy" `Quick test_exact_beats_or_ties_greedy;
+          Alcotest.test_case "exact refuses large" `Quick test_exact_refuses_large;
+          Alcotest.test_case "anneal beats greedy" `Quick test_anneal_not_worse_than_greedy;
+          Alcotest.test_case "anneal deterministic" `Quick test_anneal_deterministic;
+        ] );
+      ( "formulate",
+        [
+          Alcotest.test_case "milp = exhaustive (closed)" `Slow
+            test_milp_matches_exact_on_tiny_windows;
+          Alcotest.test_case "milp = exhaustive (open)" `Slow
+            test_milp_matches_exact_openm1;
+          Alcotest.test_case "milp = exhaustive (flip)" `Slow
+            test_milp_matches_exact_with_flip;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "dist_opt" `Quick test_dist_opt_legal_and_improves;
+          Alcotest.test_case "vm1_opt" `Quick test_vm1_opt_improves_and_legal;
+          Alcotest.test_case "deterministic" `Quick test_vm1_opt_deterministic;
+          Alcotest.test_case "alpha=0 pure hpwl" `Quick test_vm1_opt_alpha_zero_pure_hpwl;
+          Alcotest.test_case "parallel = sequential" `Quick test_parallel_matches_sequential;
+          Alcotest.test_case "openm1" `Quick test_vm1_opt_openm1;
+        ] );
+    ]
