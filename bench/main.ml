@@ -262,14 +262,47 @@ let run_micro () =
     (fun (name, est) -> Printf.printf "%-48s %s ns/run\n" name est)
     (List.sort compare !rows)
 
+(* --trace/--metrics mirror the vm1opt/expt flags so benchmark runs emit
+   the same comparable JSON; see README "Measuring performance". The
+   trace is written for the regeneration half only — Bechamel's timed
+   loops must not pay instrumentation costs, so obs is switched off
+   before the microbenchmarks run. *)
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
-  | [ "tables" ] -> regenerate ()
-  | [ "micro" ] -> run_micro ()
-  | [] ->
-    regenerate ();
-    run_micro ()
-  | _ ->
-    prerr_endline "usage: main.exe [tables|micro]";
+  let rec parse (mode, trace, metrics) = function
+    | [] -> Some (mode, trace, metrics)
+    | "--trace" :: file :: rest -> parse (mode, Some file, metrics) rest
+    | "--metrics" :: rest -> parse (mode, trace, true) rest
+    | ("tables" | "micro") as m :: rest -> parse (Some m, trace, metrics) rest
+    | _ -> None
+  in
+  match parse (None, None, false) args with
+  | None ->
+    prerr_endline "usage: main.exe [tables|micro] [--trace FILE] [--metrics]";
     exit 1
+  | Some (mode, trace, metrics) ->
+    if trace <> None || metrics then Obs.set_enabled true;
+    let finish () =
+      (match trace with
+       | Some path ->
+         (try
+            Obs.write_trace path;
+            Printf.printf "(wrote %s)\n%!" path
+          with Sys_error msg ->
+            Printf.eprintf "bench: cannot write trace: %s\n%!" msg;
+            exit 1)
+       | None -> ());
+      if metrics then Report.Obs_report.print (Obs.snapshot ());
+      Obs.set_enabled false
+    in
+    (match mode with
+    | Some "tables" ->
+      regenerate ();
+      finish ()
+    | Some "micro" ->
+      finish ();
+      run_micro ()
+    | _ ->
+      regenerate ();
+      finish ();
+      run_micro ())

@@ -113,12 +113,31 @@ let csv_prefix =
   Arg.(value & opt (some string) None & info [ "csv" ]
          ~doc:"Also write each experiment's data as PREFIX<expt>.csv.")
 
-let run scale csv_prefix experiments =
-  List.iter (run_one scale csv_prefix) experiments
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ]
+         ~doc:"Write a JSON trace of the whole experiment batch to $(docv),                so runs are comparable across commits." ~docv:"FILE")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the observability summary tables after the experiments.")
+
+let run scale csv_prefix trace metrics experiments =
+  if trace <> None || metrics then Obs.set_enabled true;
+  List.iter (run_one scale csv_prefix) experiments;
+  (match trace with
+   | Some path ->
+     (try
+        Obs.write_trace path;
+        Printf.printf "(wrote %s)\n%!" path
+      with Sys_error msg ->
+        Printf.eprintf "expt: cannot write trace: %s\n%!" msg;
+        exit 1)
+   | None -> ());
+  if metrics then Report.Obs_report.print (Obs.snapshot ())
 
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v (Cmd.info "expt" ~doc)
-    Term.(const run $ scale $ csv_prefix $ experiments)
+    Term.(const run $ scale $ csv_prefix $ trace $ metrics $ experiments)
 
 let () = exit (Cmd.eval cmd)

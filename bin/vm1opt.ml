@@ -57,7 +57,17 @@ let parallel =
   Arg.(value & flag & info [ "parallel"; "j" ]
          ~doc:"Solve diagonally-independent windows on multiple domains                (the paper's distributable optimisation); results are                identical to the sequential run.")
 
-let run design arch scale utilization alpha sequence dump_prefix svg_prefix parallel =
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ]
+         ~doc:"Write a JSON trace (spans, counters, gauges, histograms) of                the run to $(docv). Instrumentation never changes the                placement result." ~docv:"FILE")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the observability summary tables (per-span timing,                counters, gauges) after the run.")
+
+let run design arch scale utilization alpha sequence dump_prefix svg_prefix
+    parallel trace metrics =
+  if trace <> None || metrics then Obs.set_enabled true;
   let p = Report.Flow.prepare ~scale ~utilization design arch in
   let params =
     let base = Vm1.Params.default p.Place.Placement.tech in
@@ -101,12 +111,22 @@ let run design arch scale utilization alpha sequence dump_prefix svg_prefix para
       opt_runtime_s = report.Vm1.Vm1_opt.runtime_s;
     }
   in
-  print_string (Report.Expt.Table2.render [ comparison ])
+  print_string (Report.Expt.Table2.render [ comparison ]);
+  (match trace with
+   | Some path ->
+     (try
+        Obs.write_trace path;
+        Printf.printf "(wrote %s)\n%!" path
+      with Sys_error msg ->
+        Printf.eprintf "vm1opt: cannot write trace: %s\n%!" msg;
+        exit 1)
+   | None -> ());
+  if metrics then Report.Obs_report.print (Obs.snapshot ())
 
 let cmd =
   let doc = "vertical M1 routing-aware detailed placement, end to end" in
   Cmd.v (Cmd.info "vm1opt" ~doc)
     Term.(const run $ design $ arch $ scale $ utilization $ alpha $ sequence
-          $ dump_prefix $ svg_prefix $ parallel)
+          $ dump_prefix $ svg_prefix $ parallel $ trace $ metrics)
 
 let () = exit (Cmd.eval cmd)

@@ -78,6 +78,9 @@ let solve ?(node_limit = 100_000) (m : Model.t) =
     end
   in
   explore ();
+  Obs.Counter.incr (Obs.counter "bnb.solves");
+  Obs.Counter.add (Obs.counter "bnb.nodes") !nodes;
+  if !limit_hit then Obs.Counter.incr (Obs.counter "bnb.node_limit_hits");
   match !incumbent with
   | Some values ->
     {

@@ -1,0 +1,22 @@
+/* Monotonic clock for the observability layer.
+
+   CLOCK_MONOTONIC via clock_gettime: immune to wall-clock adjustment,
+   nanosecond-granularity, and cheap enough to call once per span.  The
+   OCaml side sees a single [int64] of nanoseconds since an arbitrary
+   epoch; only differences are meaningful. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -1,0 +1,26 @@
+(** Minimal JSON value type with a printer and a parser.
+
+    Self-contained so [Obs] stays dependency-free: the trace exporter
+    prints with [to_string], and tests (plus the tier-1 smoke check)
+    validate emitted traces with [parse]. Floats are printed with enough
+    digits to round-trip exactly through [float_of_string]; non-finite
+    floats, which JSON cannot represent, are printed as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** [parse s] parses one JSON value (surrounding whitespace allowed).
+    Numbers without [.], [e] or [E] become [Int]; all others [Float]. *)
+val parse : string -> (t, string) result
+
+(** [member key j] is the value bound to [key] when [j] is an [Obj]
+    containing it. *)
+val member : string -> t -> t option

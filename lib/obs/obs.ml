@@ -1,0 +1,342 @@
+module Json = Json
+
+external now_ns : unit -> int64 = "obs_monotonic_ns"
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let set_enabled v = Atomic.set on v
+
+type attr = [ `Int of int | `Float of float | `Str of string ]
+
+module Span = struct
+  type t = {
+    name : string;
+    start_ns : int64;
+    end_ns : int64;
+    attrs : (string * attr) list;
+    children : t list;
+  }
+
+  let duration_ns s = Int64.sub s.end_ns s.start_ns
+end
+
+(* --- open-span stacks: one per domain, merged at snapshot time --- *)
+
+type open_span = {
+  oname : string;
+  ostart : int64;
+  mutable oattrs : (string * attr) list;   (* reversed *)
+  mutable ochildren : Span.t list;         (* reversed *)
+}
+
+let stack_key : open_span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let completed_mu = Mutex.create ()
+let completed : Span.t list ref = ref []   (* reversed *)
+
+(* The pop happens before [close_span], so the parent (if any) is the new
+   top of this domain's stack. Root spans go to the global list; the
+   mutex is taken once per root span, never per nested span. *)
+let close_span os end_ns =
+  let sp =
+    {
+      Span.name = os.oname;
+      start_ns = os.ostart;
+      end_ns;
+      attrs = List.rev os.oattrs;
+      children = List.rev os.ochildren;
+    }
+  in
+  match !(Domain.DLS.get stack_key) with
+  | parent :: _ -> parent.ochildren <- sp :: parent.ochildren
+  | [] ->
+    Mutex.lock completed_mu;
+    completed := sp :: !completed;
+    Mutex.unlock completed_mu
+
+let with_span ?(attrs = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let os =
+      { oname = name; ostart = now_ns (); oattrs = List.rev attrs;
+        ochildren = [] }
+    in
+    stack := os :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let end_ns = now_ns () in
+        (match !stack with
+        | top :: rest when top == os -> stack := rest
+        | _ -> stack := List.filter (fun o -> o != os) !stack);
+        close_span os end_ns)
+      f
+  end
+
+let add_attr k v =
+  if enabled () then
+    match !(Domain.DLS.get stack_key) with
+    | top :: _ -> top.oattrs <- (k, v) :: top.oattrs
+    | [] -> ()
+
+(* --- metrics --- *)
+
+module Counter = struct
+  (* Stripes indexed by domain id: concurrent bumps from different
+     domains land in different cells, so there is no write contention in
+     the common case; [value] merges the per-domain cells. *)
+  let stripes = 64
+
+  type t = { cells : int Atomic.t array }
+
+  let create () = { cells = Array.init stripes (fun _ -> Atomic.make 0) }
+
+  let add t n =
+    if Atomic.get on then begin
+      let i = (Domain.self () :> int) land (stripes - 1) in
+      ignore (Atomic.fetch_and_add t.cells.(i) n)
+    end
+
+  let incr t = add t 1
+  let value t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
+  let reset t = Array.iter (fun c -> Atomic.set c 0) t.cells
+end
+
+module Gauge = struct
+  type t = { cell : float Atomic.t }
+
+  let create () = { cell = Atomic.make 0.0 }
+  let set t v = if Atomic.get on then Atomic.set t.cell v
+  let value t = Atomic.get t.cell
+  let reset t = Atomic.set t.cell 0.0
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;
+    counts : int Atomic.t array;  (* bounds + 1 cells; last = overflow *)
+    nobs : int Atomic.t;
+    sum : float Atomic.t;
+  }
+
+  let default_bounds =
+    Array.init 14 (fun i -> 0.001 *. (3.0 ** float_of_int i))
+
+  let create bounds =
+    {
+      bounds;
+      counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+      nobs = Atomic.make 0;
+      sum = Atomic.make 0.0;
+    }
+
+  let rec atomic_add_float a x =
+    let cur = Atomic.get a in
+    if not (Atomic.compare_and_set a cur (cur +. x)) then atomic_add_float a x
+
+  let observe t x =
+    if Atomic.get on then begin
+      let nb = Array.length t.bounds in
+      let i = ref 0 in
+      while !i < nb && x > t.bounds.(!i) do
+        incr i
+      done;
+      ignore (Atomic.fetch_and_add t.counts.(!i) 1);
+      ignore (Atomic.fetch_and_add t.nobs 1);
+      atomic_add_float t.sum x
+    end
+
+  type snap = {
+    bounds : float array;
+    counts : int array;
+    count : int;
+    sum : float;
+  }
+
+  let snap (t : t) =
+    {
+      bounds = Array.copy t.bounds;
+      counts = Array.map Atomic.get t.counts;
+      count = Atomic.get t.nobs;
+      sum = Atomic.get t.sum;
+    }
+
+  let reset (t : t) =
+    Array.iter (fun c -> Atomic.set c 0) t.counts;
+    Atomic.set t.nobs 0;
+    Atomic.set t.sum 0.0
+end
+
+(* --- process-global registry --- *)
+
+type metric =
+  | C of Counter.t
+  | G of Gauge.t
+  | H of Histogram.t
+
+let reg_mu = Mutex.create ()
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let get_or_create name make classify =
+  Mutex.lock reg_mu;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some m -> classify m
+    | None ->
+      let m = make () in
+      Hashtbl.add registry name m;
+      classify m
+  in
+  Mutex.unlock reg_mu;
+  match r with
+  | Some v -> v
+  | None ->
+    invalid_arg (Printf.sprintf "Obs: metric %S exists with another kind" name)
+
+let counter name =
+  get_or_create name
+    (fun () -> C (Counter.create ()))
+    (function C c -> Some c | _ -> None)
+
+let gauge name =
+  get_or_create name
+    (fun () -> G (Gauge.create ()))
+    (function G g -> Some g | _ -> None)
+
+let histogram ?(bounds = Histogram.default_bounds) name =
+  get_or_create name
+    (fun () -> H (Histogram.create bounds))
+    (function H h -> Some h | _ -> None)
+
+(* --- snapshot and export --- *)
+
+type snapshot = {
+  spans : Span.t list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * Histogram.snap) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  Mutex.lock completed_mu;
+  let roots = List.rev !completed in
+  Mutex.unlock completed_mu;
+  let spans =
+    List.stable_sort
+      (fun (a : Span.t) (b : Span.t) -> Int64.compare a.start_ns b.start_ns)
+      roots
+  in
+  Mutex.lock reg_mu;
+  let cs = ref [] and gs = ref [] and hs = ref [] in
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | C c -> cs := (name, Counter.value c) :: !cs
+      | G g -> gs := (name, Gauge.value g) :: !gs
+      | H h -> hs := (name, Histogram.snap h) :: !hs)
+    registry;
+  Mutex.unlock reg_mu;
+  {
+    spans;
+    counters = List.sort by_name !cs;
+    gauges = List.sort by_name !gs;
+    histograms = List.sort by_name !hs;
+  }
+
+let reset () =
+  Mutex.lock completed_mu;
+  completed := [];
+  Mutex.unlock completed_mu;
+  Mutex.lock reg_mu;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> Counter.reset c
+      | G g -> Gauge.reset g
+      | H h -> Histogram.reset h)
+    registry;
+  Mutex.unlock reg_mu
+
+type span_agg = {
+  calls : int;
+  total_ns : int64;
+  min_ns : int64;
+  max_ns : int64;
+}
+
+let aggregate_spans roots =
+  let tbl : (string, span_agg) Hashtbl.t = Hashtbl.create 32 in
+  let rec visit (s : Span.t) =
+    let d = Span.duration_ns s in
+    let agg =
+      match Hashtbl.find_opt tbl s.name with
+      | None -> { calls = 1; total_ns = d; min_ns = d; max_ns = d }
+      | Some a ->
+        {
+          calls = a.calls + 1;
+          total_ns = Int64.add a.total_ns d;
+          min_ns = min a.min_ns d;
+          max_ns = max a.max_ns d;
+        }
+    in
+    Hashtbl.replace tbl s.name agg;
+    List.iter visit s.children
+  in
+  List.iter visit roots;
+  Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> Int64.compare b.total_ns a.total_ns)
+
+let attr_json : attr -> Json.t = function
+  | `Int i -> Json.Int i
+  | `Float f -> Json.Float f
+  | `Str s -> Json.Str s
+
+let rec span_json (s : Span.t) =
+  let base =
+    [
+      ("name", Json.Str s.name);
+      ("start_ns", Json.Int (Int64.to_int s.start_ns));
+      ("dur_ns", Json.Int (Int64.to_int (Span.duration_ns s)));
+    ]
+  in
+  let attrs =
+    match s.attrs with
+    | [] -> []
+    | l -> [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) l)) ]
+  in
+  let children =
+    match s.children with
+    | [] -> []
+    | l -> [ ("children", Json.List (List.map span_json l)) ]
+  in
+  Json.Obj (base @ attrs @ children)
+
+let hist_json (h : Histogram.snap) =
+  Json.Obj
+    [
+      ("bounds", Json.List (Array.to_list (Array.map (fun f -> Json.Float f) h.bounds)));
+      ("counts", Json.List (Array.to_list (Array.map (fun i -> Json.Int i) h.counts)));
+      ("count", Json.Int h.count);
+      ("sum", Json.Float h.sum);
+    ]
+
+let trace_json (snap : snapshot) =
+  Json.Obj
+    [
+      ("schema", Json.Str "vm1dp-trace/1");
+      ("spans", Json.List (List.map span_json snap.spans));
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) snap.gauges));
+      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, hist_json h)) snap.histograms));
+    ]
+
+let write_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (trace_json (snapshot ())));
+      output_char oc '\n')

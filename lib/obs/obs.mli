@@ -1,0 +1,166 @@
+(** Flow-wide observability: hierarchical spans, counters, gauges and
+    histograms behind one process-global registry.
+
+    Design constraints, in order:
+
+    - {b Zero overhead when off.} Instrumentation is compiled in
+      everywhere but every operation is a cheap branch on a disabled
+      flag, so the uninstrumented flow is unchanged — bit-identical
+      results, no allocation on the hot path.
+    - {b Safe under [Domain]-parallel window solving.} All mutable state
+      is either per-domain (the open-span stack, via [Domain.DLS]) or
+      written through atomics (counter stripes, gauge cells, histogram
+      buckets). [Dist_opt.solve_batch] can fan spans and counter bumps
+      out over domains with no locking on the hot path; per-domain
+      buffers are merged when a snapshot is taken, after the joins.
+    - {b Zero dependencies.} Only the OCaml runtime and a 10-line C stub
+      for [CLOCK_MONOTONIC]; the JSON exporter is [Json], in this
+      library.
+
+    Instrumentation never alters control flow: [with_span] re-raises the
+    callback's exceptions after closing the span, and all recording is
+    write-only until [snapshot]. *)
+
+(** The JSON value type used by the trace exporter, re-exported so
+    consumers can parse and inspect traces (see {!Json.parse}). *)
+module Json : module type of Json
+
+(** {1 Master switch} *)
+
+(** [enabled ()] is the process-global instrumentation switch; initially
+    [false]. *)
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** {1 Clock} *)
+
+(** [now_ns ()] is the monotonic clock in nanoseconds since an arbitrary
+    epoch (only differences are meaningful). *)
+val now_ns : unit -> int64
+
+(** {1 Spans} *)
+
+(** Attribute value attached to a span. *)
+type attr = [ `Int of int | `Float of float | `Str of string ]
+
+module Span : sig
+  (** A completed span: one timed region, with the regions it enclosed
+      as children. Spans opened on a spawned domain form their own roots
+      (a child domain cannot see its parent's open stack). *)
+  type t = {
+    name : string;
+    start_ns : int64;
+    end_ns : int64;
+    attrs : (string * attr) list;
+    children : t list;  (** in opening order *)
+  }
+
+  val duration_ns : t -> int64
+end
+
+(** [with_span name f] times [f] as a span nested under the current
+    domain's innermost open span (a root span when there is none).
+    Exceptions from [f] close the span and re-raise. When disabled this
+    is exactly [f ()]. *)
+val with_span : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+
+(** [add_attr key v] attaches an attribute to the innermost open span of
+    the calling domain; no-op when disabled or outside any span. *)
+val add_attr : string -> attr -> unit
+
+(** {1 Metrics}
+
+    Metrics are created through the registry functions below, which
+    get-or-create by name, so instrumentation sites may either cache the
+    handle or re-look it up. All update operations are domain-safe and
+    no-ops while disabled. *)
+
+module Counter : sig
+  (** Monotonically increasing integer, striped over per-domain cells so
+      concurrent bumps from parallel window solves do not contend; the
+      stripes are summed at read time. *)
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  (** [value t] sums the per-domain stripes. Exact once the writing
+      domains have been joined. *)
+  val value : t -> int
+end
+
+module Gauge : sig
+  (** Last-written float value (e.g. an overflow ratio after routing). *)
+  type t
+
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  (** Bucketed distribution of float observations. Bucket [i] counts
+      observations [<= bounds.(i)]; one extra bucket counts the rest. *)
+  type t
+
+  val observe : t -> float -> unit
+
+  type snap = {
+    bounds : float array;
+    counts : int array;  (** length = [Array.length bounds + 1] *)
+    count : int;
+    sum : float;
+  }
+
+  val snap : t -> snap
+end
+
+(** [counter name] gets or creates the counter [name]. *)
+val counter : string -> Counter.t
+
+(** [gauge name] gets or creates the gauge [name]. *)
+val gauge : string -> Gauge.t
+
+(** [histogram ?bounds name] gets or creates the histogram [name];
+    [bounds] applies on creation only (default: 14 exponential buckets
+    from 0.001 to ~8000, suiting milliseconds). *)
+val histogram : ?bounds:float array -> string -> Histogram.t
+
+(** {1 Snapshot and export} *)
+
+type snapshot = {
+  spans : Span.t list;  (** completed roots, all domains, by start time *)
+  counters : (string * int) list;      (** sorted by name *)
+  gauges : (string * float) list;      (** sorted by name *)
+  histograms : (string * Histogram.snap) list;  (** sorted by name *)
+}
+
+(** [snapshot ()] merges every domain's completed spans and all metric
+    values into one immutable view. Spans still open (or owned by
+    un-joined domains mid-flight) are not included. *)
+val snapshot : unit -> snapshot
+
+(** [reset ()] drops completed spans and zeroes every registered metric;
+    handles stay valid. Open spans on other domains are unaffected. *)
+val reset : unit -> unit
+
+(** Per-name span aggregate over a whole span forest. *)
+type span_agg = {
+  calls : int;
+  total_ns : int64;
+  min_ns : int64;
+  max_ns : int64;
+}
+
+(** [aggregate_spans roots] folds every span of the forest (children
+    included) into per-name aggregates, sorted by descending total
+    time. *)
+val aggregate_spans : Span.t list -> (string * span_agg) list
+
+(** [trace_json snap] is the machine-readable trace (schema documented
+    in the README's "Measuring performance" section). *)
+val trace_json : snapshot -> Json.t
+
+(** [write_trace path] takes a snapshot and writes its JSON trace to
+    [path]. *)
+val write_trace : string -> unit

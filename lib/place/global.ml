@@ -174,7 +174,7 @@ let restore_coords (p : Placement.t) (xs, ys, os) =
   Array.blit ys 0 p.ys 0 (Array.length ys);
   Array.blit os 0 p.orients 0 (Array.length os)
 
-let place ?(config = default_config) (p : Placement.t) =
+let place_impl config (p : Placement.t) =
   let n = Placement.num_instances p in
   let cx = Array.make n 0.0 and cy = Array.make n 0.0 in
   seed p cx cy;
@@ -238,3 +238,10 @@ let place ?(config = default_config) (p : Placement.t) =
     end
   done;
   restore_coords p best
+
+let place ?(config = default_config) (p : Placement.t) =
+  Obs.with_span "place.global"
+    ~attrs:[ ("instances", `Int (Placement.num_instances p)) ]
+    (fun () ->
+      place_impl config p;
+      Obs.add_attr "hpwl_dbu" (`Int (Hpwl.total p)))

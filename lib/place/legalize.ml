@@ -8,7 +8,7 @@
    right-to-left clamp pushes the overhang back; because the row's total
    width fits, the clamp always succeeds and every x stays >= 0. *)
 
-let legalize (p : Placement.t) =
+let legalize_impl (p : Placement.t) =
   let tech = p.tech in
   let sw = tech.Pdk.Tech.site_width and rh = tech.Pdk.Tech.row_height in
   let n = Placement.num_instances p in
@@ -79,6 +79,11 @@ let legalize (p : Placement.t) =
       Placement.move p i ~site:sites.(idx) ~row:r ~orient:p.orients.(i)
     done
   done
+
+let legalize (p : Placement.t) =
+  Obs.with_span "place.legalize" (fun () ->
+      legalize_impl p;
+      Obs.Counter.incr (Obs.counter "legalize.calls"))
 
 let check (p : Placement.t) =
   let tech = p.tech in

@@ -11,18 +11,20 @@ type eval = {
 }
 
 let prepare ?(scale = 8) ?(utilization = 0.75) ?(detailed = true) name arch =
-  let design = Netlist.Designs.make ~scale name arch in
-  let p = Place.Placement.create design ~utilization in
-  Place.Global.place p;
-  (* the paper's input placements come out of a commercial flow whose own
-     detailed placement has already converged; the HPWL-driven row DP
-     stands in for that, so the vertical-M1 optimiser is not credited
-     with generic wirelength cleanup *)
-  if detailed then ignore (Place.Row_opt.optimize ~passes:2 p);
-  p
+  Obs.with_span "flow.prepare" (fun () ->
+      let design = Netlist.Designs.make ~scale name arch in
+      let p = Place.Placement.create design ~utilization in
+      Place.Global.place p;
+      (* the paper's input placements come out of a commercial flow whose
+         own detailed placement has already converged; the HPWL-driven row
+         DP stands in for that, so the vertical-M1 optimiser is not
+         credited with generic wirelength cleanup *)
+      if detailed then ignore (Place.Row_opt.optimize ~passes:2 p);
+      p)
 
 let evaluate ?clock_ps ?router_config (params : Vm1.Params.t)
     (p : Place.Placement.t) =
+  Obs.with_span "flow.evaluate" (fun () ->
   let r = Route.Router.route ?config:router_config p in
   let s = Route.Metrics.summarize r in
   let net_lengths = Route.Metrics.net_lengths r in
@@ -40,7 +42,7 @@ let evaluate ?clock_ps ?router_config (params : Vm1.Params.t)
       drvs = s.drvs;
       alignments = counts.Vm1.Objective.alignments;
     },
-    timing.Sta.Timing.clock_ps )
+    timing.Sta.Timing.clock_ps ))
 
 type comparison = {
   design_name : string;

@@ -1,0 +1,75 @@
+let ms ns = Int64.to_float ns /. 1e6
+
+let span_table (spans : Obs.Span.t list) =
+  match Obs.aggregate_spans spans with
+  | [] -> []
+  | aggs ->
+    let rows =
+      List.map
+        (fun (name, (a : Obs.span_agg)) ->
+          [
+            name;
+            Table.fi a.calls;
+            Table.f2 (ms a.total_ns);
+            Table.f3 (ms a.total_ns /. float_of_int a.calls);
+            Table.f3 (ms a.min_ns);
+            Table.f3 (ms a.max_ns);
+          ])
+        aggs
+    in
+    [
+      "## spans\n"
+      ^ Table.render
+          ~header:[ "span"; "calls"; "total ms"; "mean ms"; "min ms"; "max ms" ]
+          ~rows;
+    ]
+
+let counter_table = function
+  | [] -> []
+  | counters ->
+    [
+      "## counters\n"
+      ^ Table.render ~header:[ "counter"; "value" ]
+          ~rows:(List.map (fun (k, v) -> [ k; Table.fi v ]) counters);
+    ]
+
+let gauge_table = function
+  | [] -> []
+  | gauges ->
+    [
+      "## gauges\n"
+      ^ Table.render ~header:[ "gauge"; "value" ]
+          ~rows:(List.map (fun (k, v) -> [ k; Table.f2 v ]) gauges);
+    ]
+
+let hist_table = function
+  | [] -> []
+  | hists ->
+    [
+      "## histograms\n"
+      ^ Table.render ~header:[ "histogram"; "count"; "mean"; "sum" ]
+          ~rows:
+            (List.map
+               (fun (k, (h : Obs.Histogram.snap)) ->
+                 let mean =
+                   if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+                 in
+                 [ k; Table.fi h.count; Table.f2 mean; Table.f2 h.sum ])
+               hists);
+    ]
+
+(* Registered-but-never-touched metrics (instrumented code paths the run
+   did not reach) render as noise, so only live values are shown. *)
+let summary (snap : Obs.snapshot) =
+  let sections =
+    span_table snap.spans
+    @ counter_table (List.filter (fun (_, v) -> v <> 0) snap.counters)
+    @ gauge_table (List.filter (fun (_, v) -> v <> 0.0) snap.gauges)
+    @ hist_table
+        (List.filter
+           (fun (_, (h : Obs.Histogram.snap)) -> h.count > 0)
+           snap.histograms)
+  in
+  String.concat "\n" sections
+
+let print snap = print_string (summary snap)

@@ -1,0 +1,15 @@
+(** Human-readable rendering of an [Obs] snapshot.
+
+    The span table aggregates the whole span forest per name (calls,
+    total/mean/min/max wall milliseconds, sorted by total time);
+    counters, gauges and histograms follow as their own tables.
+    Metrics that were registered but never updated, and sections with no
+    data at all, are omitted — an uninstrumented run renders as the
+    empty string. *)
+
+(** [summary snap] renders every section of the snapshot with
+    [Report.Table]. *)
+val summary : Obs.snapshot -> string
+
+(** [print snap] writes [summary snap] to stdout. *)
+val print : Obs.snapshot -> unit

@@ -58,17 +58,23 @@ let wire_stats (r : Router.result) =
   (!total, !m1, !via12)
 
 let summarize (r : Router.result) =
-  let total, m1, via12 = wire_stats r in
-  let overflow = Grid.overflow_count r.grid in
-  {
-    dm1 = dm1_count r;
-    m1_wl_um = float_of_int m1 /. 1000.0;
-    via12;
-    hpwl_um = Place.Hpwl.total_um r.grid.Grid.placement;
-    rwl_um = float_of_int total /. 1000.0;
-    drvs = overflow + r.failed_subnets;
-    failed = r.failed_subnets;
-  }
+  Obs.with_span "route.metrics" (fun () ->
+      let total, m1, via12 = wire_stats r in
+      let overflow = Grid.overflow_count r.grid in
+      let dm1 = dm1_count r in
+      Obs.Gauge.set (Obs.gauge "route.via12") (float_of_int via12);
+      Obs.Gauge.set (Obs.gauge "route.dm1") (float_of_int dm1);
+      Obs.Gauge.set (Obs.gauge "route.drvs")
+        (float_of_int (overflow + r.failed_subnets));
+      {
+        dm1;
+        m1_wl_um = float_of_int m1 /. 1000.0;
+        via12;
+        hpwl_um = Place.Hpwl.total_um r.grid.Grid.placement;
+        rwl_um = float_of_int total /. 1000.0;
+        drvs = overflow + r.failed_subnets;
+        failed = r.failed_subnets;
+      })
 
 (* wirelength per metal layer, micrometres; index 0 unused, 1..nl are
    M1..M6 *)

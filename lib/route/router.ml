@@ -352,6 +352,7 @@ let path_overflows g path =
     path
 
 let route ?(config = default_config) (p : Place.Placement.t) =
+  Obs.with_span "route" (fun () ->
   let g =
     Grid.of_placement ~layers:config.layers ~pdn_stripes:config.pdn_stripes p
   in
@@ -369,26 +370,33 @@ let route ?(config = default_config) (p : Place.Placement.t) =
       (fun nid -> { net_id = nid; subnets = decompose p design.nets.(nid) })
       order
   in
+  Obs.add_attr "nets" (`Int (List.length routes));
+  Obs.Counter.add (Obs.counter "route.subnets")
+    (List.fold_left (fun acc nr -> acc + Array.length nr.subnets) 0 routes);
   let failed = ref 0 in
   let route_net (nr : net_route) =
     let tree_nodes = ref [] in
     Array.iter
       (fun sn ->
+        Obs.Counter.incr (Obs.counter "route.subnet_attempts");
         if not (route_subnet ctx ~net:nr.net_id ~tree_nodes sn) then
           incr failed)
       nr.subnets
   in
-  List.iter route_net routes;
+  Obs.with_span "route.initial" (fun () -> List.iter route_net routes);
   (* rip-up and reroute nets crossing overflowed edges, with the
      congestion penalty escalating each pass *)
   for pass = 1 to config.ripup_passes do
+    Obs.with_span "route.ripup" ~attrs:[ ("pass", `Int pass) ] (fun () ->
     ctx.penalty <- config.overflow_penalty * (pass + 1);
+    let ripped = ref 0 in
     List.iter
       (fun nr ->
         let congested =
           Array.exists (fun sn -> sn.routed && path_overflows g sn.path) nr.subnets
         in
         if congested then begin
+          incr ripped;
           Array.iter
             (fun sn ->
               if sn.routed then begin
@@ -404,7 +412,9 @@ let route ?(config = default_config) (p : Place.Placement.t) =
                 incr failed)
             nr.subnets
         end)
-      routes
+      routes;
+    Obs.Counter.add (Obs.counter "route.ripup_nets") !ripped;
+    Obs.add_attr "ripped_nets" (`Int !ripped))
   done;
   let failed_final =
     List.fold_left
@@ -415,4 +425,9 @@ let route ?(config = default_config) (p : Place.Placement.t) =
             0 nr.subnets)
       0 routes
   in
-  { grid = g; routes = Array.of_list routes; config; failed_subnets = failed_final }
+  Obs.Counter.add (Obs.counter "route.failed_subnets") failed_final;
+  let overflow = Grid.overflow_count g in
+  Obs.Gauge.set (Obs.gauge "route.overflow_edges") (float_of_int overflow);
+  Obs.add_attr "overflow_edges" (`Int overflow);
+  Obs.add_attr "failed_subnets" (`Int failed_final);
+  { grid = g; routes = Array.of_list routes; config; failed_subnets = failed_final })

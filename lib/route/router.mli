@@ -17,7 +17,8 @@
 type config = {
   via_cost : int;          (** cost of one via, in DBU-equivalents *)
   overflow_penalty : int;  (** added cost per existing user of an edge *)
-  ripup_passes : int;
+  ripup_passes : int;      (** max rip-up-and-reroute passes after the
+                               initial routing pass *)
   search_margin : int;     (** A* window margin around the subnet bbox, tracks *)
   use_dm1 : bool;          (** when false, M1 edges crossing row boundaries
                                are treated as blocked *)
@@ -39,23 +40,30 @@ type edge =
   | Via of int   (** via edge at node n: n -- same (i,j) one layer up *)
 
 type subnet = {
-  src : Netlist.Design.pin_ref;
-  dst : Netlist.Design.pin_ref;
-  mutable path : edge list;
-  mutable routed : bool;
+  src : Netlist.Design.pin_ref;     (** pin at the MST edge's source *)
+  dst : Netlist.Design.pin_ref;     (** pin at the MST edge's sink *)
+  mutable path : edge list;         (** grid edges of the found route;
+                                        empty when unrouted or when the
+                                        pins share a grid node *)
+  mutable routed : bool;            (** false only when A* failed *)
 }
 
 type net_route = {
-  net_id : int;
-  subnets : subnet array;
+  net_id : int;            (** design net id *)
+  subnets : subnet array;  (** MST decomposition, in routing order *)
 }
 
 type result = {
-  grid : Grid.t;
-  routes : net_route array;
-  config : config;
-  mutable failed_subnets : int;
+  grid : Grid.t;                 (** the grid with final usage counts *)
+  routes : net_route array;      (** one entry per signal net *)
+  config : config;               (** configuration the run used *)
+  mutable failed_subnets : int;  (** subnets with [routed = false] *)
 }
 
-(** [route ?config placement] routes all signal nets of the placement. *)
+(** [route ?config placement] routes all signal nets of the placement.
+    Emits observability when [Obs.enabled]: a [route] span with nested
+    [route.initial] and per-pass [route.ripup] spans, the
+    [route.subnets] / [route.subnet_attempts] / [route.ripup_nets] /
+    [route.failed_subnets] counters and the [route.overflow_edges]
+    gauge. *)
 val route : ?config:config -> Place.Placement.t -> result

@@ -97,16 +97,19 @@ let arrivals (design : Netlist.Design.t) ~net_lengths =
   (arrival, !critical)
 
 let analyze ?clock_ps (design : Netlist.Design.t) ~net_lengths =
-  let _, critical = arrivals design ~net_lengths in
-  let clock_ps =
-    match clock_ps with Some c -> c | None -> critical *. 1.05
-  in
-  let slack = clock_ps -. critical in
-  {
-    wns_ns = Float.min 0.0 slack /. 1000.0;
-    critical_ps = critical;
-    clock_ps;
-  }
+  Obs.with_span "sta.analyze" (fun () ->
+      let _, critical = arrivals design ~net_lengths in
+      let clock_ps =
+        match clock_ps with Some c -> c | None -> critical *. 1.05
+      in
+      let slack = clock_ps -. critical in
+      Obs.Gauge.set (Obs.gauge "sta.critical_ps") critical;
+      Obs.Counter.incr (Obs.counter "sta.analyses");
+      {
+        wns_ns = Float.min 0.0 slack /. 1000.0;
+        critical_ps = critical;
+        clock_ps;
+      })
 
 (* Criticality of a net: how close the latest path through it runs to the
    clock period, in [0, 1]; 1 = on (or beyond) the critical path. A net's

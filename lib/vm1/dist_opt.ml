@@ -23,10 +23,23 @@ type stats = {
    solving touches only problem-internal state, committing writes disjoint
    cells. Extract and commit run sequentially; solving fans out over
    domains. The result is identical to the sequential order. *)
+(* Metric handles are created once: window solves run on worker domains,
+   and a per-call registry lookup would reintroduce lock contention
+   there. Counter bumps and histogram observations are domain-safe. *)
+let c_windows_solved = Obs.counter "scp.windows_solved"
+let c_moves = Obs.counter "scp.moves"
+let h_window_moves = Obs.histogram "distopt.window_moves"
+
 let solve_batch ~parallel ~mode problems =
   let n = Array.length problems in
   let stats = Array.make n None in
-  let solve i = stats.(i) <- Some (Scp_solver.solve ~mode problems.(i)) in
+  let solve i =
+    let s = Scp_solver.solve ~mode problems.(i) in
+    Obs.Counter.incr c_windows_solved;
+    Obs.Counter.add c_moves s.Scp_solver.moves;
+    Obs.Histogram.observe h_window_moves (float_of_int s.Scp_solver.moves);
+    stats.(i) <- Some s
+  in
   if (not parallel) || n <= 1 then
     for i = 0 to n - 1 do
       solve i
@@ -54,26 +67,41 @@ let solve_batch ~parallel ~mode problems =
     0 stats
 
 let run (p : Place.Placement.t) (params : Params.t) (c : config) =
-  let windows = Window.partition p ~tx:c.tx ~ty:c.ty ~bw:c.bw ~bh:c.bh in
-  let batches = Window.diagonal_batches windows in
-  let total_moves = ref 0 in
-  List.iter
-    (fun batch ->
-      let problems =
-        Array.map
-          (fun (w : Window.t) ->
-            Wproblem.extract ?candidate_cost:c.candidate_cost p params
-              ~site_lo:w.site_lo ~row_lo:w.row_lo ~bw:w.bw ~bh:w.bh
-              ~movable:w.movable ~lx:c.lx ~ly:c.ly ~allow_flip:c.allow_flip
-              ~allow_move:c.allow_move)
-          batch
-      in
-      total_moves :=
-        !total_moves + solve_batch ~parallel:c.parallel ~mode:c.mode problems;
-      Array.iter Wproblem.commit problems)
-    batches;
-  {
-    windows = Array.length windows;
-    batches = List.length batches;
-    total_moves = !total_moves;
-  }
+  Obs.with_span "distopt.run" (fun () ->
+      let windows = Window.partition p ~tx:c.tx ~ty:c.ty ~bw:c.bw ~bh:c.bh in
+      let batches = Window.diagonal_batches windows in
+      Obs.add_attr "windows" (`Int (Array.length windows));
+      Obs.add_attr "batches" (`Int (List.length batches));
+      let total_moves = ref 0 in
+      List.iter
+        (fun batch ->
+          Obs.with_span "distopt.batch"
+            ~attrs:[ ("windows", `Int (Array.length batch)) ]
+            (fun () ->
+              let problems =
+                Obs.with_span "distopt.extract" (fun () ->
+                    Array.map
+                      (fun (w : Window.t) ->
+                        Wproblem.extract ?candidate_cost:c.candidate_cost p
+                          params ~site_lo:w.site_lo ~row_lo:w.row_lo ~bw:w.bw
+                          ~bh:w.bh ~movable:w.movable ~lx:c.lx ~ly:c.ly
+                          ~allow_flip:c.allow_flip ~allow_move:c.allow_move)
+                      batch)
+              in
+              let moves =
+                Obs.with_span "distopt.solve" (fun () ->
+                    let m =
+                      solve_batch ~parallel:c.parallel ~mode:c.mode problems
+                    in
+                    Obs.add_attr "moves" (`Int m);
+                    m)
+              in
+              total_moves := !total_moves + moves;
+              Obs.with_span "distopt.commit" (fun () ->
+                  Array.iter Wproblem.commit problems)))
+        batches;
+      {
+        windows = Array.length windows;
+        batches = List.length batches;
+        total_moves = !total_moves;
+      })

@@ -13,7 +13,8 @@ type config = {
   lx : int;            (** max x displacement, sites *)
   ly : int;            (** max y displacement, rows *)
   allow_flip : bool;   (** the f flag of Algorithm 1 *)
-  allow_move : bool;
+  allow_move : bool;   (** when false, cells may only flip in place
+                           (Algorithm 1's flip-only phase) *)
   mode : Scp_solver.mode;
   parallel : bool;     (** solve each diagonal batch's windows on multiple
                            domains; deterministic (identical to the
@@ -24,10 +25,15 @@ type config = {
 }
 
 type stats = {
-  windows : int;
-  batches : int;
-  total_moves : int;
+  windows : int;      (** windows with at least one movable cell *)
+  batches : int;      (** diagonally-independent batches processed *)
+  total_moves : int;  (** accepted cell moves/flips, summed over windows *)
 }
 
-(** [run p params config] optimises in place. *)
+(** [run p params config] optimises in place. Emits observability when
+    [Obs.enabled]: a [distopt.run] span with nested per-batch
+    [distopt.batch] > [distopt.extract]/[distopt.solve]/[distopt.commit]
+    spans, [scp.windows_solved] / [scp.moves] counters and the
+    [distopt.window_moves] histogram — identical placement results with
+    instrumentation on or off. *)
 val run : Place.Placement.t -> Params.t -> config -> stats

@@ -185,12 +185,26 @@ let anneal ?max_passes (t : Wproblem.t) =
     }
   end
 
+let c_mode_greedy = Obs.counter "scp.mode.greedy"
+let c_mode_exact = Obs.counter "scp.mode.exact"
+let c_mode_anneal = Obs.counter "scp.mode.anneal"
+
 let solve ?(mode = `Auto) ?max_passes t =
+  let mode =
+    match mode with
+    | `Auto ->
+      if Array.length t.Wproblem.cells <= 6 && exact_search_space t <= 50_000
+      then `Exact
+      else `Greedy
+    | (`Greedy | `Exact | `Anneal) as m -> m
+  in
   match mode with
-  | `Greedy -> greedy ?max_passes t
-  | `Exact -> exact t
-  | `Anneal -> anneal ?max_passes t
-  | `Auto ->
-    if Array.length t.Wproblem.cells <= 6 && exact_search_space t <= 50_000
-    then exact t
-    else greedy ?max_passes t
+  | `Greedy ->
+    Obs.Counter.incr c_mode_greedy;
+    greedy ?max_passes t
+  | `Exact ->
+    Obs.Counter.incr c_mode_exact;
+    exact t
+  | `Anneal ->
+    Obs.Counter.incr c_mode_anneal;
+    anneal ?max_passes t

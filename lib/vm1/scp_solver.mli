@@ -18,10 +18,13 @@
 type mode = [ `Exact | `Greedy | `Anneal | `Auto ]
 
 type stats = {
-  objective_before : float;
-  objective_after : float;
-  moves : int;
-  passes : int;
+  objective_before : float;  (** window objective at the input assignment *)
+  objective_after : float;   (** window objective at the final assignment;
+                                 never greater than [objective_before] *)
+  moves : int;               (** cells whose final candidate differs from
+                                 their input candidate *)
+  passes : int;              (** coordinate-descent passes ([`Greedy]); 1
+                                 for [`Exact] *)
 }
 
 (** [solve ?mode ?max_passes t] optimises the window problem in place (the

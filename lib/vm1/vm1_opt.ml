@@ -31,6 +31,7 @@ type report = {
 
 let run ?(config = default_config) (params : Params.t)
     (p : Place.Placement.t) =
+  Obs.with_span "vm1opt.run" (fun () ->
   let t_start = Sys.time () in
   let tech = p.tech in
   let sw = tech.Pdk.Tech.site_width and rh = tech.Pdk.Tech.row_height in
@@ -39,6 +40,11 @@ let run ?(config = default_config) (params : Params.t)
   let tx = ref 0 and ty = ref 0 in
   List.iteri
     (fun step_index (u : Params.step) ->
+      Obs.with_span "vm1opt.step"
+        ~attrs:
+          [ ("step_index", `Int step_index); ("bw_um", `Float u.bw_um);
+            ("lx", `Int u.lx); ("ly", `Int u.ly) ]
+        (fun () ->
       let bw_dbu = int_of_float (u.bw_um *. 1000.0) in
       let bw = max (2 * (u.lx + 4)) (bw_dbu / sw) in
       let bh = max (2 * (u.ly + 1)) (bw_dbu / rh) in
@@ -47,6 +53,7 @@ let run ?(config = default_config) (params : Params.t)
       let inner = ref 0 in
       while !delta >= params.Params.theta && !inner < config.max_inner_iters do
         incr inner;
+        Obs.Counter.incr (Obs.counter "vm1opt.iterations");
         let pre_obj = !obj in
         (* perturbation pass: moves allowed, no flipping *)
         let s1 =
@@ -97,11 +104,16 @@ let run ?(config = default_config) (params : Params.t)
             moves = s1.Dist_opt.total_moves + s2.Dist_opt.total_moves;
           }
           :: !iterations
-      done)
+      done;
+      Obs.add_attr "objective" (`Float !obj);
+      Obs.add_attr "inner_iters" (`Int !inner)))
     config.sequence;
+  let final_objective = Objective.value params p in
+  Obs.Gauge.set (Obs.gauge "vm1opt.initial_objective") initial_objective;
+  Obs.Gauge.set (Obs.gauge "vm1opt.final_objective") final_objective;
   {
     initial_objective;
-    final_objective = Objective.value params p;
+    final_objective;
     iterations = List.rev !iterations;
     runtime_s = Sys.time () -. t_start;
-  }
+  })

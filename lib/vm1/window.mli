@@ -9,12 +9,12 @@
     solved in parallel. *)
 
 type t = {
-  ix : int;
-  iy : int;
-  site_lo : int;
-  row_lo : int;
-  bw : int;
-  bh : int;
+  ix : int;            (** window-grid column index *)
+  iy : int;            (** window-grid row index *)
+  site_lo : int;       (** leftmost site covered by the window *)
+  row_lo : int;        (** bottom placement row covered by the window *)
+  bw : int;            (** window width, sites *)
+  bh : int;            (** window height, rows *)
   movable : int list;  (** instances fully inside this window *)
 }
 

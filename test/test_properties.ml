@@ -252,6 +252,45 @@ let prop_diagonal_batches =
              !ok)
            batches)
 
+(* instrumentation is observation-only: with tracing enabled the
+   optimiser produces the exact same placement as with it disabled,
+   sequentially and under domain-parallel batch solving *)
+let prop_instrumented_run_identical =
+  QCheck2.Test.make ~name:"instrumented run = uninstrumented run" ~count:6
+    QCheck2.Gen.(pair (int_range 1 1000) bool)
+    (fun (seed, parallel) ->
+      let p = Place.Placement.create (design_of_seed seed) ~utilization:0.72 in
+      Place.Global.place p;
+      let q = Place.Placement.copy p in
+      let params = Vm1.Params.default p.Place.Placement.tech in
+      let cfg =
+        {
+          Vm1.Dist_opt.tx = 0;
+          ty = 0;
+          bw = 40;
+          bh = 6;
+          lx = 3;
+          ly = 1;
+          allow_flip = true;
+          allow_move = true;
+          mode = `Greedy;
+          parallel;
+          candidate_cost = None;
+        }
+      in
+      Obs.set_enabled false;
+      let s1 = Vm1.Dist_opt.run p params cfg in
+      Obs.set_enabled true;
+      let s2 =
+        Fun.protect
+          ~finally:(fun () -> Obs.set_enabled false)
+          (fun () -> Vm1.Dist_opt.run q params cfg)
+      in
+      s1.Vm1.Dist_opt.total_moves = s2.Vm1.Dist_opt.total_moves
+      && p.Place.Placement.xs = q.Place.Placement.xs
+      && p.Place.Placement.ys = q.Place.Placement.ys
+      && p.Place.Placement.orients = q.Place.Placement.orients)
+
 (* STA: lengthening any single net never shortens the critical path *)
 let prop_sta_monotone =
   QCheck2.Test.make ~name:"STA monotone in net length" ~count:20
@@ -286,6 +325,7 @@ let () =
           [
             prop_move_delta_exact; prop_greedy_monotone_legal;
             prop_milp_equals_exhaustive; prop_diagonal_batches;
+            prop_instrumented_run_identical;
           ] );
       ( "sta",
         List.map QCheck_alcotest.to_alcotest [ prop_sta_monotone ] );
