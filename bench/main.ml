@@ -262,6 +262,91 @@ let run_micro () =
     (fun (name, est) -> Printf.printf "%-48s %s ns/run\n" name est)
     (List.sort compare !rows)
 
+(* --- scaling mode: per-stage wall-clock vs --jobs, on the jpeg
+   testcase, emitted as machine-readable BENCH_vm1dp.json. The same
+   placement and routing problem is solved once per pool size; besides
+   the timings the report records whether every run produced the same
+   bytes as --jobs 1, which is the executor's determinism contract. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let placement_digest (p : Place.Placement.t) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string (p.Place.Placement.xs, p.ys, p.orients) []))
+
+let route_digest (r : Route.Router.result) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (r.Route.Router.routes, r.Route.Router.failed_subnets)
+          []))
+
+let scaling_distopt_cfg = distopt_cfg true
+
+let run_scaling ~out ~scaling_scale ~jobs_list () =
+  Printf.printf "# Scaling with --jobs (jpeg at scale 1/%d)\n%!" scaling_scale;
+  let p0 =
+    Report.Flow.prepare ~scale:scaling_scale Netlist.Designs.Jpeg
+      Pdk.Cell_arch.Closed_m1
+  in
+  let params = Vm1.Params.default p0.Place.Placement.tech in
+  let run_at jobs =
+    Exec.set_jobs jobs;
+    let q = Place.Placement.copy p0 in
+    let _, distopt_s =
+      time (fun () -> Vm1.Dist_opt.run q params scaling_distopt_cfg)
+    in
+    let r, route_s = time (fun () -> Route.Router.route q) in
+    Printf.printf "  jobs=%d  distopt %.3fs  route %.3fs\n%!" jobs distopt_s
+      route_s;
+    (jobs, distopt_s, route_s, placement_digest q ^ route_digest r)
+  in
+  let rows = List.map run_at jobs_list in
+  let _, base_d, base_r, base_digest =
+    match rows with row1 :: _ -> row1 | [] -> assert false
+  in
+  let base_total = base_d +. base_r in
+  let module J = Obs.Json in
+  let row_json (jobs, d, r, digest) =
+    J.Obj
+      [
+        ("jobs", J.Int jobs);
+        ("distopt_s", J.Float d);
+        ("route_s", J.Float r);
+        ("total_s", J.Float (d +. r));
+        ("speedup_distopt", J.Float (base_d /. d));
+        ("speedup_route", J.Float (base_r /. r));
+        ("speedup_total", J.Float (base_total /. (d +. r)));
+        ("identical_to_jobs1", J.Bool (String.equal digest base_digest));
+      ]
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "vm1dp-bench-scaling/1");
+        ("design", J.Str "jpeg");
+        ("scale", J.Int scaling_scale);
+        ("cpus", J.Int (Domain.recommended_domain_count ()));
+        ("rows", J.List (List.map row_json rows));
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Printf.printf "(wrote %s)\n%!" out;
+  if not (List.for_all (fun (_, _, _, d) -> String.equal d base_digest) rows)
+  then begin
+    prerr_endline "bench: scaling runs diverged from --jobs 1";
+    exit 1
+  end
+
 (* --trace/--metrics mirror the vm1opt/expt flags so benchmark runs emit
    the same comparable JSON; see README "Measuring performance". The
    trace is written for the regeneration half only — Bechamel's timed
@@ -269,19 +354,29 @@ let run_micro () =
    before the microbenchmarks run. *)
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse (mode, trace, metrics) = function
-    | [] -> Some (mode, trace, metrics)
-    | "--trace" :: file :: rest -> parse (mode, Some file, metrics) rest
-    | "--metrics" :: rest -> parse (mode, trace, true) rest
-    | ("tables" | "micro") as m :: rest -> parse (Some m, trace, metrics) rest
+  let rec parse (mode, trace, metrics, jobs, out) = function
+    | [] -> Some (mode, trace, metrics, jobs, out)
+    | "--trace" :: file :: rest -> parse (mode, Some file, metrics, jobs, out) rest
+    | "--metrics" :: rest -> parse (mode, trace, true, jobs, out) rest
+    | "--jobs" :: n :: rest -> begin
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> parse (mode, trace, metrics, Some n, out) rest
+      | _ -> None
+    end
+    | "--out" :: file :: rest -> parse (mode, trace, metrics, jobs, file) rest
+    | ("tables" | "micro" | "scaling") as m :: rest ->
+      parse (Some m, trace, metrics, jobs, out) rest
     | _ -> None
   in
-  match parse (None, None, false) args with
+  match parse (None, None, false, None, "BENCH_vm1dp.json") args with
   | None ->
-    prerr_endline "usage: main.exe [tables|micro] [--trace FILE] [--metrics]";
+    prerr_endline
+      "usage: main.exe [tables|micro|scaling] [--trace FILE] [--metrics] \
+       [--jobs N] [--out FILE]";
     exit 1
-  | Some (mode, trace, metrics) ->
+  | Some (mode, trace, metrics, jobs, out) ->
     if trace <> None || metrics then Obs.set_enabled true;
+    (match jobs with Some n -> Exec.set_jobs n | None -> ());
     let finish () =
       (match trace with
        | Some path ->
@@ -302,6 +397,14 @@ let () =
     | Some "micro" ->
       finish ();
       run_micro ()
+    | Some "scaling" ->
+      let scaling_scale =
+        match Sys.getenv_opt "VM1DP_BENCH_SCALE" with
+        | Some s -> int_of_string s
+        | None -> 16
+      in
+      run_scaling ~out ~scaling_scale ~jobs_list:[ 1; 2; 4 ] ();
+      finish ()
     | _ ->
       regenerate ();
       finish ();

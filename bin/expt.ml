@@ -121,8 +121,13 @@ let metrics =
   Arg.(value & flag & info [ "metrics" ]
          ~doc:"Print the observability summary tables after the experiments.")
 
-let run scale csv_prefix trace metrics experiments =
+let jobs =
+  Arg.(value & opt int 0 & info [ "jobs" ]
+         ~doc:"Size of the shared domain pool (caller + workers) for the                parallel phases. 0 picks the recommended domain count.                Results are byte-identical for every value." ~docv:"N")
+
+let run scale csv_prefix trace metrics jobs experiments =
   if trace <> None || metrics then Obs.set_enabled true;
+  if jobs > 0 then Exec.set_jobs jobs;
   List.iter (run_one scale csv_prefix) experiments;
   (match trace with
    | Some path ->
@@ -138,6 +143,6 @@ let run scale csv_prefix trace metrics experiments =
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v (Cmd.info "expt" ~doc)
-    Term.(const run $ scale $ csv_prefix $ trace $ metrics $ experiments)
+    Term.(const run $ scale $ csv_prefix $ trace $ metrics $ jobs $ experiments)
 
 let () = exit (Cmd.eval cmd)

@@ -57,6 +57,10 @@ let parallel =
   Arg.(value & flag & info [ "parallel"; "j" ]
          ~doc:"Solve diagonally-independent windows on multiple domains                (the paper's distributable optimisation); results are                identical to the sequential run.")
 
+let jobs =
+  Arg.(value & opt int 0 & info [ "jobs" ]
+         ~doc:"Size of the shared domain pool used by --parallel and the                sharded routing pass (caller + workers). 0 picks the                recommended domain count. Results are byte-identical for                every value." ~docv:"N")
+
 let trace =
   Arg.(value & opt (some string) None & info [ "trace" ]
          ~doc:"Write a JSON trace (spans, counters, gauges, histograms) of                the run to $(docv). Instrumentation never changes the                placement result." ~docv:"FILE")
@@ -66,8 +70,9 @@ let metrics =
          ~doc:"Print the observability summary tables (per-span timing,                counters, gauges) after the run.")
 
 let run design arch scale utilization alpha sequence dump_prefix svg_prefix
-    parallel trace metrics =
+    parallel jobs trace metrics =
   if trace <> None || metrics then Obs.set_enabled true;
+  if jobs > 0 then Exec.set_jobs jobs;
   let p = Report.Flow.prepare ~scale ~utilization design arch in
   let params =
     let base = Vm1.Params.default p.Place.Placement.tech in
@@ -127,6 +132,6 @@ let cmd =
   let doc = "vertical M1 routing-aware detailed placement, end to end" in
   Cmd.v (Cmd.info "vm1opt" ~doc)
     Term.(const run $ design $ arch $ scale $ utilization $ alpha $ sequence
-          $ dump_prefix $ svg_prefix $ parallel $ trace $ metrics)
+          $ dump_prefix $ svg_prefix $ parallel $ jobs $ trace $ metrics)
 
 let () = exit (Cmd.eval cmd)

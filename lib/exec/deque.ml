@@ -1,0 +1,94 @@
+(* Chase–Lev with every shared location atomic. OCaml atomics are
+   sequentially consistent, which is stronger than the fences of the
+   original paper, so the informal proof carries over directly:
+
+   - [top] only ever increases, so the steal CAS has no ABA problem.
+   - A slot is recycled only after [bottom] wraps a full capacity past
+     it, which cannot happen while [top] still points at it (the owner
+     grows first); grown-out buffers are never written again, so a
+     thief that read a stale buffer pointer still sees the correct
+     value for any index it can win the CAS for.
+   - A thief reads [top], then [bottom], then the buffer: if the
+     element at [top] was pushed into a grown buffer, the owner's
+     [bottom] update (observed by the thief) came after the buffer
+     swap, so the thief's buffer read sees the new array. *)
+
+type 'a t = {
+  top : int Atomic.t;                        (* thief end *)
+  bottom : int Atomic.t;                     (* owner end *)
+  buf : 'a option Atomic.t array Atomic.t;   (* capacity is a power of 2 *)
+}
+
+let min_capacity = 16
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = min_capacity) () =
+  let cap = pow2 (max capacity 2) 2 in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.init cap (fun _ -> Atomic.make None));
+  }
+
+let slot a k = a.(k land (Array.length a - 1))
+
+(* Owner only: copy the live range [top, bottom) into a buffer twice the
+   size and publish it. The old buffer is left intact for stale
+   thieves. *)
+let grow t ~top:tp ~bottom:b a =
+  let na = Array.init (2 * Array.length a) (fun _ -> Atomic.make None) in
+  for k = tp to b - 1 do
+    Atomic.set (slot na k) (Atomic.get (slot a k))
+  done;
+  Atomic.set t.buf na;
+  na
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let a = Atomic.get t.buf in
+  let a = if b - tp >= Array.length a then grow t ~top:tp ~bottom:b a else a in
+  Atomic.set (slot a b) (Some v);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  let a = Atomic.get t.buf in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* already empty: undo the reservation *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let v = Atomic.get (slot a b) in
+    if b > tp then begin
+      (* more than one element: slot b is unreachable to thieves *)
+      Atomic.set (slot a b) None;
+      v
+    end
+    else begin
+      (* last element: race thieves for it via the top CAS *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        Atomic.set (slot a b) None;
+        v
+      end
+      else None
+    end
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let a = Atomic.get t.buf in
+    let v = Atomic.get (slot a tp) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then v else None
+  end
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)

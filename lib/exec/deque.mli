@@ -1,0 +1,34 @@
+(** Chase–Lev work-stealing deque.
+
+    One {e owner} domain pushes and pops at the bottom (LIFO, cheap);
+    any number of {e thief} domains steal from the top (FIFO). The
+    classic lock-free algorithm (Chase & Lev, SPAA'05), expressed with
+    OCaml's sequentially-consistent atomics: [top], [bottom], the buffer
+    pointer and every cell are atomic, so the staleness arguments of the
+    original paper hold without fences. The buffer grows geometrically;
+    grown-out buffers are never written again, which is what makes a
+    thief's possibly-stale buffer pointer safe to read through.
+
+    Owner operations must all be called from the same domain; [steal]
+    may be called from any domain, concurrently with everything. *)
+
+type 'a t
+
+(** [create ()] is an empty deque (initial capacity [min_capacity]). *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** [push t v] appends [v] at the owner end. Owner only. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop t] removes the most recently pushed element (owner end), or
+    [None] when the deque is empty. Owner only. *)
+val pop : 'a t -> 'a option
+
+(** [steal t] removes the oldest element (thief end), or [None] when
+    the deque is empty {e or} the thief lost a race — callers treat
+    both as "nothing to steal" and move on. Any domain. *)
+val steal : 'a t -> 'a option
+
+(** [size t] is a snapshot of the element count; exact for the owner,
+    a lower-bound hint for other domains. *)
+val size : 'a t -> int

@@ -287,7 +287,10 @@ let aggregate_spans roots =
   in
   List.iter visit roots;
   Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) tbl []
-  |> List.sort (fun (_, a) (_, b) -> Int64.compare b.total_ns a.total_ns)
+  |> List.sort (fun (na, a) (nb, b) ->
+         match Int64.compare b.total_ns a.total_ns with
+         | 0 -> String.compare na nb  (* deterministic on ties *)
+         | c -> c)
 
 let attr_json : attr -> Json.t = function
   | `Int i -> Json.Int i

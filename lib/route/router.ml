@@ -8,6 +8,7 @@ type config = {
   m1_surcharge : int;
   layers : int;
   pdn_stripes : bool;
+  shard_tracks : int;
 }
 
 let default_config =
@@ -21,7 +22,19 @@ let default_config =
     m1_surcharge = 6;
     layers = 6;
     pdn_stripes = true;
+    shard_tracks = 64;
   }
+
+(* Metric handles created once: the initial pass bumps these from
+   worker domains, where a per-call registry lookup would contend on
+   the registry lock. *)
+let c_subnets = Obs.counter "route.subnets"
+let c_subnet_attempts = Obs.counter "route.subnet_attempts"
+let c_ripup_nets = Obs.counter "route.ripup_nets"
+let c_failed_subnets = Obs.counter "route.failed_subnets"
+let c_shard_nets = Obs.counter "route.shard_nets"
+let c_deferred_nets = Obs.counter "route.deferred_nets"
+let g_overflow = Obs.gauge "route.overflow_edges"
 
 type edge =
   | Wire of int
@@ -109,8 +122,11 @@ let via_cost ctx n =
 
 (* A*: multi-source (the net's current tree plus the source pin's access
    nodes) to the target pin's access nodes, within a window around the
-   subnet bounding box. *)
-let search ctx ~net ~sources ~targets =
+   subnet bounding box. [clamp] (ilo, ihi, jlo, jhi) intersects every
+   escalation window with a fixed rectangle; the sharded initial pass
+   uses it to confine each tile's searches — reads and writes included —
+   to that tile, which is what makes concurrent tiles independent. *)
+let search ?clamp ctx ~net ~sources ~targets =
   let g = ctx.g in
   ctx.generation <- ctx.generation + 1;
   let gen = ctx.generation in
@@ -142,6 +158,12 @@ let search ctx ~net ~sources ~targets =
   let run margin =
     let ilo = max 0 (!imin - margin) and ihi = min (g.Grid.nx - 1) (!imax + margin) in
     let jlo = max 0 (!jmin - margin) and jhi = min (g.Grid.ny - 1) (!jmax + margin) in
+    let ilo, ihi, jlo, jhi =
+      match clamp with
+      | None -> (ilo, ihi, jlo, jhi)
+      | Some (ci0, ci1, cj0, cj1) ->
+        (max ilo ci0, min ihi ci1, max jlo cj0, min jhi cj1)
+    in
     let in_window n =
       let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
       i >= ilo && i <= ihi && j >= jlo && j <= jhi
@@ -313,7 +335,7 @@ let decompose (p : Place.Placement.t) (net : Netlist.Design.net) =
          !edges)
   end
 
-let route_subnet ctx ~net ~tree_nodes subnet =
+let route_subnet ?clamp ctx ~net ~tree_nodes subnet =
   let g = ctx.g in
   let src_access = Grid.pin_access g subnet.src in
   let dst_access = Grid.pin_access g subnet.dst in
@@ -329,7 +351,7 @@ let route_subnet ctx ~net ~tree_nodes subnet =
     true
   end
   else
-    match search ctx ~net ~sources ~targets:dst_access with
+    match search ?clamp ctx ~net ~sources ~targets:dst_access with
     | Some t ->
       let path = reconstruct ctx t in
       commit g path;
@@ -366,31 +388,162 @@ let route ?(config = default_config) (p : Place.Placement.t) =
       signal
   in
   let routes =
-    List.map
-      (fun nid -> { net_id = nid; subnets = decompose p design.nets.(nid) })
-      order
+    Array.of_list
+      (List.map
+         (fun nid -> { net_id = nid; subnets = decompose p design.nets.(nid) })
+         order)
   in
-  Obs.add_attr "nets" (`Int (List.length routes));
-  Obs.Counter.add (Obs.counter "route.subnets")
-    (List.fold_left (fun acc nr -> acc + Array.length nr.subnets) 0 routes);
-  let failed = ref 0 in
-  let route_net (nr : net_route) =
+  Obs.add_attr "nets" (`Int (Array.length routes));
+  Obs.Counter.add c_subnets
+    (Array.fold_left (fun acc nr -> acc + Array.length nr.subnets) 0 routes);
+  (* Sequential semantics: attempt every subnet even after a failure (the
+     rip-up passes may still fix the rest of the tree). *)
+  let route_net_full ctx (nr : net_route) =
     let tree_nodes = ref [] in
     Array.iter
       (fun sn ->
-        Obs.Counter.incr (Obs.counter "route.subnet_attempts");
-        if not (route_subnet ctx ~net:nr.net_id ~tree_nodes sn) then
-          incr failed)
+        Obs.Counter.incr c_subnet_attempts;
+        ignore (route_subnet ctx ~net:nr.net_id ~tree_nodes sn))
       nr.subnets
   in
-  Obs.with_span "route.initial" (fun () -> List.iter route_net routes);
+  (* Tile-confined attempt for the sharded pass: on the first subnet that
+     cannot be routed inside the tile, roll the whole net back and report
+     it deferred, so the sequential phase retries it with full window
+     escalation against the final phase-1 grid state. *)
+  let route_net_clamped ~clamp ctx (nr : net_route) =
+    let tree_nodes = ref [] in
+    let ok = ref true in
+    Array.iter
+      (fun sn ->
+        if !ok then begin
+          Obs.Counter.incr c_subnet_attempts;
+          if not (route_subnet ~clamp ctx ~net:nr.net_id ~tree_nodes sn) then
+            ok := false
+        end)
+      nr.subnets;
+    if not !ok then
+      Array.iter
+        (fun sn ->
+          if sn.routed then begin
+            uncommit g sn.path;
+            sn.path <- [];
+            sn.routed <- false
+          end)
+        nr.subnets;
+    !ok
+  in
+  (* --- region-sharded initial pass ---------------------------------
+     The routing grid is cut into fixed [shard_tracks]-sized tiles (the
+     tiling depends only on the grid, never on [Exec.jobs], so results
+     are byte-identical across pool sizes). A net is tile-local when
+     every access node of every pin, padded by the first search margin,
+     lands in one tile; tile-local nets route concurrently with searches
+     clamped to their tile, so concurrent tasks touch disjoint usage
+     cells. Everything else — nets spanning tiles, plus any net that
+     failed inside its tile — is routed sequentially afterwards, in the
+     original short-nets-first order, with the ordinary unclamped
+     escalation. Rip-up stays fully sequential. *)
+  let t = max 8 config.shard_tracks in
+  let tiles_x = (g.Grid.nx + t - 1) / t in
+  let tiles_y = (g.Grid.ny + t - 1) / t in
+  let m = config.search_margin in
+  let tile_of (nr : net_route) =
+    let imin = ref max_int and imax = ref min_int in
+    let jmin = ref max_int and jmax = ref min_int in
+    Array.iter
+      (fun pr ->
+        List.iter
+          (fun n ->
+            let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
+            if i < !imin then imin := i;
+            if i > !imax then imax := i;
+            if j < !jmin then jmin := j;
+            if j > !jmax then jmax := j)
+          (Grid.pin_access g pr))
+      design.nets.(nr.net_id).pins;
+    if !imin > !imax then None
+    else begin
+      let ilo = max 0 (!imin - m) and ihi = min (g.Grid.nx - 1) (!imax + m) in
+      let jlo = max 0 (!jmin - m) and jhi = min (g.Grid.ny - 1) (!jmax + m) in
+      if ilo / t = ihi / t && jlo / t = jhi / t then
+        Some (((jlo / t) * tiles_x) + (ilo / t))
+      else None
+    end
+  in
+  let buckets = Array.make (tiles_x * tiles_y) [] in
+  let seq_nets = ref [] in
+  Array.iteri
+    (fun k nr ->
+      if Array.length nr.subnets > 0 then
+        match tile_of nr with
+        | Some ti -> buckets.(ti) <- k :: buckets.(ti)
+        | None -> seq_nets := k :: !seq_nets)
+    routes;
+  let tile_jobs =
+    let acc = ref [] in
+    for ti = Array.length buckets - 1 downto 0 do
+      match buckets.(ti) with
+      | [] -> ()
+      | l -> acc := (ti, Array.of_list (List.rev l)) :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let n_local = Array.fold_left (fun a (_, ns) -> a + Array.length ns) 0 tile_jobs in
+  Obs.with_span "route.initial"
+    ~attrs:[ ("tiles", `Int (Array.length tile_jobs)); ("local_nets", `Int n_local) ]
+    (fun () ->
+      (* Tiles are grouped into contiguous runs so each pool task
+         allocates one search context, not one per tile. The grouping
+         only affects scheduling: contexts are generation-stamped, so
+         reusing one across tiles cannot change any search result. *)
+      let deferred =
+        if Array.length tile_jobs = 0 then []
+        else begin
+          let njobs = Array.length tile_jobs in
+          let ngroups = min njobs (max 1 (Exec.jobs () * 4)) in
+          let groups =
+            Array.init ngroups (fun gi ->
+                let lo = gi * njobs / ngroups and hi = (gi + 1) * njobs / ngroups in
+                Array.sub tile_jobs lo (hi - lo))
+          in
+          let per_group =
+            Exec.parallel_map ~chunk:1
+              (fun tiles ->
+                let tctx = make_ctx g config in
+                let dropped = ref [] in
+                Array.iter
+                  (fun (ti, nets) ->
+                    let tx = ti mod tiles_x and ty = ti / tiles_x in
+                    let clamp =
+                      ( tx * t,
+                        min (g.Grid.nx - 1) (((tx + 1) * t) - 1),
+                        ty * t,
+                        min (g.Grid.ny - 1) (((ty + 1) * t) - 1) )
+                    in
+                    Array.iter
+                      (fun k ->
+                        if not (route_net_clamped ~clamp tctx routes.(k)) then
+                          dropped := k :: !dropped)
+                      nets)
+                  tiles;
+                List.rev !dropped)
+              groups
+          in
+          List.concat (Array.to_list per_group)
+        end
+      in
+      let seq = List.sort Int.compare (List.rev_append !seq_nets deferred) in
+      Obs.Counter.add c_shard_nets (n_local - List.length deferred);
+      Obs.Counter.add c_deferred_nets (List.length seq);
+      Obs.add_attr "sequential_nets" (`Int (List.length seq));
+      List.iter (fun k -> route_net_full ctx routes.(k)) seq);
   (* rip-up and reroute nets crossing overflowed edges, with the
      congestion penalty escalating each pass *)
   for pass = 1 to config.ripup_passes do
     Obs.with_span "route.ripup" ~attrs:[ ("pass", `Int pass) ] (fun () ->
     ctx.penalty <- config.overflow_penalty * (pass + 1);
     let ripped = ref 0 in
-    List.iter
+    Array.iter
       (fun nr ->
         let congested =
           Array.exists (fun sn -> sn.routed && path_overflows g sn.path) nr.subnets
@@ -408,16 +561,16 @@ let route ?(config = default_config) (p : Place.Placement.t) =
           let tree_nodes = ref [] in
           Array.iter
             (fun sn ->
-              if not (route_subnet ctx ~net:nr.net_id ~tree_nodes sn) then
-                incr failed)
+              Obs.Counter.incr c_subnet_attempts;
+              ignore (route_subnet ctx ~net:nr.net_id ~tree_nodes sn))
             nr.subnets
         end)
       routes;
-    Obs.Counter.add (Obs.counter "route.ripup_nets") !ripped;
+    Obs.Counter.add c_ripup_nets !ripped;
     Obs.add_attr "ripped_nets" (`Int !ripped))
   done;
   let failed_final =
-    List.fold_left
+    Array.fold_left
       (fun acc nr ->
         acc
         + Array.fold_left
@@ -425,9 +578,9 @@ let route ?(config = default_config) (p : Place.Placement.t) =
             0 nr.subnets)
       0 routes
   in
-  Obs.Counter.add (Obs.counter "route.failed_subnets") failed_final;
+  Obs.Counter.add c_failed_subnets failed_final;
   let overflow = Grid.overflow_count g in
-  Obs.Gauge.set (Obs.gauge "route.overflow_edges") (float_of_int overflow);
+  Obs.Gauge.set g_overflow (float_of_int overflow);
   Obs.add_attr "overflow_edges" (`Int overflow);
   Obs.add_attr "failed_subnets" (`Int failed_final);
-  { grid = g; routes = Array.of_list routes; config; failed_subnets = failed_final })
+  { grid = g; routes; config; failed_subnets = failed_final })

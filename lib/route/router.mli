@@ -31,6 +31,11 @@ type config = {
                                way to join aligned pins *)
   layers : int;            (** metal layers available to the router, 2..6 *)
   pdn_stripes : bool;      (** install power-distribution blockage *)
+  shard_tracks : int;      (** tile side, in tracks, for the sharded
+                               initial pass (clamped to >= 8). The tiling
+                               is a fixed function of the grid — never of
+                               [Exec.jobs] — so routing results are
+                               byte-identical across pool sizes *)
 }
 
 val default_config : config
@@ -61,9 +66,20 @@ type result = {
 }
 
 (** [route ?config placement] routes all signal nets of the placement.
+
+    The initial pass is region-sharded: the grid is cut into fixed
+    [shard_tracks]-sized tiles, nets whose pin-access bounding box plus
+    the first search margin fits inside one tile are routed concurrently
+    on the shared [Exec] pool with searches clamped to their tile, and
+    the remainder (tile-spanning nets plus any in-tile failure, rolled
+    back first) is routed sequentially afterwards in the original order
+    with full window escalation. Concurrent tiles touch disjoint usage
+    cells and the tiling ignores [Exec.jobs], so results are
+    byte-identical across [--jobs]. Rip-up passes stay sequential.
+
     Emits observability when [Obs.enabled]: a [route] span with nested
     [route.initial] and per-pass [route.ripup] spans, the
     [route.subnets] / [route.subnet_attempts] / [route.ripup_nets] /
-    [route.failed_subnets] counters and the [route.overflow_edges]
-    gauge. *)
+    [route.failed_subnets] / [route.shard_nets] / [route.deferred_nets]
+    counters and the [route.overflow_edges] gauge. *)
 val route : ?config:config -> Place.Placement.t -> result

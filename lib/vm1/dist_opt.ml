@@ -40,27 +40,16 @@ let solve_batch ~parallel ~mode problems =
     Obs.Histogram.observe h_window_moves (float_of_int s.Scp_solver.moves);
     stats.(i) <- Some s
   in
+  (* Window solves fan out over the persistent Exec pool: the worker
+     domains are spawned once per process, not once per batch, so the
+     only Domain.spawn cost is warm-up (the exec.domain_spawns counter
+     stays flat across batches). Per-index writes keep the result
+     identical to the sequential order for every pool size. *)
   if (not parallel) || n <= 1 then
     for i = 0 to n - 1 do
       solve i
     done
-  else begin
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          solve i;
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let extra = min (Domain.recommended_domain_count () - 1) (n - 1) in
-    let domains = List.init (max 0 extra) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains
-  end;
+  else Exec.parallel_for n solve;
   Array.fold_left
     (fun acc s ->
       match s with Some s -> acc + s.Scp_solver.moves | None -> acc)

@@ -16,10 +16,12 @@ type config = {
   allow_move : bool;   (** when false, cells may only flip in place
                            (Algorithm 1's flip-only phase) *)
   mode : Scp_solver.mode;
-  parallel : bool;     (** solve each diagonal batch's windows on multiple
-                           domains; deterministic (identical to the
-                           sequential result) because window subproblems
-                           are self-contained after extraction *)
+  parallel : bool;     (** solve each diagonal batch's windows on the
+                           shared [Exec] pool ([Exec.jobs] domains,
+                           spawned once per process, never per batch);
+                           deterministic (identical to the sequential
+                           result) because window subproblems are
+                           self-contained after extraction *)
   candidate_cost : (site:int -> row:int -> float) option;
   (** static per-candidate penalty (congestion-aware extension) *)
 }

@@ -85,16 +85,17 @@ let build (t : Wproblem.t) =
           done)
         cell.cands)
     t.cells;
-  Hashtbl.iter
-    (fun _ cover ->
-      match cover with
-      | [] | [ _ ] -> ()
-      | _ ->
-        Milp.Model.add_le m
-          (Milp.Model.sum
-             (List.map (fun (c, k) -> Milp.Model.v lambda.(c).(k)) cover))
-          (Milp.Model.const 1.0))
-    coverers;
+  (* sorted keys, not hash order, so the constraint system is canonical *)
+  Hashtbl.fold (fun key _ acc -> key :: acc) coverers []
+  |> List.sort Int.compare
+  |> List.iter (fun key ->
+         match Hashtbl.find coverers key with
+         | [] | [ _ ] -> ()
+         | cover ->
+           Milp.Model.add_le m
+             (Milp.Model.sum
+                (List.map (fun (c, k) -> Milp.Model.v lambda.(c).(k)) cover))
+             (Milp.Model.const 1.0));
   (* per-net HPWL, constraints (2)-(3) *)
   let hpwl_terms = ref [] in
   Array.iteri

@@ -27,9 +27,19 @@ let partition (p : Place.Placement.t) ~tx ~ty ~bw ~bh =
       Hashtbl.replace windows key (i :: prev)
     end
   done;
+  (* Traverse the tiles in sorted (iy, ix) order, not hash order: the
+     window array (and with it batch assembly, extraction order and
+     every downstream tie-break) must be byte-reproducible regardless
+     of hash-table internals or pool size. *)
+  let keys =
+    Hashtbl.fold (fun key _ acc -> key :: acc) windows []
+    |> List.sort (fun (axi, ayi) (bxi, byi) ->
+           match Int.compare ayi byi with 0 -> Int.compare axi bxi | c -> c)
+  in
   let result = ref [] in
-  Hashtbl.iter
-    (fun (ix, iy) movable ->
+  List.iter
+    (fun ((ix, iy) as key) ->
+      let movable = Hashtbl.find windows key in
       (* clip the window tile to the die *)
       let site_lo = max 0 ((ix * bw) - tx) in
       let site_hi = min (p.sites_per_row - 1) ((((ix + 1) * bw) - tx) - 1) in
@@ -47,8 +57,8 @@ let partition (p : Place.Placement.t) ~tx ~ty ~bw ~bh =
             movable;
           }
           :: !result)
-    windows;
-  Array.of_list !result
+    keys;
+  Array.of_list (List.rev !result)
 
 let diagonal_batches (ws : t array) =
   if Array.length ws = 0 then []

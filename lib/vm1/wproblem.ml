@@ -193,17 +193,18 @@ let extract ?candidate_cost (p : Place.Placement.t) (params : Params.t)
     in
     { pr; owner; fixed_geom }
   in
+  (* sorted, not hash-order: the net array fixes the float-summation
+     order of the objective, which must be byte-reproducible *)
   let nets =
-    Hashtbl.fold
-      (fun n () acc ->
-        let net = design.Netlist.Design.nets.(n) in
-        {
-          net_id = n;
-          weight = Params.net_weight params n;
-          wpins = Array.map make_wpin net.pins;
-        }
-        :: acc)
-      net_set []
+    Hashtbl.fold (fun n () acc -> n :: acc) net_set []
+    |> List.sort Int.compare
+    |> List.map (fun n ->
+           let net = design.Netlist.Design.nets.(n) in
+           {
+             net_id = n;
+             weight = Params.net_weight params n;
+             wpins = Array.map make_wpin net.pins;
+           })
     |> Array.of_list
   in
   (* pair prefilter: keep pairs that can satisfy the dM1 predicate under
