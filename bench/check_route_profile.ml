@@ -1,0 +1,75 @@
+(* Route-profile regression gate for the @route-bench-smoke alias.
+
+   Usage: check_route_profile.exe BASELINE.json CURRENT.json
+
+   Both files follow the vm1dp-route-profile/1 schema emitted by
+   [main.exe route-profile]. The gate fails (exit 1) when the current
+   run's quality regresses past the checked-in baseline: more failed
+   subnets or more overflowed edges. Wall-clock (route_s) is printed for
+   the log but never gated — CI machines are too noisy for that. *)
+
+let read_json path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Obs.Json.parse text with
+  | Ok j -> j
+  | Error msg ->
+    Printf.eprintf "check_route_profile: %s: bad JSON: %s\n" path msg;
+    exit 2
+
+let get_int path j key =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Int v) -> v
+  | _ ->
+    Printf.eprintf "check_route_profile: %s: missing int field %S\n" path key;
+    exit 2
+
+let get_float path j key =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Float v) -> v
+  | Some (Obs.Json.Int v) -> float_of_int v
+  | _ ->
+    Printf.eprintf "check_route_profile: %s: missing float field %S\n" path key;
+    exit 2
+
+let () =
+  let base_path, cur_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ ->
+      prerr_endline "usage: check_route_profile.exe BASELINE.json CURRENT.json";
+      exit 2
+  in
+  let base = read_json base_path and cur = read_json cur_path in
+  (match (Obs.Json.member "schema" base, Obs.Json.member "schema" cur) with
+  | Some (Obs.Json.Str "vm1dp-route-profile/1"),
+    Some (Obs.Json.Str "vm1dp-route-profile/1") -> ()
+  | _ ->
+    prerr_endline "check_route_profile: schema mismatch";
+    exit 2);
+  let failed_b = get_int base_path base "failed_subnets"
+  and failed_c = get_int cur_path cur "failed_subnets"
+  and over_b = get_int base_path base "overflow_edges"
+  and over_c = get_int cur_path cur "overflow_edges" in
+  Printf.printf "route_s: baseline %.3f, current %.3f (informational)\n"
+    (get_float base_path base "route_s")
+    (get_float cur_path cur "route_s");
+  Printf.printf "failed_subnets: baseline %d, current %d\n" failed_b failed_c;
+  Printf.printf "overflow_edges: baseline %d, current %d\n" over_b over_c;
+  let bad = ref false in
+  if failed_c > failed_b then begin
+    Printf.eprintf "REGRESSION: failed_subnets %d > baseline %d\n" failed_c
+      failed_b;
+    bad := true
+  end;
+  if over_c > over_b then begin
+    Printf.eprintf "REGRESSION: overflow_edges %d > baseline %d\n" over_c
+      over_b;
+    bad := true
+  end;
+  if !bad then exit 1;
+  print_endline "route profile OK"

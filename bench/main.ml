@@ -347,6 +347,69 @@ let run_scaling ~out ~scaling_scale ~jobs_list () =
     exit 1
   end
 
+(* --- route-profile mode: one observability-enabled route of the jpeg
+   testcase, reporting per-phase span durations, hot-path counters and
+   the routing quality numbers as machine-readable JSON. The
+   @route-bench-smoke alias runs this at a small scale and gates quality
+   (failed subnets, overflowed edges) against a checked-in baseline;
+   timings are recorded but not gated, since CI wall-clock is noisy. *)
+
+let run_route_profile ~out ~profile_scale () =
+  Printf.printf "# Route profile (jpeg at scale 1/%d)\n%!" profile_scale;
+  let p =
+    Report.Flow.prepare ~scale:profile_scale Netlist.Designs.Jpeg
+      Pdk.Cell_arch.Closed_m1
+  in
+  Obs.set_enabled true;
+  Obs.reset ();
+  let r, route_s = time (fun () -> Route.Router.route p) in
+  let snap = Obs.snapshot () in
+  Obs.set_enabled false;
+  let s = Route.Metrics.summarize r in
+  let overflow = Route.Grid.overflow_count r.Route.Router.grid in
+  Printf.printf "  route %.3fs  failed=%d overflow=%d rwl=%.1fum dm1=%d\n%!"
+    route_s r.Route.Router.failed_subnets overflow s.Route.Metrics.rwl_um
+    s.Route.Metrics.dm1;
+  let module J = Obs.Json in
+  let span_json (name, (a : Obs.span_agg)) =
+    J.Obj
+      [
+        ("name", J.Str name);
+        ("calls", J.Int a.calls);
+        ("total_ms", J.Float (Int64.to_float a.total_ns /. 1e6));
+      ]
+  in
+  let route_counters =
+    List.filter
+      (fun (n, _) -> String.starts_with ~prefix:"route." n)
+      snap.Obs.counters
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "vm1dp-route-profile/1");
+        ("design", J.Str "jpeg");
+        ("scale", J.Int profile_scale);
+        ("cpus", J.Int (Domain.recommended_domain_count ()));
+        ("route_s", J.Float route_s);
+        ("failed_subnets", J.Int r.Route.Router.failed_subnets);
+        ("overflow_edges", J.Int overflow);
+        ("rwl_um", J.Float s.Route.Metrics.rwl_um);
+        ("dm1", J.Int s.Route.Metrics.dm1);
+        ( "spans",
+          J.List (List.map span_json (Obs.aggregate_spans snap.Obs.spans)) );
+        ( "counters",
+          J.Obj (List.map (fun (n, v) -> (n, J.Int v)) route_counters) );
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Printf.printf "(wrote %s)\n%!" out
+
 (* --trace/--metrics mirror the vm1opt/expt flags so benchmark runs emit
    the same comparable JSON; see README "Measuring performance". The
    trace is written for the regeneration half only — Bechamel's timed
@@ -364,15 +427,15 @@ let () =
       | _ -> None
     end
     | "--out" :: file :: rest -> parse (mode, trace, metrics, jobs, file) rest
-    | ("tables" | "micro" | "scaling") as m :: rest ->
+    | ("tables" | "micro" | "scaling" | "route-profile") as m :: rest ->
       parse (Some m, trace, metrics, jobs, out) rest
     | _ -> None
   in
   match parse (None, None, false, None, "BENCH_vm1dp.json") args with
   | None ->
     prerr_endline
-      "usage: main.exe [tables|micro|scaling] [--trace FILE] [--metrics] \
-       [--jobs N] [--out FILE]";
+      "usage: main.exe [tables|micro|scaling|route-profile] [--trace FILE] \
+       [--metrics] [--jobs N] [--out FILE]";
     exit 1
   | Some (mode, trace, metrics, jobs, out) ->
     if trace <> None || metrics then Obs.set_enabled true;
@@ -405,6 +468,16 @@ let () =
       in
       run_scaling ~out ~scaling_scale ~jobs_list:[ 1; 2; 4 ] ();
       finish ()
+    | Some "route-profile" ->
+      let profile_scale =
+        match Sys.getenv_opt "VM1DP_BENCH_SCALE" with
+        | Some s -> int_of_string s
+        | None -> 16
+      in
+      let out =
+        if out = "BENCH_vm1dp.json" then "route_profile.json" else out
+      in
+      run_route_profile ~out ~profile_scale ()
     | _ ->
       regenerate ();
       finish ();

@@ -87,9 +87,9 @@ let routed (r : Route.Router.result) =
     (fun (nr : Route.Router.net_route) ->
       Array.iter
         (fun (sn : Route.Router.subnet) ->
-          List.iter
-            (fun e ->
-              match e with
+          Array.iter
+            (fun c ->
+              match Route.Router.edge_of_code c with
               | Route.Router.Wire n ->
                 let l = Route.Grid.layer_of_node g n in
                 let i = Route.Grid.i_of_node g n in

@@ -7,6 +7,16 @@ type t = {
   wire_owner : int array;
   wire_usage : int array;
   via_usage : int array;
+  (* pin-access index: built once at of_placement time, replacing the
+     per-call full-grid scan (kept below as [pin_access_scan]) *)
+  pin_base : int array;
+  mutable pin_access_off : int array;
+  mutable pin_access_nodes : int array;
+  (* overflow ledger, maintained by commit/uncommit *)
+  wire_users : int list array;
+  via_users : int list array;
+  net_over : int array;
+  overflow_edges : int Atomic.t;
 }
 
 let free = -1
@@ -86,7 +96,7 @@ let install_m2_rails g =
   let rh = p.Place.Placement.tech.Pdk.Tech.row_height in
   for r = 0 to p.Place.Placement.num_rows do
     let y = r * rh in
-    let j = max 0 (min (g.ny - 1) ((y - (g.pitch / 2) + (g.pitch / 2)) / g.pitch)) in
+    let j = y_to_track g y in
     (* pick the track whose centre is nearest the boundary *)
     let j =
       if j + 1 < g.ny && abs (track_y g (j + 1) - y) < abs (track_y g j - y)
@@ -117,48 +127,12 @@ let install_pdn_stripes g =
         done
     done
 
-let of_placement ?(layers = num_layers) ?(pdn_stripes = true)
-    (p : Place.Placement.t) =
-  if layers < 2 || layers > num_layers then
-    invalid_arg "Grid.of_placement: layers must be in 2..6";
-  let tech = p.Place.Placement.tech in
-  let pitch = tech.Pdk.Tech.m2_pitch in
-  let nx = max 2 (Geom.Rect.width p.die / pitch) in
-  let ny = max 2 (Geom.Rect.height p.die / pitch) in
-  let size = layers * nx * ny in
-  let g =
-    {
-      placement = p;
-      nx;
-      ny;
-      nl = layers;
-      pitch;
-      wire_owner = Array.make size free;
-      wire_usage = Array.make size 0;
-      via_usage = Array.make size 0;
-    }
-  in
-  if tech.Pdk.Tech.arch = Pdk.Cell_arch.Conventional12 then install_m1_rails g
-  else install_m2_rails g;
-  if pdn_stripes then install_pdn_stripes g;
-  let design = p.Place.Placement.design in
-  Array.iteri
-    (fun inst_id (inst : Netlist.Design.instance) ->
-      List.iteri
-        (fun k (_ : Pdk.Stdcell.pin) ->
-          let pr = { Netlist.Design.inst = inst_id; pin = k } in
-          let net = inst.pin_nets.(k) in
-          let shapes = Place.Placement.pin_shapes p pr in
-          List.iter
-            (fun (layer, r) ->
-              if Pdk.Layer.equal layer Pdk.Layer.M1 then
-                install_m1_shape g ~net:(if net >= 0 then net else blocked) r)
-            shapes)
-        inst.master.Pdk.Stdcell.pins)
-    design.Netlist.Design.instances;
-  g
+(* --- pin-access ----------------------------------------------------- *)
 
-let pin_access g (pr : Netlist.Design.pin_ref) =
+(* Reference implementation: full track scan per shape. Superseded by the
+   precomputed index below; kept as the oracle the property tests compare
+   the index against. *)
+let pin_access_scan g (pr : Netlist.Design.pin_ref) =
   let p = g.placement in
   let shapes = Place.Placement.pin_shapes p pr in
   let nodes = ref [] in
@@ -192,7 +166,237 @@ let pin_access g (pr : Netlist.Design.pin_ref) =
   end;
   !nodes
 
-let overflow_count g =
+(* Track indices i with lo <= track_x(i) <= hi, by direct arithmetic on
+   the pitch; returns an empty range (lo_i > hi_i) when no track fits.
+   Works identically for y/tracks since both pitches agree. *)
+let track_range g ~count lo hi =
+  let half = g.pitch / 2 in
+  let v = lo - half in
+  let lo_i = if v <= 0 then 0 else (v + g.pitch - 1) / g.pitch in
+  let w = hi - half in
+  let hi_i = if w < 0 then -1 else min (count - 1) (w / g.pitch) in
+  (lo_i, hi_i)
+
+(* Arithmetic twin of [pin_access_scan]: same discovery order (i
+   ascending, then j), same dedup, same degenerate fallback — only the
+   O(nx*ny) track scan is replaced by track-range arithmetic. *)
+let pin_access_compute g (pr : Netlist.Design.pin_ref) =
+  let p = g.placement in
+  let shapes = Place.Placement.pin_shapes p pr in
+  let nodes = ref [] in
+  let add n = if not (List.mem n !nodes) then nodes := n :: !nodes in
+  List.iter
+    (fun (layer, (r : Geom.Rect.t)) ->
+      match layer with
+      | Pdk.Layer.M1 ->
+        let i_lo, i_hi = track_range g ~count:g.nx r.lx r.hx in
+        let j_lo, j_hi = track_range g ~count:g.ny r.ly r.hy in
+        for i = i_lo to i_hi do
+          for j = j_lo to j_hi do
+            add (node g ~layer:1 ~i ~j)
+          done
+        done
+      | Pdk.Layer.M0 ->
+        let j = y_to_track g ((r.ly + r.hy) / 2) in
+        let i_lo, i_hi = track_range g ~count:g.nx r.lx r.hx in
+        for i = i_lo to i_hi do
+          add (node g ~layer:1 ~i ~j)
+        done
+      | Pdk.Layer.M2 | Pdk.Layer.M3 | Pdk.Layer.M4 -> ())
+    shapes;
+  if !nodes = [] then begin
+    let c = Place.Placement.pin_pos p pr in
+    add
+      (node g ~layer:1 ~i:(x_to_track g c.Geom.Point.x)
+         ~j:(y_to_track g c.Geom.Point.y))
+  end;
+  !nodes
+
+let pin_index g (pr : Netlist.Design.pin_ref) =
+  g.pin_base.(pr.Netlist.Design.inst) + pr.Netlist.Design.pin
+
+let build_pin_index g =
+  let design = g.placement.Place.Placement.design in
+  let instances = design.Netlist.Design.instances in
+  let total =
+    Array.fold_left
+      (fun acc (inst : Netlist.Design.instance) ->
+        acc + List.length inst.master.Pdk.Stdcell.pins)
+      0 instances
+  in
+  let off = Array.make (total + 1) 0 in
+  let nodes = ref (Array.make (max 16 total) 0) in
+  let fill = ref 0 in
+  let push n =
+    if !fill = Array.length !nodes then begin
+      let a = Array.make (2 * !fill) 0 in
+      Array.blit !nodes 0 a 0 !fill;
+      nodes := a
+    end;
+    !nodes.(!fill) <- n;
+    incr fill
+  in
+  Array.iteri
+    (fun i (inst : Netlist.Design.instance) ->
+      List.iteri
+        (fun k (_ : Pdk.Stdcell.pin) ->
+          let pi = g.pin_base.(i) + k in
+          off.(pi) <- !fill;
+          (* [pin_access_compute] prepends, so reverse back to discovery
+             order for the flat store *)
+          List.iter push
+            (List.rev (pin_access_compute g { Netlist.Design.inst = i; pin = k })))
+        inst.master.Pdk.Stdcell.pins)
+    instances;
+  off.(total) <- !fill;
+  g.pin_access_off <- off;
+  g.pin_access_nodes <- Array.sub !nodes 0 !fill
+
+let c_pin_access_hits = Obs.counter "route.pin_access_hits"
+
+let pin_access g pr =
+  Obs.Counter.incr c_pin_access_hits;
+  let pi = pin_index g pr in
+  let acc = ref [] in
+  (* prepend in discovery order = the scan's reversed-discovery list *)
+  for k = g.pin_access_off.(pi) to g.pin_access_off.(pi + 1) - 1 do
+    acc := g.pin_access_nodes.(k) :: !acc
+  done;
+  !acc
+
+let pin_access_iter g pr f =
+  Obs.Counter.incr c_pin_access_hits;
+  let pi = pin_index g pr in
+  for k = g.pin_access_off.(pi) to g.pin_access_off.(pi + 1) - 1 do
+    f g.pin_access_nodes.(k)
+  done
+
+let of_placement ?(layers = num_layers) ?(pdn_stripes = true)
+    (p : Place.Placement.t) =
+  if layers < 2 || layers > num_layers then
+    invalid_arg "Grid.of_placement: layers must be in 2..6";
+  let tech = p.Place.Placement.tech in
+  let pitch = tech.Pdk.Tech.m2_pitch in
+  let nx = max 2 (Geom.Rect.width p.die / pitch) in
+  let ny = max 2 (Geom.Rect.height p.die / pitch) in
+  let size = layers * nx * ny in
+  let design = p.Place.Placement.design in
+  let instances = design.Netlist.Design.instances in
+  let pin_base = Array.make (max 1 (Array.length instances)) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i (inst : Netlist.Design.instance) ->
+      pin_base.(i) <- !acc;
+      acc := !acc + List.length inst.master.Pdk.Stdcell.pins)
+    instances;
+  let g =
+    {
+      placement = p;
+      nx;
+      ny;
+      nl = layers;
+      pitch;
+      wire_owner = Array.make size free;
+      wire_usage = Array.make size 0;
+      via_usage = Array.make size 0;
+      pin_base;
+      pin_access_off = [||];
+      pin_access_nodes = [||];
+      wire_users = Array.make size [];
+      via_users = Array.make size [];
+      net_over = Array.make (max 1 (Netlist.Design.num_nets design)) 0;
+      overflow_edges = Atomic.make 0;
+    }
+  in
+  if tech.Pdk.Tech.arch = Pdk.Cell_arch.Conventional12 then install_m1_rails g
+  else install_m2_rails g;
+  if pdn_stripes then install_pdn_stripes g;
+  Array.iteri
+    (fun inst_id (inst : Netlist.Design.instance) ->
+      List.iteri
+        (fun k (_ : Pdk.Stdcell.pin) ->
+          let pr = { Netlist.Design.inst = inst_id; pin = k } in
+          let net = inst.pin_nets.(k) in
+          let shapes = Place.Placement.pin_shapes p pr in
+          List.iter
+            (fun (layer, r) ->
+              if Pdk.Layer.equal layer Pdk.Layer.M1 then
+                install_m1_shape g ~net:(if net >= 0 then net else blocked) r)
+            shapes)
+        inst.master.Pdk.Stdcell.pins)
+    instances;
+  build_pin_index g;
+  g
+
+(* --- overflow ledger ------------------------------------------------ *)
+
+(* Usage transitions keep three views in sync: per-edge user lists (who
+   occupies the edge), per-net counts of occurrences on overflowed edges
+   (so "does this net cross congestion" is O(1) during rip-up), and the
+   atomic total of overflowed edges (so [overflow_count] never scans).
+   The atomic makes the total safe under the region-sharded initial
+   routing pass, where concurrent tiles commit to disjoint nodes and
+   disjoint nets but share this one cell. *)
+
+let remove_one net l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: tl -> if x = net then List.rev_append acc tl else go (x :: acc) tl
+  in
+  go [] l
+
+let commit_wire g ~net n =
+  let u = g.wire_usage.(n) + 1 in
+  g.wire_usage.(n) <- u;
+  let others = g.wire_users.(n) in
+  g.wire_users.(n) <- net :: others;
+  if u = 2 then begin
+    Atomic.incr g.overflow_edges;
+    g.net_over.(net) <- g.net_over.(net) + 1;
+    List.iter (fun x -> g.net_over.(x) <- g.net_over.(x) + 1) others
+  end
+  else if u > 2 then g.net_over.(net) <- g.net_over.(net) + 1
+
+let uncommit_wire g ~net n =
+  let u = g.wire_usage.(n) in
+  g.wire_usage.(n) <- u - 1;
+  g.wire_users.(n) <- remove_one net g.wire_users.(n);
+  if u = 2 then begin
+    Atomic.decr g.overflow_edges;
+    g.net_over.(net) <- g.net_over.(net) - 1;
+    List.iter (fun x -> g.net_over.(x) <- g.net_over.(x) - 1) g.wire_users.(n)
+  end
+  else if u > 2 then g.net_over.(net) <- g.net_over.(net) - 1
+
+let commit_via g ~net n =
+  let u = g.via_usage.(n) + 1 in
+  g.via_usage.(n) <- u;
+  let others = g.via_users.(n) in
+  g.via_users.(n) <- net :: others;
+  if u = 2 then begin
+    Atomic.incr g.overflow_edges;
+    g.net_over.(net) <- g.net_over.(net) + 1;
+    List.iter (fun x -> g.net_over.(x) <- g.net_over.(x) + 1) others
+  end
+  else if u > 2 then g.net_over.(net) <- g.net_over.(net) + 1
+
+let uncommit_via g ~net n =
+  let u = g.via_usage.(n) in
+  g.via_usage.(n) <- u - 1;
+  g.via_users.(n) <- remove_one net g.via_users.(n);
+  if u = 2 then begin
+    Atomic.decr g.overflow_edges;
+    g.net_over.(net) <- g.net_over.(net) - 1;
+    List.iter (fun x -> g.net_over.(x) <- g.net_over.(x) - 1) g.via_users.(n)
+  end
+  else if u > 2 then g.net_over.(net) <- g.net_over.(net) - 1
+
+let net_overflow g net = g.net_over.(net)
+let overflow_count g = Atomic.get g.overflow_edges
+
+(* Reference implementation of [overflow_count], scanning every edge;
+   kept as the oracle the ledger is tested against. *)
+let overflow_count_scan g =
   let count = ref 0 in
   let size = node_count g in
   for n = 0 to size - 1 do
@@ -203,4 +407,8 @@ let overflow_count g =
 
 let clear_usage g =
   Array.fill g.wire_usage 0 (Array.length g.wire_usage) 0;
-  Array.fill g.via_usage 0 (Array.length g.via_usage) 0
+  Array.fill g.via_usage 0 (Array.length g.via_usage) 0;
+  Array.fill g.wire_users 0 (Array.length g.wire_users) [];
+  Array.fill g.via_users 0 (Array.length g.via_users) [];
+  Array.fill g.net_over 0 (Array.length g.net_over) 0;
+  Atomic.set g.overflow_edges 0

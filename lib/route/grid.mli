@@ -25,6 +25,21 @@ type t = {
   wire_owner : int array;  (** per (layer,node): [free] / [blocked] / net id *)
   wire_usage : int array;  (** routes using the wire edge *)
   via_usage : int array;   (** routes using the via edge above the node *)
+  pin_base : int array;    (** per instance: first flat pin index *)
+  mutable pin_access_off : int array;
+      (** pin-access index offsets, length total pins + 1 *)
+  mutable pin_access_nodes : int array;
+      (** access nodes of flat pin [p]: entries
+          [pin_access_off.(p) .. pin_access_off.(p+1) - 1] *)
+  wire_users : int list array;
+      (** nets currently committed on the wire edge, one entry per
+          committed occurrence (ledger) *)
+  via_users : int list array;  (** same for via edges *)
+  net_over : int array;
+      (** per net: committed occurrences on overflowed edges (ledger) *)
+  overflow_edges : int Atomic.t;
+      (** total edges with usage > 1 (ledger; atomic because concurrent
+          tiles of the sharded initial pass share it) *)
 }
 
 (** wire_owner value: unreserved. *)
@@ -89,12 +104,47 @@ val of_placement : ?layers:int -> ?pdn_stripes:bool -> Place.Placement.t -> t
 (** [pin_access g pr] is the list of grid nodes at which a route may
     terminate for the given pin: on-M1 nodes along the pin segment for
     ClosedM1/conventional pins, on-M1 via-landing nodes over the M0
-    segment for OpenM1 pins. Never empty for pins inside the die. *)
+    segment for OpenM1 pins. Never empty for pins inside the die,
+    duplicate-free. Served from the index precomputed at
+    [of_placement] time; O(answer), not O(nx*ny). Bumps the
+    [route.pin_access_hits] counter when observability is enabled. *)
 val pin_access : t -> Netlist.Design.pin_ref -> int list
 
+(** [pin_access_iter g pr f] applies [f] to each access node without
+    allocating the list; the hot-path form of [pin_access]. *)
+val pin_access_iter : t -> Netlist.Design.pin_ref -> (int -> unit) -> unit
+
+(** Reference implementation of [pin_access]: the original full track
+    scan over every shape. Quadratic in grid side — kept only as the
+    oracle for property tests of the index. *)
+val pin_access_scan : t -> Netlist.Design.pin_ref -> int list
+
+(** {2 Usage commitment and the overflow ledger}
+
+    All routed usage must flow through these four functions: besides the
+    usage counters they maintain the overflow ledger (per-edge user
+    lists, per-net overflow-occurrence counts, and the total overflowed
+    edge count), which is what makes [overflow_count] O(1) and lets
+    rip-up identify congested nets without rescanning every path.
+    [net] is the committing net id (>= 0). *)
+
+val commit_wire : t -> net:int -> int -> unit
+val commit_via : t -> net:int -> int -> unit
+val uncommit_wire : t -> net:int -> int -> unit
+val uncommit_via : t -> net:int -> int -> unit
+
+(** [net_overflow g net] is the number of [net]'s committed edge
+    occurrences currently lying on overflowed edges; positive exactly
+    when the net crosses congestion. O(1). *)
+val net_overflow : t -> int -> int
+
 (** [overflow_count g] is the number of wire and via edges whose usage
-    exceeds capacity 1 — the DRV proxy. *)
+    exceeds capacity 1 — the DRV proxy. O(1), read from the ledger. *)
 val overflow_count : t -> int
 
-(** [clear_usage g] zeroes all usage counters. *)
+(** Reference implementation of [overflow_count], scanning every edge;
+    kept as the test oracle for the ledger. *)
+val overflow_count_scan : t -> int
+
+(** [clear_usage g] zeroes all usage counters and the ledger. *)
 val clear_usage : t -> unit

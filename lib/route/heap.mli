@@ -1,5 +1,9 @@
 (** Growable binary min-heap of integer payloads keyed by integer
-    priority. Used as the A* open list. *)
+    priority. The router's A* open list is now the {!Bqueue} dial
+    queue, which exploits the small bounded edge costs; this heap
+    remains for callers that need arbitrary, widely-spread priorities
+    (and as the reference ordering the bucket queue is property-tested
+    against). *)
 
 type t
 

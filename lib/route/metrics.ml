@@ -10,12 +10,13 @@ type summary = {
 
 let subnet_is_dm1 (r : Router.result) (sn : Router.subnet) =
   let g = r.grid in
-  sn.routed && sn.path <> []
+  sn.routed
+  && Array.length sn.path > 0
   &&
   let column = ref (-1) in
-  List.for_all
-    (fun e ->
-      match e with
+  Array.for_all
+    (fun c ->
+      match Router.edge_of_code c with
       | Router.Via _ -> false
       | Router.Wire n ->
         Grid.layer_of_node g n = 1
@@ -44,9 +45,9 @@ let wire_stats (r : Router.result) =
     (fun (nr : Router.net_route) ->
       Array.iter
         (fun (sn : Router.subnet) ->
-          List.iter
-            (fun e ->
-              match e with
+          Array.iter
+            (fun c ->
+              match Router.edge_of_code c with
               | Router.Wire n ->
                 total := !total + g.Grid.pitch;
                 if Grid.layer_of_node g n = 1 then m1 := !m1 + g.Grid.pitch
@@ -85,9 +86,9 @@ let per_layer_wl_um (r : Router.result) =
     (fun (nr : Router.net_route) ->
       Array.iter
         (fun (sn : Router.subnet) ->
-          List.iter
-            (fun e ->
-              match e with
+          Array.iter
+            (fun c ->
+              match Router.edge_of_code c with
               | Router.Wire n ->
                 let l = Grid.layer_of_node g n in
                 wl.(l) <- wl.(l) + g.Grid.pitch
@@ -105,9 +106,9 @@ let vias_per_boundary (r : Router.result) =
     (fun (nr : Router.net_route) ->
       Array.iter
         (fun (sn : Router.subnet) ->
-          List.iter
-            (fun e ->
-              match e with
+          Array.iter
+            (fun c ->
+              match Router.edge_of_code c with
               | Router.Via n ->
                 let l = Grid.layer_of_node g n in
                 vias.(l) <- vias.(l) + 1
@@ -125,9 +126,9 @@ let net_lengths (r : Router.result) =
     (fun (nr : Router.net_route) ->
       Array.iter
         (fun (sn : Router.subnet) ->
-          List.iter
-            (fun e ->
-              match e with
+          Array.iter
+            (fun c ->
+              match Router.edge_of_code c with
               | Router.Wire _ ->
                 lengths.(nr.net_id) <- lengths.(nr.net_id) + g.Grid.pitch
               | Router.Via _ -> ())

@@ -31,19 +31,28 @@ let default_config =
 let c_subnets = Obs.counter "route.subnets"
 let c_subnet_attempts = Obs.counter "route.subnet_attempts"
 let c_ripup_nets = Obs.counter "route.ripup_nets"
+let c_ripup_candidates = Obs.counter "route.ripup_candidates"
 let c_failed_subnets = Obs.counter "route.failed_subnets"
 let c_shard_nets = Obs.counter "route.shard_nets"
 let c_deferred_nets = Obs.counter "route.deferred_nets"
+let c_bq_pushes = Obs.counter "route.bq_pushes"
 let g_overflow = Obs.gauge "route.overflow_edges"
 
 type edge =
   | Wire of int
   | Via of int
 
+(* Paths are stored packed: node index shifted left one, low bit set for
+   via edges. Half the memory of an [edge list] and no pointer chasing
+   when committing, un-committing or measuring. *)
+let edge_of_code c = if c land 1 = 1 then Via (c lsr 1) else Wire (c lsr 1)
+let wire_code n = n lsl 1
+let via_code n = (n lsl 1) lor 1
+
 type subnet = {
   src : Netlist.Design.pin_ref;
   dst : Netlist.Design.pin_ref;
-  mutable path : edge list;
+  mutable path : int array;
   mutable routed : bool;
 }
 
@@ -68,16 +77,17 @@ type ctx = {
   dist : int array;
   gen : int array;
   parent : int array;
-  is_target : int array;  (* generation-stamped target marks *)
-  tgen : int array;
-  heap : Heap.t;
+  tgen : int array;       (* generation-stamped target marks *)
+  fval : int array;       (* f = dist + h at the node's latest push;
+                             lets the pop-acceptance test avoid
+                             recomputing the heuristic *)
+  bq : Bqueue.t;          (* A* open list: dial bucket queue *)
+  tree : Stampset.t;      (* the current net's already-connected nodes *)
   mutable generation : int;
-  row_tracks : int;       (* horizontal tracks per placement row *)
 }
 
 let make_ctx g cfg =
   let n = Grid.node_count g in
-  let rh = g.Grid.placement.Place.Placement.tech.Pdk.Tech.row_height in
   {
     g;
     cfg;
@@ -85,159 +95,177 @@ let make_ctx g cfg =
     dist = Array.make n 0;
     gen = Array.make n 0;
     parent = Array.make n (-1);
-    is_target = Array.make n 0;
     tgen = Array.make n 0;
-    heap = Heap.create ~capacity:4096 ();
+    fval = Array.make n 0;
+    bq = Bqueue.create ~capacity:4096 ();
+    tree = Stampset.create n;
     generation = 0;
-    row_tracks = max 1 (rh / g.Grid.pitch);
   }
 
 (* When dM1 is disabled, forbid M1 wire edges that cross a placement-row
-   boundary, confining M1 to intra-row jogs. *)
-let m1_edge_allowed ctx n =
+   boundary, confining M1 to intra-row jogs. [j] is the edge node's
+   track row (the edge spans tracks [j] and [j + 1]). *)
+let m1_edge_allowed ctx j =
   ctx.cfg.use_dm1
   ||
   let g = ctx.g in
-  let j = Grid.j_of_node g n in
   let y0 = Grid.track_y g j and y1 = Grid.track_y g (j + 1) in
   let rh = g.Grid.placement.Place.Placement.tech.Pdk.Tech.row_height in
   y0 / rh = (y1 - 1) / rh && y1 mod rh <> 0
 
-let wire_cost ctx ~net n =
+(* All search costs are scaled by [cost_scale], and every wire edge pays
+   one extra scaled unit. The +1 is a deterministic tie-break: among
+   paths of equal unscaled cost (e.g. trading two vias for four wire
+   edges), the search now strictly prefers the one with fewer wire
+   edges, i.e. the shorter routed wirelength — instead of leaving the
+   choice to open-list pop order. 1/[cost_scale] of a DBU per edge is
+   far below any real cost difference, so non-ties are unaffected. *)
+let cost_scale = 8
+
+(* [l] and [j] are the edge node's layer and track row, already decoded
+   by the caller (the expansion loop decodes each popped node once and
+   derives neighbour coordinates arithmetically). Returns -1 for a
+   blocked edge — an int sentinel instead of an option keeps the
+   expansion loop allocation-free. *)
+let wire_cost ctx ~net n l j =
   let g = ctx.g in
   let owner = g.Grid.wire_owner.(n) in
-  if owner = Grid.blocked || (owner >= 0 && owner <> net) then None
-  else if Grid.layer_of_node g n = 1 && not (m1_edge_allowed ctx n) then None
+  if owner = Grid.blocked || (owner >= 0 && owner <> net) then -1
+  else if l = 1 && not (m1_edge_allowed ctx j) then -1
   else begin
     let usage = g.Grid.wire_usage.(n) in
-    let surcharge =
-      if Grid.layer_of_node g n = 1 then ctx.cfg.m1_surcharge else 0
-    in
-    Some (g.Grid.pitch + surcharge + (usage * ctx.penalty))
+    let surcharge = if l = 1 then ctx.cfg.m1_surcharge else 0 in
+    (cost_scale * (g.Grid.pitch + surcharge + (usage * ctx.penalty))) + 1
   end
 
 let via_cost ctx n =
-  let usage = ctx.g.Grid.via_usage.(n) in
-  Some (ctx.cfg.via_cost + (usage * ctx.penalty))
+  cost_scale * (ctx.cfg.via_cost + (ctx.g.Grid.via_usage.(n) * ctx.penalty))
 
 (* A*: multi-source (the net's current tree plus the source pin's access
    nodes) to the target pin's access nodes, within a window around the
-   subnet bounding box. [clamp] (ilo, ihi, jlo, jhi) intersects every
-   escalation window with a fixed rectangle; the sharded initial pass
-   uses it to confine each tile's searches — reads and writes included —
-   to that tile, which is what makes concurrent tiles independent. *)
-let search ?clamp ctx ~net ~sources ~targets =
+   subnet bounding box. Targets were stamped with [tgen = tg] by the
+   caller. [clamp] (ilo, ihi, jlo, jhi) intersects every escalation
+   window with a fixed rectangle; the sharded initial pass uses it to
+   confine each tile's searches — reads and writes included — to that
+   tile, which is what makes concurrent tiles independent.
+
+    Sources are seeded through the same generation stamp that relaxation
+    uses, so the open list is seeded without duplicate nodes even when
+    the tree and the source pin's access set overlap. *)
+let search ?clamp ctx ~net ~tg ~src ~bbox ~tbox =
   let g = ctx.g in
-  ctx.generation <- ctx.generation + 1;
-  let gen = ctx.generation in
-  Heap.clear ctx.heap;
-  (* window *)
-  let imin = ref max_int and imax = ref min_int in
-  let jmin = ref max_int and jmax = ref min_int in
-  let widen n =
-    let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
-    if i < !imin then imin := i;
-    if i > !imax then imax := i;
-    if j < !jmin then jmin := j;
-    if j > !jmax then jmax := j
-  in
-  List.iter widen sources;
-  List.iter widen targets;
-  let ti_min = ref max_int and ti_max = ref min_int in
-  let tj_min = ref max_int and tj_max = ref min_int in
-  List.iter
-    (fun n ->
-      let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
-      if i < !ti_min then ti_min := i;
-      if i > !ti_max then ti_max := i;
-      if j < !tj_min then tj_min := j;
-      if j > !tj_max then tj_max := j;
-      ctx.is_target.(n) <- 1;
-      ctx.tgen.(n) <- gen)
-    targets;
+  let imin, imax, jmin, jmax = bbox in
+  let ti_min, ti_max, tj_min, tj_max = tbox in
   let run margin =
-    let ilo = max 0 (!imin - margin) and ihi = min (g.Grid.nx - 1) (!imax + margin) in
-    let jlo = max 0 (!jmin - margin) and jhi = min (g.Grid.ny - 1) (!jmax + margin) in
+    let ilo = max 0 (imin - margin) and ihi = min (g.Grid.nx - 1) (imax + margin) in
+    let jlo = max 0 (jmin - margin) and jhi = min (g.Grid.ny - 1) (jmax + margin) in
     let ilo, ihi, jlo, jhi =
       match clamp with
       | None -> (ilo, ihi, jlo, jhi)
       | Some (ci0, ci1, cj0, cj1) ->
         (max ilo ci0, min ihi ci1, max jlo cj0, min jhi cj1)
     in
-    let in_window n =
-      let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
-      i >= ilo && i <= ihi && j >= jlo && j <= jhi
+    let nx = g.Grid.nx and ny = g.Grid.ny in
+    let nxy = nx * ny in
+    (* weighted A*: inflating the admissible Manhattan bound trades a
+       bounded amount of path optimality for much smaller search trees *)
+    let hnum = cost_scale * g.Grid.pitch * ctx.cfg.astar_weight_pct in
+    let h2 i j =
+      let dx = max 0 (max (ti_min - i) (i - ti_max)) in
+      let dy = max 0 (max (tj_min - j) (j - tj_max)) in
+      (dx + dy) * hnum / 100
     in
-    let h n =
-      let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
-      let dx = max 0 (max (!ti_min - i) (i - !ti_max)) in
-      let dy = max 0 (max (!tj_min - j) (j - !tj_max)) in
-      (* weighted A*: inflating the admissible Manhattan bound trades a
-         bounded amount of path optimality for much smaller search trees *)
-      (dx + dy) * g.Grid.pitch * ctx.cfg.astar_weight_pct / 100
-    in
-    Heap.clear ctx.heap;
+    let h n = h2 (n mod nx) (n / nx mod ny) in
+    Bqueue.clear ctx.bq;
     ctx.generation <- ctx.generation + 1;
     let gen2 = ctx.generation in
-    let relax ~from n cost =
+    (* Latch the dial origin at a provable floor on every f-value this
+       search can push. Seeds carry f = h(n); along any path the
+       inflated heuristic drops by at most [weight/100] of the real cost
+       paid, so f never sinks below [hmin * 100 / weight]. Latching
+       there (minus slack for integer rounding) means the seeding
+       pushes — which arrive in arbitrary priority order — never hit
+       the below-origin reallocation path. *)
+    let hmin = ref max_int in
+    let scan_h n =
+      let v = h n in
+      if v < !hmin then hmin := v
+    in
+    Stampset.iter ctx.tree scan_h;
+    Grid.pin_access_iter g src scan_h;
+    if !hmin < max_int then
+      Bqueue.prepare ctx.bq
+        ~origin:((!hmin * 100 / ctx.cfg.astar_weight_pct) - 64);
+    let relax ~from n vi vj cost =
       let nd = ctx.dist.(from) + cost in
       if ctx.gen.(n) <> gen2 || ctx.dist.(n) > nd then begin
         ctx.gen.(n) <- gen2;
         ctx.dist.(n) <- nd;
         ctx.parent.(n) <- from;
-        Heap.push ctx.heap ~prio:(nd + h n) ~value:n
+        let f = nd + h2 vi vj in
+        ctx.fval.(n) <- f;
+        Bqueue.push ctx.bq ~prio:f ~value:n
       end
     in
-    List.iter
-      (fun n ->
+    let seed n =
+      if ctx.gen.(n) <> gen2 then begin
         ctx.gen.(n) <- gen2;
         ctx.dist.(n) <- 0;
         ctx.parent.(n) <- -1;
-        Heap.push ctx.heap ~prio:(h n) ~value:n)
-      sources;
+        let f = h n in
+        ctx.fval.(n) <- f;
+        Bqueue.push ctx.bq ~prio:f ~value:n
+      end
+    in
+    Stampset.iter ctx.tree seed;
+    Grid.pin_access_iter g src seed;
     let found = ref (-1) in
-    while !found < 0 && not (Heap.is_empty ctx.heap) do
-      let d, u = Heap.pop ctx.heap in
-      if ctx.gen.(u) = gen2 && d - h u <= ctx.dist.(u) then begin
-        if ctx.tgen.(u) = gen && ctx.is_target.(u) = 1 then found := u
+    while !found < 0 && not (Bqueue.is_empty ctx.bq) do
+      let d, u = Bqueue.pop ctx.bq in
+      (* [d <= fval.(u)] is the classic stale-entry test [d - h u <=
+         dist.(u)] with both sides shifted by [h u], saving the
+         heuristic recompute on every pop. *)
+      if ctx.gen.(u) = gen2 && d <= ctx.fval.(u) then begin
+        if ctx.tgen.(u) = tg then found := u
         else begin
-          (* forward wire *)
-          if Grid.has_wire_edge g u then begin
-            let v = Grid.wire_dest g u in
-            if in_window v then
-              match wire_cost ctx ~net u with
-              | Some c -> relax ~from:u v c
-              | None -> ()
-          end;
-          (* backward wire *)
-          let l = Grid.layer_of_node g u in
-          let back =
-            if Grid.is_vertical_layer l then
-              if Grid.j_of_node g u > 0 then Some (u - g.Grid.nx) else None
-            else if Grid.i_of_node g u > 0 then Some (u - 1)
-            else None
-          in
-          (match back with
-          | Some v when in_window v -> begin
-            match wire_cost ctx ~net v with
-            | Some c -> relax ~from:u v c
-            | None -> ()
+          (* Decode (i, j, layer) once; every neighbour differs from [u]
+             by exactly one coordinate, so its coords — and the window
+             test on them — come for free. [u] itself may lie outside
+             the window (tree seeds do), so the test checks both
+             neighbour coordinates. *)
+          let i = u mod nx in
+          let j = u / nx mod ny in
+          let l = (u / nxy) + 1 in
+          if l land 1 = 1 then begin
+            (* vertical layer: wire edges along j *)
+            if j < ny - 1 && i >= ilo && i <= ihi && j + 1 >= jlo && j + 1 <= jhi
+            then begin
+              let c = wire_cost ctx ~net u l j in
+              if c >= 0 then relax ~from:u (u + nx) i (j + 1) c
+            end;
+            if j > 0 && i >= ilo && i <= ihi && j - 1 >= jlo && j - 1 <= jhi
+            then begin
+              let c = wire_cost ctx ~net (u - nx) l (j - 1) in
+              if c >= 0 then relax ~from:u (u - nx) i (j - 1) c
+            end
           end
-          | Some _ | None -> ());
+          else begin
+            (* horizontal layer: wire edges along i *)
+            if i < nx - 1 && i + 1 >= ilo && i + 1 <= ihi && j >= jlo && j <= jhi
+            then begin
+              let c = wire_cost ctx ~net u l j in
+              if c >= 0 then relax ~from:u (u + 1) (i + 1) j c
+            end;
+            if i > 0 && i - 1 >= ilo && i - 1 <= ihi && j >= jlo && j <= jhi
+            then begin
+              let c = wire_cost ctx ~net (u - 1) l j in
+              if c >= 0 then relax ~from:u (u - 1) (i - 1) j c
+            end
+          end;
           (* via up *)
-          if Grid.has_via_edge g u then begin
-            let v = Grid.via_dest g u in
-            match via_cost ctx u with
-            | Some c -> relax ~from:u v c
-            | None -> ()
-          end;
+          if l < g.Grid.nl then relax ~from:u (u + nxy) i j (via_cost ctx u);
           (* via down *)
-          if l > 1 then begin
-            let v = u - (g.Grid.nx * g.Grid.ny) in
-            match via_cost ctx v with
-            | Some c -> relax ~from:u v c
-            | None -> ()
-          end
+          if l > 1 then relax ~from:u (u - nxy) i j (via_cost ctx (u - nxy))
         end
       end
     done;
@@ -255,44 +283,58 @@ let search ?clamp ctx ~net ~sources ~targets =
   let whole = max g.Grid.nx g.Grid.ny in
   attempt [ ctx.cfg.search_margin; ctx.cfg.search_margin * 4; whole ]
 
-(* Reconstruct the edge list from the parent chain ending at [t]. *)
+(* Reconstruct the packed edge array from the parent chain ending at
+   [t]: one counting walk, then one filling walk — no list, no rev. *)
 let reconstruct ctx t =
   let g = ctx.g in
-  let rec go node acc =
-    let p = ctx.parent.(node) in
-    if p < 0 then acc
-    else begin
-      let e =
-        if p + (g.Grid.nx * g.Grid.ny) = node then Via p
-        else if node + (g.Grid.nx * g.Grid.ny) = p then Via node
-        else if Grid.has_wire_edge g p && Grid.wire_dest g p = node then Wire p
-        else Wire node
-      in
-      go p (e :: acc)
-    end
-  in
-  go t []
+  let nxy = g.Grid.nx * g.Grid.ny in
+  let len = ref 0 in
+  let u = ref t in
+  while ctx.parent.(!u) >= 0 do
+    incr len;
+    u := ctx.parent.(!u)
+  done;
+  let path = Array.make !len 0 in
+  let u = ref t and k = ref (!len - 1) in
+  while ctx.parent.(!u) >= 0 do
+    let p = ctx.parent.(!u) in
+    let code =
+      if p + nxy = !u then via_code p
+      else if !u + nxy = p then via_code !u
+      else if Grid.has_wire_edge g p && Grid.wire_dest g p = !u then wire_code p
+      else wire_code !u
+    in
+    path.(!k) <- code;
+    decr k;
+    u := p
+  done;
+  path
 
-let commit g path =
-  List.iter
-    (function
-      | Wire n -> g.Grid.wire_usage.(n) <- g.Grid.wire_usage.(n) + 1
-      | Via n -> g.Grid.via_usage.(n) <- g.Grid.via_usage.(n) + 1)
+let commit g ~net path =
+  Array.iter
+    (fun c ->
+      let n = c lsr 1 in
+      if c land 1 = 1 then Grid.commit_via g ~net n
+      else Grid.commit_wire g ~net n)
     path
 
-let uncommit g path =
-  List.iter
-    (function
-      | Wire n -> g.Grid.wire_usage.(n) <- g.Grid.wire_usage.(n) - 1
-      | Via n -> g.Grid.via_usage.(n) <- g.Grid.via_usage.(n) - 1)
+let uncommit g ~net path =
+  Array.iter
+    (fun c ->
+      let n = c lsr 1 in
+      if c land 1 = 1 then Grid.uncommit_via g ~net n
+      else Grid.uncommit_wire g ~net n)
     path
 
-(* Nodes touched by a path (for growing the net's source set). *)
-let path_nodes g path =
-  List.concat_map
-    (function
-      | Wire n -> [ n; Grid.wire_dest g n ]
-      | Via n -> [ n; Grid.via_dest g n ])
+(* Grow the net's tree with the nodes the committed path touches. *)
+let add_path_to_tree ctx path =
+  let g = ctx.g in
+  Array.iter
+    (fun c ->
+      let n = c lsr 1 in
+      Stampset.add ctx.tree n;
+      Stampset.add ctx.tree
+        (if c land 1 = 1 then Grid.via_dest g n else Grid.wire_dest g n))
     path
 
 (* Manhattan-MST decomposition of a net's pins (Prim). *)
@@ -331,47 +373,72 @@ let decompose (p : Place.Placement.t) (net : Netlist.Design.net) =
     Array.of_list
       (List.rev_map
          (fun (a, b) ->
-           { src = pins.(a); dst = pins.(b); path = []; routed = false })
+           { src = pins.(a); dst = pins.(b); path = [||]; routed = false })
          !edges)
   end
 
-let route_subnet ?clamp ctx ~net ~tree_nodes subnet =
+(* Route one MST edge against the net's growing tree (held in
+   [ctx.tree]). Target stamping, the direct-connection test, and open
+   list seeding all run on generation stamps — no list membership
+   scans. *)
+let route_subnet ?clamp ctx ~net subnet =
   let g = ctx.g in
-  let src_access = Grid.pin_access g subnet.src in
-  let dst_access = Grid.pin_access g subnet.dst in
-  let sources = List.rev_append !tree_nodes src_access in
+  (* stamp the target pin's access nodes with a fresh generation and
+     collect the target bounding box *)
+  ctx.generation <- ctx.generation + 1;
+  let tg = ctx.generation in
+  let ti_min = ref max_int and ti_max = ref min_int in
+  let tj_min = ref max_int and tj_max = ref min_int in
+  Grid.pin_access_iter g subnet.dst (fun n ->
+      let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
+      if i < !ti_min then ti_min := i;
+      if i > !ti_max then ti_max := i;
+      if j < !tj_min then tj_min := j;
+      if j > !tj_max then tj_max := j;
+      ctx.tgen.(n) <- tg);
   (* trivial case: a source IS a target *)
-  let direct =
-    List.exists (fun s -> List.mem s dst_access) sources
-  in
-  if direct then begin
-    subnet.path <- [];
+  let direct = ref false in
+  Stampset.iter ctx.tree (fun n -> if ctx.tgen.(n) = tg then direct := true);
+  if not !direct then
+    Grid.pin_access_iter g subnet.src (fun n ->
+        if ctx.tgen.(n) = tg then direct := true);
+  if !direct then begin
+    subnet.path <- [||];
     subnet.routed <- true;
-    tree_nodes := List.rev_append dst_access !tree_nodes;
+    Grid.pin_access_iter g subnet.dst (Stampset.add ctx.tree);
     true
   end
-  else
-    match search ?clamp ctx ~net ~sources ~targets:dst_access with
+  else begin
+    (* window bounding box over sources and targets *)
+    let imin = ref !ti_min and imax = ref !ti_max in
+    let jmin = ref !tj_min and jmax = ref !tj_max in
+    let widen n =
+      let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
+      if i < !imin then imin := i;
+      if i > !imax then imax := i;
+      if j < !jmin then jmin := j;
+      if j > !jmax then jmax := j
+    in
+    Stampset.iter ctx.tree widen;
+    Grid.pin_access_iter g subnet.src widen;
+    match
+      search ?clamp ctx ~net ~tg ~src:subnet.src
+        ~bbox:(!imin, !imax, !jmin, !jmax)
+        ~tbox:(!ti_min, !ti_max, !tj_min, !tj_max)
+    with
     | Some t ->
       let path = reconstruct ctx t in
-      commit g path;
+      commit g ~net path;
       subnet.path <- path;
       subnet.routed <- true;
-      tree_nodes :=
-        List.rev_append (path_nodes g path)
-          (List.rev_append dst_access !tree_nodes);
+      Grid.pin_access_iter g subnet.dst (Stampset.add ctx.tree);
+      add_path_to_tree ctx path;
       true
     | None ->
-      subnet.path <- [];
+      subnet.path <- [||];
       subnet.routed <- false;
       false
-
-let path_overflows g path =
-  List.exists
-    (function
-      | Wire n -> g.Grid.wire_usage.(n) > 1
-      | Via n -> g.Grid.via_usage.(n) > 1)
-    path
+  end
 
 let route ?(config = default_config) (p : Place.Placement.t) =
   Obs.with_span "route" (fun () ->
@@ -399,11 +466,11 @@ let route ?(config = default_config) (p : Place.Placement.t) =
   (* Sequential semantics: attempt every subnet even after a failure (the
      rip-up passes may still fix the rest of the tree). *)
   let route_net_full ctx (nr : net_route) =
-    let tree_nodes = ref [] in
+    Stampset.clear ctx.tree;
     Array.iter
       (fun sn ->
         Obs.Counter.incr c_subnet_attempts;
-        ignore (route_subnet ctx ~net:nr.net_id ~tree_nodes sn))
+        ignore (route_subnet ctx ~net:nr.net_id sn))
       nr.subnets
   in
   (* Tile-confined attempt for the sharded pass: on the first subnet that
@@ -411,22 +478,21 @@ let route ?(config = default_config) (p : Place.Placement.t) =
      it deferred, so the sequential phase retries it with full window
      escalation against the final phase-1 grid state. *)
   let route_net_clamped ~clamp ctx (nr : net_route) =
-    let tree_nodes = ref [] in
+    Stampset.clear ctx.tree;
     let ok = ref true in
     Array.iter
       (fun sn ->
         if !ok then begin
           Obs.Counter.incr c_subnet_attempts;
-          if not (route_subnet ~clamp ctx ~net:nr.net_id ~tree_nodes sn) then
-            ok := false
+          if not (route_subnet ~clamp ctx ~net:nr.net_id sn) then ok := false
         end)
       nr.subnets;
     if not !ok then
       Array.iter
         (fun sn ->
           if sn.routed then begin
-            uncommit g sn.path;
-            sn.path <- [];
+            uncommit g ~net:nr.net_id sn.path;
+            sn.path <- [||];
             sn.routed <- false
           end)
         nr.subnets;
@@ -452,14 +518,12 @@ let route ?(config = default_config) (p : Place.Placement.t) =
     let jmin = ref max_int and jmax = ref min_int in
     Array.iter
       (fun pr ->
-        List.iter
-          (fun n ->
+        Grid.pin_access_iter g pr (fun n ->
             let i = Grid.i_of_node g n and j = Grid.j_of_node g n in
             if i < !imin then imin := i;
             if i > !imax then imax := i;
             if j < !jmin then jmin := j;
-            if j > !jmax then jmax := j)
-          (Grid.pin_access g pr))
+            if j > !jmax then jmax := j))
       design.nets.(nr.net_id).pins;
     if !imin > !imax then None
     else begin
@@ -526,6 +590,7 @@ let route ?(config = default_config) (p : Place.Placement.t) =
                           dropped := k :: !dropped)
                       nets)
                   tiles;
+                Obs.Counter.add c_bq_pushes (Bqueue.pushes tctx.bq);
                 List.rev !dropped)
               groups
           in
@@ -537,35 +602,38 @@ let route ?(config = default_config) (p : Place.Placement.t) =
       Obs.Counter.add c_deferred_nets (List.length seq);
       Obs.add_attr "sequential_nets" (`Int (List.length seq));
       List.iter (fun k -> route_net_full ctx routes.(k)) seq);
-  (* rip-up and reroute nets crossing overflowed edges, with the
-     congestion penalty escalating each pass *)
+  (* Rip-up and reroute nets crossing overflowed edges, with the
+     congestion penalty escalating each pass. The overflow ledger makes
+     the congestion test per net O(1) ([Grid.net_overflow]), so a pass
+     over an uncongested design is a counter sweep, not a rescan of
+     every path of every net; a pass with no candidates is skipped
+     outright. *)
   for pass = 1 to config.ripup_passes do
     Obs.with_span "route.ripup" ~attrs:[ ("pass", `Int pass) ] (fun () ->
     ctx.penalty <- config.overflow_penalty * (pass + 1);
-    let ripped = ref 0 in
+    let candidates = ref 0 in
     Array.iter
-      (fun nr ->
-        let congested =
-          Array.exists (fun sn -> sn.routed && path_overflows g sn.path) nr.subnets
-        in
-        if congested then begin
-          incr ripped;
-          Array.iter
-            (fun sn ->
-              if sn.routed then begin
-                uncommit g sn.path;
-                sn.path <- [];
-                sn.routed <- false
-              end)
-            nr.subnets;
-          let tree_nodes = ref [] in
-          Array.iter
-            (fun sn ->
-              Obs.Counter.incr c_subnet_attempts;
-              ignore (route_subnet ctx ~net:nr.net_id ~tree_nodes sn))
-            nr.subnets
-        end)
+      (fun nr -> if Grid.net_overflow g nr.net_id > 0 then incr candidates)
       routes;
+    Obs.Counter.add c_ripup_candidates !candidates;
+    Obs.add_attr "candidates" (`Int !candidates);
+    let ripped = ref 0 in
+    if !candidates > 0 then
+      Array.iter
+        (fun nr ->
+          if Grid.net_overflow g nr.net_id > 0 then begin
+            incr ripped;
+            Array.iter
+              (fun sn ->
+                if sn.routed then begin
+                  uncommit g ~net:nr.net_id sn.path;
+                  sn.path <- [||];
+                  sn.routed <- false
+                end)
+              nr.subnets;
+            route_net_full ctx nr
+          end)
+        routes;
     Obs.Counter.add c_ripup_nets !ripped;
     Obs.add_attr "ripped_nets" (`Int !ripped))
   done;
@@ -579,6 +647,7 @@ let route ?(config = default_config) (p : Place.Placement.t) =
       0 routes
   in
   Obs.Counter.add c_failed_subnets failed_final;
+  Obs.Counter.add c_bq_pushes (Bqueue.pushes ctx.bq);
   let overflow = Grid.overflow_count g in
   Obs.Gauge.set g_overflow (float_of_int overflow);
   Obs.add_attr "overflow_edges" (`Int overflow);

@@ -44,12 +44,20 @@ type edge =
   | Wire of int  (** wire edge at node n: n -- successor in pref. dir. *)
   | Via of int   (** via edge at node n: n -- same (i,j) one layer up *)
 
+(** [edge_of_code c] decodes one element of a [path] array: paths are
+    stored packed (node index shifted left one, low bit set for vias),
+    which halves the memory of an [edge list] and removes pointer
+    chasing from commit/uncommit/metrics loops. *)
+val edge_of_code : int -> edge
+
 type subnet = {
   src : Netlist.Design.pin_ref;     (** pin at the MST edge's source *)
   dst : Netlist.Design.pin_ref;     (** pin at the MST edge's sink *)
-  mutable path : edge list;         (** grid edges of the found route;
-                                        empty when unrouted or when the
-                                        pins share a grid node *)
+  mutable path : int array;         (** packed grid edges of the found
+                                        route (decode with
+                                        {!edge_of_code}); empty when
+                                        unrouted or when the pins share
+                                        a grid node *)
   mutable routed : bool;            (** false only when A* failed *)
 }
 
@@ -77,9 +85,19 @@ type result = {
     cells and the tiling ignores [Exec.jobs], so results are
     byte-identical across [--jobs]. Rip-up passes stay sequential.
 
+    Hot-path machinery: pin access nodes come from the index
+    precomputed at [Grid.of_placement] time, the A* open list is the
+    {!Bqueue} dial queue, the net's already-connected node set is a
+    generation-stamped {!Stampset}, and rip-up passes consult the
+    grid's overflow ledger ([Grid.net_overflow]) instead of rescanning
+    every stored path — a pass with no congested net is skipped in
+    O(nets).
+
     Emits observability when [Obs.enabled]: a [route] span with nested
     [route.initial] and per-pass [route.ripup] spans, the
     [route.subnets] / [route.subnet_attempts] / [route.ripup_nets] /
-    [route.failed_subnets] / [route.shard_nets] / [route.deferred_nets]
-    counters and the [route.overflow_edges] gauge. *)
+    [route.ripup_candidates] / [route.failed_subnets] /
+    [route.shard_nets] / [route.deferred_nets] / [route.bq_pushes] /
+    [route.pin_access_hits] counters and the [route.overflow_edges]
+    gauge. *)
 val route : ?config:config -> Place.Placement.t -> result

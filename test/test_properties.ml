@@ -51,18 +51,18 @@ let prop_global_place_legal =
 
 (* routed paths are structurally connected: consecutive edges share a
    node, and endpoints land on src/dst access points or tree nodes *)
-let path_is_connected g (path : Route.Router.edge list) =
-  let endpoints = function
+let path_is_connected g (path : int array) =
+  let endpoints c =
+    match Route.Router.edge_of_code c with
     | Route.Router.Wire n -> (n, Route.Grid.wire_dest g n)
     | Route.Router.Via n -> (n, Route.Grid.via_dest g n)
   in
-  let rec go = function
-    | [] | [ _ ] -> true
-    | a :: (b :: _ as rest) ->
-      let a1, a2 = endpoints a and b1, b2 = endpoints b in
-      (a1 = b1 || a1 = b2 || a2 = b1 || a2 = b2) && go rest
-  in
-  go path
+  let ok = ref true in
+  for k = 0 to Array.length path - 2 do
+    let a1, a2 = endpoints path.(k) and b1, b2 = endpoints path.(k + 1) in
+    if not (a1 = b1 || a1 = b2 || a2 = b1 || a2 = b2) then ok := false
+  done;
+  !ok
 
 let prop_routed_paths_connected =
   QCheck2.Test.make ~name:"routed paths are connected edge chains" ~count:8
@@ -95,8 +95,9 @@ let prop_usage_consistent =
         (fun (nr : Route.Router.net_route) ->
           Array.iter
             (fun (sn : Route.Router.subnet) ->
-              List.iter
-                (function
+              Array.iter
+                (fun c ->
+                  match Route.Router.edge_of_code c with
                   | Route.Router.Wire n -> wire.(n) <- wire.(n) + 1
                   | Route.Router.Via n -> via.(n) <- via.(n) + 1)
                 sn.path)
@@ -107,6 +108,44 @@ let prop_usage_consistent =
         if wire.(n) <> g.Route.Grid.wire_usage.(n) then ok := false;
         if via.(n) <> g.Route.Grid.via_usage.(n) then ok := false
       done;
+      !ok)
+
+(* the track-range pin-access index built at grid construction agrees
+   with the original full-grid scan, for every pin of every cell
+   architecture, and never reports a node twice *)
+let prop_pin_access_index_matches_scan =
+  QCheck2.Test.make ~name:"pin-access index = full scan (all archs)" ~count:9
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 2))
+    (fun (seed, archno) ->
+      let arch =
+        match archno with
+        | 0 -> Pdk.Cell_arch.Conventional12
+        | 1 -> Pdk.Cell_arch.Closed_m1
+        | _ -> Pdk.Cell_arch.Open_m1
+      in
+      let archlib = Pdk.Libgen.generate (Pdk.Tech.default arch) in
+      let d =
+        Netlist.Generator.generate archlib
+          (Netlist.Generator.default_config ~n_instances:80 ~seed)
+          ~name:"pa"
+      in
+      let p = Place.Placement.create d ~utilization:0.7 in
+      Place.Global.place p;
+      let g = Route.Grid.of_placement p in
+      let ok = ref true in
+      Array.iteri
+        (fun i (inst : Netlist.Design.instance) ->
+          List.iteri
+            (fun k _ ->
+              let pr = { Netlist.Design.inst = i; pin = k } in
+              let idx = Route.Grid.pin_access g pr in
+              let scan = Route.Grid.pin_access_scan g pr in
+              if List.sort_uniq Int.compare idx <> List.sort Int.compare idx
+              then ok := false;
+              if List.sort Int.compare idx <> List.sort Int.compare scan then
+                ok := false)
+            inst.master.Pdk.Stdcell.pins)
+        p.design.Netlist.Design.instances;
       !ok)
 
 (* window move_delta always matches a full objective recompute *)
@@ -319,7 +358,10 @@ let () =
           ] );
       ( "router",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_routed_paths_connected; prop_usage_consistent ] );
+          [
+            prop_routed_paths_connected; prop_usage_consistent;
+            prop_pin_access_index_matches_scan;
+          ] );
       ( "optimizer",
         List.map QCheck_alcotest.to_alcotest
           [

@@ -47,6 +47,85 @@ let prop_heap_sorts =
       done;
       List.rev !out = List.sort Int.compare prios)
 
+(* --- Bucket queue --- *)
+
+let test_bqueue_basic () =
+  let q = Route.Bqueue.create ~capacity:4 () in
+  checkb "empty" true (Route.Bqueue.is_empty q);
+  Route.Bqueue.push q ~prio:500 ~value:1;
+  Route.Bqueue.push q ~prio:497 ~value:2;
+  Route.Bqueue.push q ~prio:500 ~value:3;
+  Route.Bqueue.push q ~prio:1200 ~value:4;
+  check "size" 4 (Route.Bqueue.size q);
+  let p, v = Route.Bqueue.pop q in
+  check "min prio" 497 p;
+  check "min value" 2 v;
+  let _, v1 = Route.Bqueue.pop q in
+  check "tie pops fifo" 1 v1;
+  let _, v3 = Route.Bqueue.pop q in
+  check "tie pops fifo 2" 3 v3;
+  (* a push far below the latched origin (cursor already advanced) *)
+  Route.Bqueue.push q ~prio:30 ~value:5;
+  let p, v = Route.Bqueue.pop q in
+  check "below-origin prio" 30 p;
+  check "below-origin value" 5 v;
+  check "last prio" 1200 (fst (Route.Bqueue.pop q));
+  checkb "drained" true (Route.Bqueue.is_empty q);
+  check "pushes survive pops" 5 (Route.Bqueue.pushes q);
+  Route.Bqueue.clear q;
+  Route.Bqueue.push q ~prio:7 ~value:9;
+  check "reusable after clear" 7 (fst (Route.Bqueue.pop q));
+  check "pushes survive clear" 6 (Route.Bqueue.pushes q);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Bqueue.pop: empty")
+    (fun () -> ignore (Route.Bqueue.pop q))
+
+(* under any interleaving of pushes and pops, the bucket queue returns
+   the same priority sequence as the binary heap (the reference) *)
+let prop_bqueue_matches_heap =
+  QCheck2.Test.make ~name:"bucket queue priorities match heap" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 1 300) (pair (int_range 0 2500) (int_range 0 3)))
+    (fun ops ->
+      let q = Route.Bqueue.create ~capacity:16 () in
+      let h = Route.Heap.create ~capacity:4 () in
+      let ok = ref true in
+      List.iter
+        (fun (prio, k) ->
+          if k = 0 && not (Route.Bqueue.is_empty q) then begin
+            if fst (Route.Bqueue.pop q) <> fst (Route.Heap.pop h) then
+              ok := false
+          end
+          else begin
+            Route.Bqueue.push q ~prio ~value:prio;
+            Route.Heap.push h ~prio ~value:prio
+          end)
+        ops;
+      while not (Route.Bqueue.is_empty q) do
+        if fst (Route.Bqueue.pop q) <> fst (Route.Heap.pop h) then ok := false
+      done;
+      !ok && Route.Heap.is_empty h)
+
+(* --- Stampset --- *)
+
+let test_stampset () =
+  let s = Route.Stampset.create 100 in
+  check "empty" 0 (Route.Stampset.cardinal s);
+  Route.Stampset.add s 7;
+  Route.Stampset.add s 3;
+  Route.Stampset.add s 7;
+  Route.Stampset.add s 99;
+  check "dup ignored" 3 (Route.Stampset.cardinal s);
+  checkb "mem" true (Route.Stampset.mem s 3);
+  checkb "not mem" false (Route.Stampset.mem s 4);
+  let order = ref [] in
+  Route.Stampset.iter s (fun x -> order := x :: !order);
+  Alcotest.(check (list int)) "insertion order" [ 7; 3; 99 ] (List.rev !order);
+  Route.Stampset.clear s;
+  check "cleared" 0 (Route.Stampset.cardinal s);
+  checkb "stale stamp invisible" false (Route.Stampset.mem s 7);
+  Route.Stampset.add s 3;
+  check "reusable" 1 (Route.Stampset.cardinal s)
+
 (* --- Grid --- *)
 
 let test_grid_geometry () =
@@ -392,6 +471,34 @@ let test_openm1_routes () =
   check "no failures" 0 r.Route.Router.failed_subnets;
   checkb "openm1 has baseline dm1" true (s.Route.Metrics.dm1 > 0)
 
+(* the O(1) ledger count always matches the full-edge-scan oracle, and
+   per-net overflow flags agree with a scan over the stored paths —
+   including after rip-up under congestion *)
+let test_overflow_ledger () =
+  let p = placed_design ~n:150 ~utilization:0.85 closed_lib in
+  let cfg = { Route.Router.default_config with layers = 3; ripup_passes = 1 } in
+  let r = Route.Router.route ~config:cfg p in
+  let g = r.Route.Router.grid in
+  check "ledger = scan" (Route.Grid.overflow_count_scan g)
+    (Route.Grid.overflow_count g);
+  Array.iter
+    (fun (nr : Route.Router.net_route) ->
+      let on_overflow = ref false in
+      Array.iter
+        (fun (sn : Route.Router.subnet) ->
+          Array.iter
+            (fun c ->
+              match Route.Router.edge_of_code c with
+              | Route.Router.Wire n ->
+                if g.Route.Grid.wire_usage.(n) > 1 then on_overflow := true
+              | Route.Router.Via n ->
+                if g.Route.Grid.via_usage.(n) > 1 then on_overflow := true)
+            sn.Route.Router.path)
+        nr.Route.Router.subnets;
+      checkb "net_overflow agrees with path scan" !on_overflow
+        (Route.Grid.net_overflow g nr.Route.Router.net_id > 0))
+    r.Route.Router.routes
+
 let () =
   Alcotest.run "route"
     [
@@ -400,6 +507,12 @@ let () =
           Alcotest.test_case "basic" `Quick test_heap_basic;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
         ] );
+      ( "bqueue",
+        [
+          Alcotest.test_case "basic" `Quick test_bqueue_basic;
+          QCheck_alcotest.to_alcotest prop_bqueue_matches_heap;
+        ] );
+      ( "stampset", [ Alcotest.test_case "basic" `Quick test_stampset ] );
       ( "grid",
         [
           Alcotest.test_case "geometry" `Quick test_grid_geometry;
@@ -421,6 +534,7 @@ let () =
           Alcotest.test_case "use_dm1 ablation" `Quick test_use_dm1_ablation;
           Alcotest.test_case "deterministic" `Quick test_router_deterministic;
           Alcotest.test_case "openm1 routes" `Quick test_openm1_routes;
+          Alcotest.test_case "overflow ledger" `Quick test_overflow_ledger;
         ] );
       ( "metrics",
         [
