@@ -248,19 +248,21 @@ let run_micro () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name stats ->
-      let est =
-        match Analyze.OLS.estimates stats with
-        | Some [ est ] -> Printf.sprintf "%14.0f" est
-        | _ -> "            n/a"
-      in
-      rows := (name, est) :: !rows)
-    results;
+  let rows =
+    Hashtbl.fold
+      (fun name stats acc ->
+        let est =
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Printf.sprintf "%14.0f" est
+          | _ -> "            n/a"
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   List.iter
     (fun (name, est) -> Printf.printf "%-48s %s ns/run\n" name est)
-    (List.sort compare !rows)
+    rows
 
 (* --- scaling mode: per-stage wall-clock vs --jobs, on the jpeg
    testcase, emitted as machine-readable BENCH_vm1dp.json. The same
@@ -273,6 +275,9 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* vm1lint: allow marshal -- the digests below only compare runs within a
+   single process (cross-jobs determinism check); cross-version stability
+   of the byte format is irrelevant here. *)
 let placement_digest (p : Place.Placement.t) =
   Digest.to_hex
     (Digest.string

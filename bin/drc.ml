@@ -1,7 +1,10 @@
 (* Standalone placement checker: reads a DEF-like dump (as written by
    vm1opt --dump or Netlist.Def_io), validates netlist integrity and
-   placement legality, and reports the design's metrics; optionally
-   routes it. *)
+   placement legality through the lib/check oracles, and reports the
+   design's metrics; optionally routes it and re-verifies the routing
+   result.
+
+   Exit status: 0 = clean, 1 = problems found, 2 = usage/read error. *)
 
 open Cmdliner
 
@@ -15,43 +18,62 @@ let arch =
 
 let do_route =
   Arg.(value & flag & info [ "route" ]
-         ~doc:"Also route the design and report routing metrics.")
+         ~doc:"Also route the design, report routing metrics and re-verify              the result (usage replay, ownership, overflow ledger,              connectivity).")
 
-let run def_file arch do_route =
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ]
+         ~doc:"Print every problem instead of the first 10 per section.")
+
+let print_problems ~verbose problems =
+  let n = List.length problems in
+  List.iteri
+    (fun i p ->
+      if verbose || i < 10 then Printf.printf "  %s\n" p
+      else if i = 10 then
+        Printf.printf "  ... %d more (use --verbose to see all)\n" (n - 10))
+    problems
+
+let run def_file arch do_route verbose =
   match Pdk.Cell_arch.of_string arch with
   | None ->
     Printf.eprintf "unknown architecture %S\n" arch;
-    exit 2
+    2
   | Some arch ->
-    let lib = Pdk.Libgen.generate (Pdk.Tech.default arch) in
-    let design, def = Netlist.Def_io.read_file lib def_file in
-    print_endline (Netlist.Design.stats design);
-    (match Netlist.Design.validate design with
-     | [] -> print_endline "netlist: OK"
-     | problems ->
-       Printf.printf "netlist: %d problems\n" (List.length problems);
-       List.iteri
-         (fun i p -> if i < 10 then Printf.printf "  %s\n" p)
-         problems);
-    let p = Place.Placement.of_def design def in
-    (match Place.Legalize.check p with
-     | [] -> print_endline "placement: legal"
-     | problems ->
-       Printf.printf "placement: %d violations\n" (List.length problems);
-       List.iteri
-         (fun i v -> if i < 10 then Printf.printf "  %s\n" v)
-         problems);
-    Printf.printf "utilization: %.1f%%  HPWL: %.1f um\n"
-      (100.0 *. Place.Placement.utilization p)
-      (Place.Hpwl.total_um p);
-    if do_route then begin
-      let r = Route.Router.route p in
-      Format.printf "routing: %a@." Route.Metrics.pp_summary
-        (Route.Metrics.summarize r)
-    end
+    (match
+       let lib = Pdk.Libgen.generate (Pdk.Tech.default arch) in
+       Netlist.Def_io.read_file lib def_file
+     with
+    | exception Failure msg ->
+      Printf.eprintf "drc: cannot read %s: %s\n" def_file msg;
+      2
+    | design, def ->
+      let bad = ref false in
+      let section name problems =
+        match problems with
+        | [] -> Printf.printf "%s: OK\n" name
+        | _ ->
+          bad := true;
+          Printf.printf "%s: %d problems\n" name (List.length problems);
+          print_problems ~verbose problems
+      in
+      print_endline (Netlist.Design.stats design);
+      section "netlist" (Check.design design);
+      let p = Place.Placement.of_def design def in
+      section "placement" (Check.placement p);
+      Printf.printf "utilization: %.1f%%  HPWL: %.1f um\n"
+        (100.0 *. Place.Placement.utilization p)
+        (Place.Hpwl.total_um p);
+      if do_route then begin
+        let r = Route.Router.route p in
+        Format.printf "routing: %a@." Route.Metrics.pp_summary
+          (Route.Metrics.summarize r);
+        section "route" (Check.route_result r)
+      end;
+      if !bad then 1 else 0)
 
 let cmd =
   let doc = "validate and report on a placement dump" in
-  Cmd.v (Cmd.info "drc" ~doc) Term.(const run $ def_file $ arch $ do_route)
+  Cmd.v (Cmd.info "drc" ~doc)
+    Term.(const run $ def_file $ arch $ do_route $ verbose)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

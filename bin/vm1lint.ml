@@ -1,0 +1,51 @@
+(* vm1lint: determinism / parallel-safety linter over this repo's OCaml
+   sources. See lib/lint/lint.mli and README "Static analysis". *)
+
+let default_paths = [ "lib"; "bin"; "bench"; "examples" ]
+
+let run paths json rules_only =
+  if rules_only then begin
+    List.iter
+      (fun (r : Lint.rule) -> Printf.printf "%-18s %s\n" r.name r.summary)
+      Lint.rules;
+    print_newline ();
+    print_endline "Vetted allowlist:";
+    List.iter
+      (fun (v : Lint.vetted_site) ->
+        Printf.printf "%-18s %s %s\n  %s\n" v.v_rule v.path_suffix
+          v.ident_prefix v.justification)
+      Lint.vetted;
+    0
+  end
+  else begin
+    let paths = if paths = [] then default_paths else paths in
+    let paths = List.filter Sys.file_exists paths in
+    let run = Lint.run_paths paths in
+    if json then print_endline (Obs.Json.to_string (Lint.to_json run))
+    else Lint.pp_human Format.std_formatter run;
+    if Lint.active run = 0 then 0 else 1
+  end
+
+open Cmdliner
+
+let paths_arg =
+  let doc =
+    "Files or directories to lint. Defaults to lib bin bench examples."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+
+let json_arg =
+  let doc = "Emit the machine-readable report (schema vm1dp-lint/1)." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let rules_arg =
+  let doc = "Print the rule list and the vetted allowlist, then exit." in
+  Arg.(value & flag & info [ "rules" ] ~doc)
+
+let cmd =
+  let doc = "determinism and parallel-safety linter for the vm1dp sources" in
+  Cmd.v
+    (Cmd.info "vm1lint" ~doc)
+    Term.(const run $ paths_arg $ json_arg $ rules_arg)
+
+let () = exit (Cmd.eval' cmd)

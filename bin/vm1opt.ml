@@ -69,8 +69,12 @@ let metrics =
   Arg.(value & flag & info [ "metrics" ]
          ~doc:"Print the observability summary tables (per-span timing,                counters, gauges) after the run.")
 
+let check =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"After optimising, run the flow sanitizer (lib/check): design                and placement legality, window diagonal-independence,                objective recount, a routing run with the shard-write                monitor armed, and MILP feasibility re-verification on a                sample window. Non-zero exit on any violation.")
+
 let run design arch scale utilization alpha sequence dump_prefix svg_prefix
-    parallel jobs trace metrics =
+    parallel jobs trace metrics check =
   if trace <> None || metrics then Obs.set_enabled true;
   if jobs > 0 then Exec.set_jobs jobs;
   let p = Report.Flow.prepare ~scale ~utilization design arch in
@@ -126,12 +130,19 @@ let run design arch scale utilization alpha sequence dump_prefix svg_prefix
         Printf.eprintf "vm1opt: cannot write trace: %s\n%!" msg;
         exit 1)
    | None -> ());
-  if metrics then Report.Obs_report.print (Obs.snapshot ())
+  if metrics then Report.Obs_report.print (Obs.snapshot ());
+  if check then begin
+    print_endline "flow sanitizer:";
+    let findings = Check.flow params p in
+    Check.pp_findings Format.std_formatter findings;
+    if not (Check.ok findings) then exit 1
+  end
 
 let cmd =
   let doc = "vertical M1 routing-aware detailed placement, end to end" in
   Cmd.v (Cmd.info "vm1opt" ~doc)
     Term.(const run $ design $ arch $ scale $ utilization $ alpha $ sequence
-          $ dump_prefix $ svg_prefix $ parallel $ jobs $ trace $ metrics)
+          $ dump_prefix $ svg_prefix $ parallel $ jobs $ trace $ metrics
+          $ check)
 
 let () = exit (Cmd.eval cmd)

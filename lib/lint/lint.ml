@@ -1,0 +1,535 @@
+type rule = {
+  name : string;
+  summary : string;
+}
+
+let rules =
+  [
+    { name = "hashtbl-order";
+      summary =
+        "Hashtbl.iter/fold/to_seq iterate in hash order; only the \
+         collect-then-sort idiom (fold piped into List.sort) may feed \
+         ordered output" };
+    { name = "poly-compare";
+      summary =
+        "bare polymorphic compare/Hashtbl.hash; use Int.compare, \
+         String.compare or a typed comparator" };
+    { name = "phys-eq";
+      summary =
+        "physical equality (==/!=) on boxed values is \
+         representation-dependent; reserved for lib/exec and lib/obs \
+         identity checks" };
+    { name = "domain-prims";
+      summary =
+        "Domain/Mutex/Condition/Atomic/Thread belong to lib/exec and \
+         lib/obs; shared mutable state elsewhere must be vetted \
+         explicitly" };
+    { name = "global-random";
+      summary =
+        "global Random state (or make_self_init) is unseeded; use \
+         Random.State with a deterministic seed" };
+    { name = "wall-clock";
+      summary =
+        "wall-clock reads (Sys.time, Unix.gettimeofday, ...) in pure \
+         flow stages; timing belongs to lib/obs spans and the report \
+         layer" };
+    { name = "exit-in-lib";
+      summary = "libraries must raise, not exit; exit is for binaries" };
+    { name = "obj-magic";
+      summary = "Obj.* defeats the type system and invites undefined \
+                 behaviour" };
+    { name = "readdir-unsorted";
+      summary =
+        "Sys.readdir order is filesystem-dependent; sort before use" };
+    { name = "marshal";
+      summary =
+        "Marshal output is not stable across compiler versions or \
+         sharing; use a textual format" };
+  ]
+
+let rule_names = List.map (fun r -> r.name) rules
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type verdict =
+  | Active
+  | Suppressed
+  | Vetted
+
+type report = {
+  findings : (verdict * finding) list;
+  parse_error : string option;
+}
+
+type vetted_site = {
+  v_rule : string;
+  path_suffix : string;
+  ident_prefix : string;
+  justification : string;
+}
+
+let vetted =
+  [
+    { v_rule = "domain-prims";
+      path_suffix = "lib/route/grid.ml";
+      ident_prefix = "Atomic.";
+      justification =
+        "the overflow-edge total is the one cell the region-sharded \
+         routing pass shares between domains; concurrent tiles commit \
+         to disjoint edges and nets but bump this one atomic counter" };
+    { v_rule = "domain-prims";
+      path_suffix = "bench/main.ml";
+      ident_prefix = "Domain.";
+      justification =
+        "the scaling benchmark reports Domain.recommended_domain_count \
+         to size its --jobs sweep; it never spawns" };
+  ]
+
+(* --- path classification -------------------------------------------- *)
+
+let norm_path p = String.map (fun c -> if c = '\\' then '/' else c) p
+
+let path_has p frag =
+  let p = "/" ^ norm_path p in
+  let lp = String.length p and lf = String.length frag in
+  let rec go i = i + lf <= lp && (String.sub p i lf = frag || go (i + 1)) in
+  go 0
+
+let in_exec p = path_has p "/lib/exec/"
+let in_obs p = path_has p "/lib/obs/"
+let in_lib p = path_has p "/lib/"
+
+(* stages allowed to read the clock: obs owns it, exec schedules with it,
+   report/bench/bin present wall times to humans *)
+let clock_ok p =
+  (not (in_lib p)) || in_obs p || in_exec p || path_has p "/lib/report/"
+
+(* --- suppression comments ------------------------------------------- *)
+
+type suppressions = {
+  file_wide : (string, unit) Hashtbl.t;
+  by_line : (int * string, unit) Hashtbl.t;
+}
+
+let is_rule_name s = List.mem s rule_names
+
+let scan_suppressions src =
+  let sup =
+    { file_wide = Hashtbl.create 4; by_line = Hashtbl.create 4 }
+  in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let marker = "vm1lint:" in
+      let mlen = String.length marker in
+      let len = String.length line in
+      let rec find j =
+        if j + mlen > len then ()
+        else if String.sub line j mlen = marker then begin
+          let rest = String.sub line (j + mlen) (len - j - mlen) in
+          let words =
+            String.split_on_char ' ' rest
+            |> List.concat_map (String.split_on_char '\t')
+            |> List.filter (fun w -> w <> "")
+          in
+          match words with
+          | mode :: args
+            when mode = "allow" || mode = "allow-line" || mode = "allow-next"
+            ->
+            let rec take = function
+              | w :: tl when is_rule_name w -> w :: take tl
+              | _ -> []
+            in
+            List.iter
+              (fun r ->
+                match mode with
+                | "allow" -> Hashtbl.replace sup.file_wide r ()
+                | "allow-line" -> Hashtbl.replace sup.by_line (lineno, r) ()
+                | _ -> Hashtbl.replace sup.by_line (lineno + 1, r) ())
+              (take args)
+          | _ -> ()
+        end
+        else find (j + 1)
+      in
+      find 0)
+    lines;
+  sup
+
+let suppressed sup ~rule ~line =
+  Hashtbl.mem sup.file_wide rule || Hashtbl.mem sup.by_line (line, rule)
+
+(* --- Parsetree analysis --------------------------------------------- *)
+
+let flatten_lid lid = String.concat "." (Longident.flatten lid)
+
+(* strip the Stdlib/Pervasives prefix so qualified and bare spellings of
+   a stdlib identifier hit the same rule pattern *)
+let canonical name =
+  let strip pre n =
+    let lp = String.length pre in
+    if String.length n > lp && String.sub n 0 lp = pre then
+      String.sub n lp (String.length n - lp)
+    else n
+  in
+  strip "Stdlib." (strip "Pervasives." name)
+
+let starts_with pre s =
+  let lp = String.length pre in
+  String.length s >= lp && String.sub s 0 lp = pre
+
+let head_module name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let sort_functions =
+  [ "List.sort"; "List.stable_sort"; "List.sort_uniq"; "List.fast_sort";
+    "Array.sort"; "Array.stable_sort"; "Array.fast_sort" ]
+
+(* spans are character-offset ranges within the source buffer *)
+type span = { s_lo : int; s_hi : int }
+
+let span_of_loc (l : Location.t) =
+  { s_lo = l.loc_start.pos_cnum; s_hi = l.loc_end.pos_cnum }
+
+let inside outer inner = outer.s_lo <= inner.s_lo && inner.s_hi <= outer.s_hi
+
+let mentions_sort (e : Parsetree.expression) =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.Parsetree.pexp_desc with
+          | Pexp_ident { txt; _ }
+            when List.mem (canonical (flatten_lid txt)) sort_functions ->
+            found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* Pass 1: the spans of every expression that flows into a sort — the
+   sanctioned way for a hash-ordered fold result to become ordered
+   output. Covers [List.sort cmp e], [e |> List.sort cmp] and
+   [List.sort cmp @@ e]. *)
+let collect_sorted_spans str =
+  let spans = ref [] in
+  let add (e : Parsetree.expression) =
+    spans := span_of_loc e.pexp_loc :: !spans
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.Parsetree.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+            let name = canonical (flatten_lid txt) in
+            if List.mem name sort_functions then
+              List.iter (fun (_, a) -> add a) args
+            else if name = "|>" then begin
+              match args with
+              | [ (_, lhs); (_, rhs) ] when mentions_sort rhs -> add lhs
+              | _ -> ()
+            end
+            else if name = "@@" then begin
+              match args with
+              | [ (_, f); (_, x) ] when mentions_sort f -> add x
+              | _ -> ()
+            end
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.structure it str;
+  !spans
+
+let hashtbl_iters = [ "Hashtbl.iter"; "MoreLabels.Hashtbl.iter" ]
+
+let hashtbl_folds =
+  [ "Hashtbl.fold"; "Hashtbl.to_seq"; "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values"; "MoreLabels.Hashtbl.fold" ]
+
+let wall_clock_calls =
+  [ "Sys.time"; "Unix.gettimeofday"; "Unix.time"; "Unix.gmtime";
+    "Unix.localtime"; "Unix.mktime" ]
+
+(* Pass 2: one finding per offending identifier occurrence. Matching on
+   identifiers (not applications) also catches an offender passed as a
+   function value. *)
+let collect_findings ~path ~sorted_spans str =
+  let out = ref [] in
+  let emit ~rule ~loc ~message =
+    let p = (loc : Location.t).loc_start in
+    out :=
+      {
+        rule;
+        file = path;
+        line = p.pos_lnum;
+        col = p.pos_cnum - p.pos_bol;
+        message;
+      }
+      :: !out
+  in
+  let in_sorted loc =
+    let sp = span_of_loc loc in
+    List.exists (fun outer -> inside outer sp) sorted_spans
+  in
+  let check_ident loc raw =
+    let name = canonical raw in
+    let head = head_module name in
+    if List.mem name hashtbl_iters then
+      emit ~rule:"hashtbl-order" ~loc
+        ~message:
+          (name
+         ^ " visits entries in hash order; collect keys with a fold, sort, \
+            then iterate")
+    else if List.mem name hashtbl_folds && not (in_sorted loc) then
+      emit ~rule:"hashtbl-order" ~loc
+        ~message:
+          (name
+         ^ " result is in hash order and does not flow into a sort; use \
+            the collect-then-sort idiom")
+    else if name = "compare" || name = "Hashtbl.hash"
+            || name = "Hashtbl.seeded_hash" then
+      emit ~rule:"poly-compare" ~loc
+        ~message:
+          (name
+         ^ " is polymorphic; use Int.compare/String.compare or a typed \
+            comparator")
+    else if (name = "==" || name = "!=") && not (in_exec path || in_obs path)
+    then
+      emit ~rule:"phys-eq" ~loc
+        ~message:
+          ("( " ^ name
+         ^ " ) is physical equality; outside lib/exec and lib/obs use \
+            structural equality or an explicit index")
+    else if
+      List.mem head
+        [ "Domain"; "Mutex"; "Condition"; "Atomic"; "Thread"; "Semaphore" ]
+      && not (in_exec path || in_obs path)
+    then
+      emit ~rule:"domain-prims" ~loc
+        ~message:
+          (name
+         ^ " outside lib/exec and lib/obs; route parallelism through the \
+            Exec pool or add a vetted-allowlist entry")
+    else if
+      starts_with "Random." name
+      && ((not (starts_with "Random.State." name))
+         || name = "Random.State.make_self_init")
+    then
+      emit ~rule:"global-random" ~loc
+        ~message:
+          (name
+         ^ " is unseeded global randomness; use Random.State.make with a \
+            deterministic seed")
+    else if List.mem name wall_clock_calls && not (clock_ok path) then
+      emit ~rule:"wall-clock" ~loc
+        ~message:
+          (name
+         ^ " in a pure flow stage; use Obs spans (Obs.now_ns) or move \
+            timing to the report layer")
+    else if name = "exit" && in_lib path then
+      emit ~rule:"exit-in-lib" ~loc
+        ~message:"exit in a library; raise instead and let the binary decide"
+    else if starts_with "Obj." name then
+      emit ~rule:"obj-magic" ~loc ~message:(name ^ " is unsafe")
+    else if name = "Sys.readdir" && not (in_sorted loc) then
+      emit ~rule:"readdir-unsorted" ~loc
+        ~message:
+          "Sys.readdir order is filesystem-dependent; sort the result \
+           before use"
+    else if starts_with "Marshal." name then
+      emit ~rule:"marshal" ~loc
+        ~message:
+          (name ^ " output is not stable; prefer a textual format")
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.Parsetree.pexp_desc with
+          | Pexp_ident { txt; loc } -> check_ident loc (flatten_lid txt)
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.structure it str;
+  List.rev !out
+
+(* --- entry points --------------------------------------------------- *)
+
+let classify ~path ~sup (f : finding) =
+  let vet =
+    List.find_opt
+      (fun v ->
+        v.v_rule = f.rule
+        && Filename.check_suffix (norm_path path) v.path_suffix
+        && starts_with v.ident_prefix
+             (* the ident is embedded at the front of the message *)
+             f.message)
+      vetted
+  in
+  if suppressed sup ~rule:f.rule ~line:f.line then (Suppressed, f)
+  else match vet with Some _ -> (Vetted, f) | None -> (Active, f)
+
+let lint_source ~path src =
+  let sup = scan_suppressions src in
+  match
+    let lexbuf = Lexing.from_string src in
+    Location.init lexbuf path;
+    Parse.implementation lexbuf
+  with
+  | exception e ->
+    let msg =
+      match e with
+      | Syntaxerr.Error _ -> "syntax error"
+      | e -> Printexc.to_string e
+    in
+    { findings = []; parse_error = Some msg }
+  | str ->
+    let sorted_spans = collect_sorted_spans str in
+    let raw = collect_findings ~path ~sorted_spans str in
+    { findings = List.map (classify ~path ~sup) raw; parse_error = None }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lint_file path = lint_source ~path (read_file path)
+
+let rec ml_files_under paths =
+  List.concat_map
+    (fun p ->
+      if Sys.is_directory p then begin
+        (* vm1lint: allow-next readdir-unsorted *)
+        let entries = Sys.readdir p in
+        Array.sort String.compare entries;
+        let keep e =
+          String.length e > 0 && e.[0] <> '.' && e.[0] <> '_'
+        in
+        Array.to_list entries
+        |> List.filter keep
+        |> List.map (Filename.concat p)
+        |> List.filter (fun q ->
+               Sys.is_directory q || Filename.check_suffix q ".ml")
+        |> ml_files_under
+      end
+      else [ p ])
+    paths
+
+type run = {
+  files_scanned : int;
+  reports : (string * report) list;
+}
+
+let run_paths paths =
+  let files = ml_files_under paths in
+  {
+    files_scanned = List.length files;
+    reports = List.map (fun f -> (f, lint_file f)) files;
+  }
+
+let count run verdict =
+  List.fold_left
+    (fun acc (_, r) ->
+      acc
+      + List.length (List.filter (fun (v, _) -> v = verdict) r.findings))
+    0 run.reports
+
+let parse_errors run =
+  List.filter (fun (_, r) -> r.parse_error <> None) run.reports
+
+let active run = count run Active + List.length (parse_errors run)
+
+let finding_json (f : finding) =
+  Obs.Json.Obj
+    [
+      ("rule", Obs.Json.Str f.rule);
+      ("file", Obs.Json.Str (norm_path f.file));
+      ("line", Obs.Json.Int f.line);
+      ("col", Obs.Json.Int f.col);
+      ("message", Obs.Json.Str f.message);
+    ]
+
+let to_json run =
+  let by_verdict v =
+    Obs.Json.List
+      (List.concat_map
+         (fun (_, r) ->
+           List.filter_map
+             (fun (v', f) -> if v' = v then Some (finding_json f) else None)
+             r.findings)
+         run.reports)
+  in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "vm1dp-lint/1");
+      ("files_scanned", Obs.Json.Int run.files_scanned);
+      ("active", Obs.Json.Int (active run));
+      ("findings", by_verdict Active);
+      ("suppressed", by_verdict Suppressed);
+      ("vetted", by_verdict Vetted);
+      ( "parse_errors",
+        Obs.Json.List
+          (List.map
+             (fun (p, r) ->
+               Obs.Json.Obj
+                 [
+                   ("file", Obs.Json.Str (norm_path p));
+                   ( "message",
+                     Obs.Json.Str (Option.value ~default:"" r.parse_error) );
+                 ])
+             (parse_errors run)) );
+      ( "rules",
+        Obs.Json.List
+          (List.map
+             (fun r ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.Str r.name);
+                   ("summary", Obs.Json.Str r.summary);
+                 ])
+             rules) );
+    ]
+
+let pp_human ppf run =
+  List.iter
+    (fun (path, r) ->
+      (match r.parse_error with
+      | Some msg -> Format.fprintf ppf "%s: cannot parse: %s@." path msg
+      | None -> ());
+      List.iter
+        (fun (v, f) ->
+          let tag =
+            match v with
+            | Active -> ""
+            | Suppressed -> " (suppressed)"
+            | Vetted -> " (vetted)"
+          in
+          Format.fprintf ppf "%s:%d:%d: [%s]%s %s@." f.file f.line f.col
+            f.rule tag f.message)
+        r.findings)
+    run.reports;
+  Format.fprintf ppf
+    "vm1lint: %d files, %d active, %d suppressed, %d vetted, %d parse \
+     errors@."
+    run.files_scanned (count run Active) (count run Suppressed)
+    (count run Vetted)
+    (List.length (parse_errors run))

@@ -1,0 +1,101 @@
+(** [vm1lint]: a compiler-libs linter over this repository's own OCaml
+    sources, enforcing the determinism and parallel-safety contract that
+    keeps the flow byte-identical across [--jobs] (see ARCHITECTURE.md,
+    "Invariants and how they are enforced").
+
+    The linter is purely syntactic — it parses each [.ml] file with
+    [compiler-libs] and pattern-matches the Parsetree; it never
+    typechecks. Rules are therefore written to be conservative about
+    idioms the repo has blessed (e.g. a [Hashtbl.fold] whose result is
+    immediately piped into [List.sort] is the sanctioned collect-then-sort
+    pattern and is not flagged).
+
+    Suppression comments:
+    - [(* vm1lint: allow RULE ... *)] anywhere in a file suppresses RULE
+      for the whole file;
+    - [(* vm1lint: allow-line RULE ... *)] suppresses RULE on the
+      comment's own line;
+    - [(* vm1lint: allow-next RULE ... *)] suppresses RULE on the line
+      after the comment.
+    Several rule names may be listed in one comment. Suppressed findings
+    are still reported (as suppressed) so reviews can audit them.
+
+    A small vetted allowlist ({!vetted}) records call sites that are
+    deliberate, load-bearing exceptions (e.g. the shard-shared overflow
+    cell in [lib/route/grid.ml]); vetted findings are reported separately
+    and do not fail the lint, and unlike suppression comments they carry
+    a central justification that [vm1lint --rules] prints. *)
+
+type rule = {
+  name : string;      (** kebab-case rule id, used in suppressions *)
+  summary : string;   (** one-line description of the invariant *)
+}
+
+(** The rules, in reporting order. *)
+val rules : rule list
+
+type finding = {
+  rule : string;
+  file : string;  (** path as given to {!lint_file} *)
+  line : int;     (** 1-based *)
+  col : int;      (** 0-based, matching compiler conventions *)
+  message : string;
+}
+
+type verdict =
+  | Active      (** counts against the lint *)
+  | Suppressed  (** silenced by a [vm1lint: allow*] comment *)
+  | Vetted      (** on the central allowlist *)
+
+type report = {
+  findings : (verdict * finding) list;  (** in source order *)
+  parse_error : string option;
+      (** a file that does not parse is itself a finding *)
+}
+
+(** One vetted-allowlist entry: [rule] findings in files whose path ends
+    with [path_suffix], on identifiers starting with [ident_prefix], are
+    downgraded to {!Vetted}. *)
+type vetted_site = {
+  v_rule : string;
+  path_suffix : string;
+  ident_prefix : string;
+  justification : string;
+}
+
+val vetted : vetted_site list
+
+(** [lint_source ~path src] lints the source text [src]; [path] is used
+    for reporting and for the path-scoped rules (a path containing
+    [lib/exec/] or [lib/obs/] may use domain primitives, a path under
+    [lib/] may not call [exit], ...). *)
+val lint_source : path:string -> string -> report
+
+(** [lint_file path] reads and lints one file. *)
+val lint_file : string -> report
+
+(** [ml_files_under paths] expands each path: a directory becomes all
+    [.ml] files under it (recursively, sorted, [_build] and dot-dirs
+    skipped); a file is kept as-is. *)
+val ml_files_under : string list -> string list
+
+(** Aggregate of a whole run, for the CLI and the tests. *)
+type run = {
+  files_scanned : int;
+  reports : (string * report) list;  (** per file, in scan order *)
+}
+
+val run_paths : string list -> run
+
+(** [active run] is the number of active (unsuppressed, unvetted)
+    findings plus parse errors — the count that must be zero for
+    [@lint] to pass. *)
+val active : run -> int
+
+(** [to_json run] is the machine-readable report, schema
+    [vm1dp-lint/1] (documented in README, "Static analysis"). *)
+val to_json : run -> Obs.Json.t
+
+(** [pp_human ppf run] renders the human report: one line per finding,
+    then a summary. *)
+val pp_human : Format.formatter -> run -> unit

@@ -62,6 +62,40 @@ let eval e values =
     (fun acc (x, c) -> acc +. (c *. values.(x)))
     e.constant e.terms
 
+let check m ?(tol = 1e-6) values =
+  let problems = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if Array.length values <> m.nvars then
+    say "assignment has %d values for %d variables" (Array.length values)
+      m.nvars
+  else begin
+    let infos = Array.of_list (List.rev m.vars) in
+    Array.iteri
+      (fun x info ->
+        let value = values.(x) in
+        if value < info.lb -. tol then
+          say "var %s = %g below lower bound %g" info.name value info.lb;
+        (match info.ub with
+        | Some u when value > u +. tol ->
+          say "var %s = %g above upper bound %g" info.name value u
+        | _ -> ());
+        if info.binary_ && abs_float (value -. Float.round value) > tol then
+          say "binary var %s = %g is not integral" info.name value)
+      infos;
+    List.iteri
+      (fun i c ->
+        let gap, rel =
+          match c with
+          | Cle (a, b) -> (eval a values -. eval b values, "<=")
+          | Cge (a, b) -> (eval b values -. eval a values, ">=")
+          | Ceq (a, b) -> (abs_float (eval a values -. eval b values), "=")
+        in
+        if gap > tol then
+          say "constraint #%d (%s) violated by %g" i rel gap)
+      (List.rev m.constrs)
+  end;
+  List.rev !problems
+
 let binaries m =
   let acc = ref [] in
   for x = m.nvars - 1 downto 0 do

@@ -58,6 +58,12 @@ val eval : expr -> float array -> float
 
 val binaries : t -> var list
 
+(** [check m ?tol values] re-verifies an assignment against every variable
+    bound, integrality marker and constraint in the model, independently of
+    the solver; returns a human-readable description of each violation
+    (empty = feasible within [tol], default [1e-6]). *)
+val check : t -> ?tol:float -> float array -> string list
+
 (** [recover m lp_values] maps a solution of [to_lp m] back to the
     original (unshifted) variable space. *)
 val recover : t -> float array -> float array

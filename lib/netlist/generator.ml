@@ -91,14 +91,6 @@ let generate (lib : Pdk.Libgen.t) config ~name =
         Array.make (List.length m.pins) (-1))
       masters
   in
-  let pin_index_of m pin =
-    let rec go k = function
-      | [] -> assert false
-      | (p : Pdk.Stdcell.pin) :: rest ->
-        if p == pin then k else go (k + 1) rest
-    in
-    go 0 m.Pdk.Stdcell.pins
-  in
   let choose_driver_net i =
     if Random.State.float rng 1.0 < config.pi_fraction || i = 0 then begin
       (* each primary input feeds a contiguous band of the design (an
@@ -129,9 +121,8 @@ let generate (lib : Pdk.Libgen.t) config ~name =
   in
   Array.iteri
     (fun i (m : Pdk.Stdcell.t) ->
-      List.iter
-        (fun (p : Pdk.Stdcell.pin) ->
-          let k = pin_index_of m p in
+      List.iteri
+        (fun k (p : Pdk.Stdcell.pin) ->
           match p.dir with
           | Pdk.Stdcell.Output ->
             pin_nets.(i).(k) <- out_net.(i)

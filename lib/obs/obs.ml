@@ -230,20 +230,22 @@ let snapshot () =
       roots
   in
   Mutex.lock reg_mu;
-  let cs = ref [] and gs = ref [] and hs = ref [] in
-  Hashtbl.iter
-    (fun name m ->
-      match m with
-      | C c -> cs := (name, Counter.value c) :: !cs
-      | G g -> gs := (name, Gauge.value g) :: !gs
-      | H h -> hs := (name, Histogram.snap h) :: !hs)
-    registry;
+  let metrics =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+    |> List.sort by_name
+  in
   Mutex.unlock reg_mu;
+  let pick f = List.filter_map (fun (name, m) -> f name m) metrics in
   {
     spans;
-    counters = List.sort by_name !cs;
-    gauges = List.sort by_name !gs;
-    histograms = List.sort by_name !hs;
+    counters =
+      pick (fun n m ->
+          match m with C c -> Some (n, Counter.value c) | _ -> None);
+    gauges =
+      pick (fun n m -> match m with G g -> Some (n, Gauge.value g) | _ -> None);
+    histograms =
+      pick (fun n m ->
+          match m with H h -> Some (n, Histogram.snap h) | _ -> None);
   }
 
 let reset () =
@@ -251,13 +253,13 @@ let reset () =
   completed := [];
   Mutex.unlock completed_mu;
   Mutex.lock reg_mu;
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | C c -> Counter.reset c
-      | G g -> Gauge.reset g
-      | H h -> Histogram.reset h)
-    registry;
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  |> List.sort by_name
+  |> List.iter (fun (_, m) ->
+         match m with
+         | C c -> Counter.reset c
+         | G g -> Gauge.reset g
+         | H h -> Histogram.reset h);
   Mutex.unlock reg_mu
 
 type span_agg = {
@@ -278,8 +280,8 @@ let aggregate_spans roots =
         {
           calls = a.calls + 1;
           total_ns = Int64.add a.total_ns d;
-          min_ns = min a.min_ns d;
-          max_ns = max a.max_ns d;
+          min_ns = Int64.min a.min_ns d;
+          max_ns = Int64.max a.max_ns d;
         }
     in
     Hashtbl.replace tbl s.name agg;
@@ -343,3 +345,66 @@ let write_trace path =
     (fun () ->
       output_string oc (Json.to_string (trace_json (snapshot ())));
       output_char oc '\n')
+
+(* --- write-scope monitor -------------------------------------------- *)
+
+module Scopemon = struct
+  type violation = {
+    domain_id : int;
+    value : int;
+    label : string;
+  }
+
+  let armed = Atomic.make false
+  let mu = Mutex.create ()
+  let captured : violation list ref = ref []
+
+  type scope = {
+    pred : (int -> bool) option;
+    label : string;
+  }
+
+  let scope_key : scope Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> { pred = None; label = "" })
+
+  let arm () =
+    Mutex.lock mu;
+    captured := [];
+    Mutex.unlock mu;
+    Atomic.set armed true
+
+  let disarm () =
+    Atomic.set armed false;
+    Domain.DLS.set scope_key { pred = None; label = "" }
+
+  let set_scope ?(label = "") pred =
+    Domain.DLS.set scope_key { pred; label }
+
+  let clear_scope () = Domain.DLS.set scope_key { pred = None; label = "" }
+
+  let record value =
+    if Atomic.get armed then begin
+      let s = Domain.DLS.get scope_key in
+      match s.pred with
+      | None -> ()
+      | Some ok ->
+        if not (ok value) then begin
+          let v =
+            {
+              domain_id = (Domain.self () :> int);
+              value;
+              label = s.label;
+            }
+          in
+          Mutex.lock mu;
+          captured := v :: !captured;
+          Mutex.unlock mu
+        end
+    end
+
+  let violations () =
+    Mutex.lock mu;
+    let v = List.rev !captured in
+    Mutex.unlock mu;
+    v
+end

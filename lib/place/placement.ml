@@ -110,20 +110,21 @@ let overlap_count t =
     Hashtbl.replace by_row r (i :: prev)
   done;
   let count = ref 0 in
-  Hashtbl.iter
-    (fun _ cells ->
-      let sorted =
-        List.sort (fun a b -> Int.compare t.xs.(a) t.xs.(b)) cells
-      in
-      let rec sweep = function
-        | a :: (b :: _ as rest) ->
-          let ra = instance_rect t a in
-          if t.xs.(b) < ra.Geom.Rect.hx then incr count;
-          sweep rest
-        | [ _ ] | [] -> ()
-      in
-      sweep sorted)
-    by_row;
+  Hashtbl.fold (fun r _ acc -> r :: acc) by_row []
+  |> List.sort Int.compare
+  |> List.iter (fun r ->
+         let cells = Hashtbl.find by_row r in
+         let sorted =
+           List.sort (fun a b -> Int.compare t.xs.(a) t.xs.(b)) cells
+         in
+         let rec sweep = function
+           | a :: (b :: _ as rest) ->
+             let ra = instance_rect t a in
+             if t.xs.(b) < ra.Geom.Rect.hx then incr count;
+             sweep rest
+           | [ _ ] | [] -> ()
+         in
+         sweep sorted);
   !count
 
 let utilization t =

@@ -52,6 +52,20 @@ let cell_cost_table (p : Placement.t) row_cells i =
   done;
   cost
 
+(* summed HPWL of the nets touching [cells]; nets are visited in sorted id
+   order so the sum is independent of hash-table layout *)
+let cells_hpwl (p : Placement.t) cells =
+  let nets = Hashtbl.create 64 in
+  Array.iter
+    (fun i ->
+      List.iter
+        (fun nid -> Hashtbl.replace nets nid ())
+        (Netlist.Design.nets_of_instance p.design i))
+    cells;
+  Hashtbl.fold (fun nid () acc -> nid :: acc) nets []
+  |> List.sort Int.compare
+  |> List.fold_left (fun acc nid -> acc + Hpwl.net p nid) 0
+
 let optimize_row (p : Placement.t) ~row =
   let cells =
     let acc = ref [] in
@@ -71,17 +85,7 @@ let optimize_row (p : Placement.t) ~row =
           p.design.Netlist.Design.instances.(i).master.Pdk.Stdcell.width_sites)
         cells
     in
-    let before =
-      (* HPWL of nets touching the row's cells *)
-      let nets = Hashtbl.create 64 in
-      Array.iter
-        (fun i ->
-          List.iter
-            (fun nid -> Hashtbl.replace nets nid ())
-            (Netlist.Design.nets_of_instance p.design i))
-        cells;
-      Hashtbl.fold (fun nid () acc -> acc + Hpwl.net p nid) nets 0
-    in
+    let before = cells_hpwl p cells in
     let costs = Array.map (fun i -> cell_cost_table p cells i) cells in
     (* DP: f.(j).(s) = best cost of placing cells 0..j with cell j at site
        s; g is the running prefix minimum of the previous round *)
@@ -134,16 +138,7 @@ let optimize_row (p : Placement.t) ~row =
         (fun j i ->
           Placement.move p i ~site:sites.(j) ~row ~orient:p.orients.(i))
         cells;
-      let after =
-        let nets = Hashtbl.create 64 in
-        Array.iter
-          (fun i ->
-            List.iter
-              (fun nid -> Hashtbl.replace nets nid ())
-              (Netlist.Design.nets_of_instance p.design i))
-          cells;
-        Hashtbl.fold (fun nid () acc -> acc + Hpwl.net p nid) nets 0
-      in
+      let after = cells_hpwl p cells in
       before - after
     end
   end

@@ -346,6 +346,7 @@ let remove_one net l =
   go [] l
 
 let commit_wire g ~net n =
+  Obs.Scopemon.record n;
   let u = g.wire_usage.(n) + 1 in
   g.wire_usage.(n) <- u;
   let others = g.wire_users.(n) in
@@ -358,6 +359,7 @@ let commit_wire g ~net n =
   else if u > 2 then g.net_over.(net) <- g.net_over.(net) + 1
 
 let uncommit_wire g ~net n =
+  Obs.Scopemon.record n;
   let u = g.wire_usage.(n) in
   g.wire_usage.(n) <- u - 1;
   g.wire_users.(n) <- remove_one net g.wire_users.(n);
@@ -369,6 +371,7 @@ let uncommit_wire g ~net n =
   else if u > 2 then g.net_over.(net) <- g.net_over.(net) - 1
 
 let commit_via g ~net n =
+  Obs.Scopemon.record n;
   let u = g.via_usage.(n) + 1 in
   g.via_usage.(n) <- u;
   let others = g.via_users.(n) in
@@ -381,6 +384,7 @@ let commit_via g ~net n =
   else if u > 2 then g.net_over.(net) <- g.net_over.(net) + 1
 
 let uncommit_via g ~net n =
+  Obs.Scopemon.record n;
   let u = g.via_usage.(n) in
   g.via_usage.(n) <- u - 1;
   g.via_users.(n) <- remove_one net g.via_users.(n);

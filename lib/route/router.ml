@@ -584,12 +584,25 @@ let route ?(config = default_config) (p : Place.Placement.t) =
                         ty * t,
                         min (g.Grid.ny - 1) (((ty + 1) * t) - 1) )
                     in
+                    (* declare this worker's legal write region to the
+                       scope monitor: every usage-cell write during a
+                       clamped search must decode to a track inside the
+                       tile (checked only while the monitor is armed) *)
+                    let ci0, ci1, cj0, cj1 = clamp in
+                    Obs.Scopemon.set_scope
+                      ~label:(Printf.sprintf "tile(%d,%d)" tx ty)
+                      (Some
+                         (fun n ->
+                           let i = Grid.i_of_node g n
+                           and j = Grid.j_of_node g n in
+                           ci0 <= i && i <= ci1 && cj0 <= j && j <= cj1));
                     Array.iter
                       (fun k ->
                         if not (route_net_clamped ~clamp tctx routes.(k)) then
                           dropped := k :: !dropped)
                       nets)
                   tiles;
+                Obs.Scopemon.clear_scope ();
                 Obs.Counter.add c_bq_pushes (Bqueue.pushes tctx.bq);
                 List.rev !dropped)
               groups

@@ -198,12 +198,21 @@ let build (t : Wproblem.t) =
     (Milp.Model.add (Milp.Model.sum !hpwl_terms) (Milp.Model.sum !gain_terms));
   { model = m; lambda }
 
+let verify = ref false
+
+exception Verify_failed of string list
+
 let solve ?node_limit (t : Wproblem.t) =
   let { model; lambda } = build t in
   let sol = Milp.Bnb.solve ?node_limit model in
   (match sol.Milp.Bnb.status with
   | Milp.Bnb.Infeasible -> ()
   | Milp.Bnb.Optimal | Milp.Bnb.Node_limit ->
+    if !verify then begin
+      match Milp.Model.check model sol.Milp.Bnb.values with
+      | [] -> ()
+      | problems -> raise (Verify_failed problems)
+    end;
     Array.iteri
       (fun c lams ->
         Array.iteri

@@ -21,6 +21,14 @@ type built = {
 
 val build : Wproblem.t -> built
 
+(** When set, every {!solve} re-verifies the branch-and-bound assignment
+    against the full constraint system with [Milp.Model.check] before
+    installing it, raising {!Verify_failed} on any violation. Enabled by
+    [vm1opt --check] and the [Check] test oracles. *)
+val verify : bool ref
+
+exception Verify_failed of string list
+
 (** [solve ?node_limit t] builds and solves the MILP, then installs the
     chosen candidates into the window problem (call [Wproblem.commit] to
     write back). Returns the branch-and-bound solution. *)

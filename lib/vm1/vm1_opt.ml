@@ -32,7 +32,7 @@ type report = {
 let run ?(config = default_config) (params : Params.t)
     (p : Place.Placement.t) =
   Obs.with_span "vm1opt.run" (fun () ->
-  let t_start = Sys.time () in
+  let t_start = Obs.now_ns () in
   let tech = p.tech in
   let sw = tech.Pdk.Tech.site_width and rh = tech.Pdk.Tech.row_height in
   let initial_objective = Objective.value params p in
@@ -115,5 +115,6 @@ let run ?(config = default_config) (params : Params.t)
     initial_objective;
     final_objective;
     iterations = List.rev !iterations;
-    runtime_s = Sys.time () -. t_start;
+    runtime_s =
+      Int64.to_float (Int64.sub (Obs.now_ns ()) t_start) /. 1e9;
   })

@@ -413,6 +413,9 @@ let commit t =
 
 let apply_plan t plan = List.iter (fun (cell, cand) -> apply t ~cell ~cand) plan
 
+(* The affected nets/pairs come back as sorted id lists: the evaluation
+   below sums floats, so visiting them in hash order would make the total
+   depend on table layout. *)
 let plan_affected t plan =
   let nets = Hashtbl.create 16 and pairs = Hashtbl.create 16 in
   List.iter
@@ -420,7 +423,10 @@ let plan_affected t plan =
       List.iter (fun n -> Hashtbl.replace nets n ()) t.cell_nets.(cell);
       List.iter (fun pi -> Hashtbl.replace pairs pi ()) t.cell_pairs.(cell))
     plan;
-  (nets, pairs)
+  let keys tbl =
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort Int.compare
+  in
+  (keys nets, keys pairs)
 
 let eval_affected t nets pairs cells_involved =
   let beta = t.params.Params.beta in
@@ -430,17 +436,16 @@ let eval_affected t nets pairs cells_involved =
       let c = t.cells.(cell) in
       acc := !acc +. c.cand_cost.(c.cur))
     cells_involved;
-  Hashtbl.iter
-    (fun n () ->
+  List.iter
+    (fun n ->
       let wnet = t.nets.(n) in
       acc :=
         !acc
         +. (beta *. wnet.weight
             *. float_of_int (net_hpwl_with t ~cell:(-1) ~cand:0 wnet)))
     nets;
-  Hashtbl.iter
-    (fun pi () ->
-      acc := !acc -. pair_gain_with t ~cell:(-1) ~cand:0 t.pairs.(pi))
+  List.iter
+    (fun pi -> acc := !acc -. pair_gain_with t ~cell:(-1) ~cand:0 t.pairs.(pi))
     pairs;
   !acc
 

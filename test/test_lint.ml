@@ -1,0 +1,314 @@
+(* Fixture tests for the vm1lint rules: each rule must fire on a seeded
+   violation (via [Lint.lint_source] on inline sources, so no fixture .ml
+   files confuse the build) and stay silent on the sanctioned idiom.
+   Also covers suppression comments, the vetted allowlist, path scoping,
+   parse errors and the JSON report shape. *)
+
+let lint ?(path = "lib/place/fixture.ml") src = Lint.lint_source ~path src
+
+let rules_of ?path verdict src =
+  (lint ?path src).Lint.findings
+  |> List.filter_map (fun (v, (f : Lint.finding)) ->
+         if v = verdict then Some f.rule else None)
+
+let active_rules ?path src = rules_of ?path Lint.Active src
+
+let check_fires rule src () =
+  Alcotest.(check (list string)) ("fires: " ^ rule) [ rule ]
+    (active_rules src)
+
+let check_silent src () =
+  Alcotest.(check (list string)) "no findings" [] (active_rules src)
+
+(* --- hashtbl-order --- *)
+
+let test_hashtbl_iter =
+  check_fires "hashtbl-order"
+    "let f tbl = Hashtbl.iter (fun k _ -> print_int k) tbl"
+
+let test_hashtbl_fold_unsorted =
+  check_fires "hashtbl-order"
+    "let f tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []"
+
+let test_hashtbl_fold_sorted_pipe =
+  check_silent
+    "let f tbl =\n\
+    \  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare"
+
+let test_hashtbl_fold_sorted_arg =
+  check_silent
+    "let f tbl =\n\
+    \  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])"
+
+let test_hashtbl_to_seq =
+  check_fires "hashtbl-order" "let f tbl = Hashtbl.to_seq tbl"
+
+(* --- poly-compare --- *)
+
+let test_poly_compare = check_fires "poly-compare" "let f a b = compare a b"
+
+let test_poly_compare_qualified =
+  check_fires "poly-compare" "let f a b = Stdlib.compare a b"
+
+let test_poly_hash = check_fires "poly-compare" "let f x = Hashtbl.hash x"
+
+let test_typed_compare_ok =
+  check_silent "let f a b = Int.compare a b\nlet g a b = String.compare a b"
+
+(* --- phys-eq --- *)
+
+let test_phys_eq = check_fires "phys-eq" "let f a b = a == b"
+let test_phys_neq = check_fires "phys-eq" "let f a b = a != b"
+
+let test_phys_eq_exec_exempt () =
+  Alcotest.(check (list string)) "lib/exec may use ==" []
+    (active_rules ~path:"lib/exec/exec.ml" "let f a b = a == b")
+
+(* --- domain-prims --- *)
+
+let test_domain_outside =
+  check_fires "domain-prims" "let d = Domain.spawn (fun () -> 1)"
+
+let test_mutex_outside =
+  check_fires "domain-prims" "let m = Mutex.create ()"
+
+let test_atomic_outside =
+  check_fires "domain-prims" "let a = Atomic.make 0"
+
+let test_domain_in_exec () =
+  Alcotest.(check (list string)) "lib/exec may use Domain" []
+    (active_rules ~path:"lib/exec/pool.ml" "let d = Domain.spawn (fun () -> 1)")
+
+let test_atomic_vetted () =
+  Alcotest.(check (list string)) "grid.ml Atomic is vetted, not active" []
+    (active_rules ~path:"lib/route/grid.ml" "let a = Atomic.make 0");
+  Alcotest.(check (list string)) "but reported as vetted" [ "domain-prims" ]
+    (rules_of ~path:"lib/route/grid.ml" Lint.Vetted "let a = Atomic.make 0")
+
+(* --- global-random --- *)
+
+let test_global_random = check_fires "global-random" "let x = Random.int 5"
+
+let test_self_init =
+  check_fires "global-random" "let st = Random.State.make_self_init ()"
+
+let test_seeded_random_ok =
+  check_silent "let f st = Random.State.int st 5"
+
+(* --- wall-clock --- *)
+
+let test_wall_clock =
+  check_fires "wall-clock" "let t = Sys.time ()"
+
+let test_wall_clock_report_exempt () =
+  Alcotest.(check (list string)) "lib/report may read the clock" []
+    (active_rules ~path:"lib/report/flow.ml" "let t = Sys.time ()");
+  Alcotest.(check (list string)) "binaries may read the clock" []
+    (active_rules ~path:"bin/bench.ml" "let t = Sys.time ()")
+
+(* --- exit-in-lib --- *)
+
+let test_exit_in_lib = check_fires "exit-in-lib" "let f () = exit 1"
+
+let test_exit_in_bin () =
+  Alcotest.(check (list string)) "binaries may exit" []
+    (active_rules ~path:"bin/vm1opt.ml" "let f () = exit 1")
+
+(* --- obj-magic --- *)
+
+let test_obj_magic = check_fires "obj-magic" "let f x = Obj.magic x"
+
+(* --- readdir-unsorted --- *)
+
+let test_readdir = check_fires "readdir-unsorted" "let l = Sys.readdir \".\""
+
+let test_readdir_sorted_ok =
+  check_silent
+    "let l = List.sort String.compare (Array.to_list (Sys.readdir \".\"))"
+
+(* --- marshal --- *)
+
+let test_marshal =
+  check_fires "marshal" "let s = Marshal.to_string [ 1; 2 ] []"
+
+(* --- suppressions --- *)
+
+let test_suppress_file () =
+  let src = "(* vm1lint: allow poly-compare *)\nlet f a b = compare a b" in
+  Alcotest.(check (list string)) "no active" [] (active_rules src);
+  Alcotest.(check (list string)) "reported as suppressed" [ "poly-compare" ]
+    (rules_of Lint.Suppressed src)
+
+let test_suppress_next_line () =
+  let src =
+    "(* vm1lint: allow-next poly-compare *)\nlet f a b = compare a b"
+  in
+  Alcotest.(check (list string)) "no active" [] (active_rules src)
+
+let test_suppress_wrong_line () =
+  let src =
+    "(* vm1lint: allow-next poly-compare *)\nlet g = 1\nlet f a b = compare a b"
+  in
+  Alcotest.(check (list string)) "suppression does not leak" [ "poly-compare" ]
+    (active_rules src)
+
+let test_suppress_other_rule () =
+  let src = "(* vm1lint: allow marshal *)\nlet f a b = compare a b" in
+  Alcotest.(check (list string)) "wrong rule still active" [ "poly-compare" ]
+    (active_rules src)
+
+(* --- parse errors and aggregation --- *)
+
+let test_parse_error () =
+  let r = lint "let let = in" in
+  Alcotest.(check bool) "parse error recorded" true (r.Lint.parse_error <> None)
+
+let test_active_counts_parse_errors () =
+  let run =
+    {
+      Lint.files_scanned = 1;
+      reports = [ ("broken.ml", lint "let let = in") ];
+    }
+  in
+  Alcotest.(check int) "parse error counts as active" 1 (Lint.active run)
+
+let test_rule_count () =
+  Alcotest.(check bool) "at least 8 rules" true (List.length Lint.rules >= 8)
+
+let test_json_shape () =
+  let run =
+    { Lint.files_scanned = 1; reports = [ ("f.ml", lint "let x = compare") ] }
+  in
+  let j = Lint.to_json run in
+  Alcotest.(check string) "schema" "vm1dp-lint/1"
+    (match Obs.Json.member "schema" j with
+    | Some (Obs.Json.Str s) -> s
+    | _ -> "missing");
+  match Obs.Json.parse (Obs.Json.to_string j) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("report JSON does not round-trip: " ^ e)
+
+(* --- the repository itself lints clean --- *)
+
+let test_repo_clean () =
+  let paths =
+    List.filter Sys.file_exists [ "../lib"; "../bin"; "../bench" ]
+  in
+  if paths = [] then ()
+  else begin
+    let run = Lint.run_paths paths in
+    let active_findings =
+      List.concat_map
+        (fun (_, (r : Lint.report)) ->
+          List.filter_map
+            (fun (v, (f : Lint.finding)) ->
+              if v = Lint.Active then
+                Some (Printf.sprintf "%s:%d [%s]" f.file f.line f.rule)
+              else None)
+            r.findings)
+        run.Lint.reports
+    in
+    Alcotest.(check (list string)) "zero active findings" [] active_findings
+  end
+
+let test_no_suppressions_in_core () =
+  let paths = List.filter Sys.file_exists [ "../lib/vm1"; "../lib/route" ] in
+  let run = Lint.run_paths paths in
+  let suppressed =
+    List.concat_map
+      (fun (path, (r : Lint.report)) ->
+        List.filter_map
+          (fun (v, _) -> if v = Lint.Suppressed then Some path else None)
+          r.findings)
+      run.Lint.reports
+  in
+  Alcotest.(check (list string)) "lib/vm1 and lib/route suppression-free" []
+    suppressed
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "hashtbl-order",
+        [
+          Alcotest.test_case "iter fires" `Quick test_hashtbl_iter;
+          Alcotest.test_case "unsorted fold fires" `Quick
+            test_hashtbl_fold_unsorted;
+          Alcotest.test_case "fold |> sort is sanctioned" `Quick
+            test_hashtbl_fold_sorted_pipe;
+          Alcotest.test_case "sort (fold ...) is sanctioned" `Quick
+            test_hashtbl_fold_sorted_arg;
+          Alcotest.test_case "to_seq fires" `Quick test_hashtbl_to_seq;
+        ] );
+      ( "poly-compare",
+        [
+          Alcotest.test_case "bare compare fires" `Quick test_poly_compare;
+          Alcotest.test_case "Stdlib.compare fires" `Quick
+            test_poly_compare_qualified;
+          Alcotest.test_case "Hashtbl.hash fires" `Quick test_poly_hash;
+          Alcotest.test_case "typed comparators pass" `Quick
+            test_typed_compare_ok;
+        ] );
+      ( "phys-eq",
+        [
+          Alcotest.test_case "== fires" `Quick test_phys_eq;
+          Alcotest.test_case "!= fires" `Quick test_phys_neq;
+          Alcotest.test_case "lib/exec exempt" `Quick test_phys_eq_exec_exempt;
+        ] );
+      ( "domain-prims",
+        [
+          Alcotest.test_case "Domain.spawn fires" `Quick test_domain_outside;
+          Alcotest.test_case "Mutex fires" `Quick test_mutex_outside;
+          Alcotest.test_case "Atomic fires" `Quick test_atomic_outside;
+          Alcotest.test_case "lib/exec exempt" `Quick test_domain_in_exec;
+          Alcotest.test_case "grid.ml Atomic vetted" `Quick test_atomic_vetted;
+        ] );
+      ( "global-random",
+        [
+          Alcotest.test_case "Random.int fires" `Quick test_global_random;
+          Alcotest.test_case "make_self_init fires" `Quick test_self_init;
+          Alcotest.test_case "seeded state passes" `Quick
+            test_seeded_random_ok;
+        ] );
+      ( "wall-clock",
+        [
+          Alcotest.test_case "Sys.time fires in pure lib" `Quick
+            test_wall_clock;
+          Alcotest.test_case "report/bin exempt" `Quick
+            test_wall_clock_report_exempt;
+        ] );
+      ( "exit-in-lib",
+        [
+          Alcotest.test_case "exit fires in lib" `Quick test_exit_in_lib;
+          Alcotest.test_case "bin exempt" `Quick test_exit_in_bin;
+        ] );
+      ("obj-magic", [ Alcotest.test_case "fires" `Quick test_obj_magic ]);
+      ( "readdir-unsorted",
+        [
+          Alcotest.test_case "fires" `Quick test_readdir;
+          Alcotest.test_case "sorted is sanctioned" `Quick
+            test_readdir_sorted_ok;
+        ] );
+      ("marshal", [ Alcotest.test_case "fires" `Quick test_marshal ]);
+      ( "suppressions",
+        [
+          Alcotest.test_case "file-wide allow" `Quick test_suppress_file;
+          Alcotest.test_case "allow-next" `Quick test_suppress_next_line;
+          Alcotest.test_case "allow-next does not leak" `Quick
+            test_suppress_wrong_line;
+          Alcotest.test_case "rule-scoped" `Quick test_suppress_other_rule;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "parse error surfaces" `Quick test_parse_error;
+          Alcotest.test_case "parse error is active" `Quick
+            test_active_counts_parse_errors;
+          Alcotest.test_case ">= 8 rules" `Quick test_rule_count;
+          Alcotest.test_case "json schema" `Quick test_json_shape;
+        ] );
+      ( "repo",
+        [
+          Alcotest.test_case "repo lints clean" `Quick test_repo_clean;
+          Alcotest.test_case "core libs suppression-free" `Quick
+            test_no_suppressions_in_core;
+        ] );
+    ]
