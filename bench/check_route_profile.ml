@@ -46,8 +46,9 @@ let () =
   in
   let base = read_json base_path and cur = read_json cur_path in
   (match (Obs.Json.member "schema" base, Obs.Json.member "schema" cur) with
-  | Some (Obs.Json.Str "vm1dp-route-profile/1"),
-    Some (Obs.Json.Str "vm1dp-route-profile/1") -> ()
+  | Some (Obs.Json.Str b), Some (Obs.Json.Str c)
+    when String.equal b Obs.Schemas.route_profile
+         && String.equal c Obs.Schemas.route_profile -> ()
   | _ ->
     prerr_endline "check_route_profile: schema mismatch";
     exit 2);

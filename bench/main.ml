@@ -332,7 +332,7 @@ let run_scaling ~out ~scaling_scale ~jobs_list () =
   let doc =
     J.Obj
       [
-        ("schema", J.Str "vm1dp-bench-scaling/1");
+        ("schema", J.Str Obs.Schemas.bench_scaling);
         ("design", J.Str "jpeg");
         ("scale", J.Int scaling_scale);
         ("cpus", J.Int (Domain.recommended_domain_count ()));
@@ -392,7 +392,7 @@ let run_route_profile ~out ~profile_scale () =
   let doc =
     J.Obj
       [
-        ("schema", J.Str "vm1dp-route-profile/1");
+        ("schema", J.Str Obs.Schemas.route_profile);
         ("design", J.Str "jpeg");
         ("scale", J.Int profile_scale);
         ("cpus", J.Int (Domain.recommended_domain_count ()));

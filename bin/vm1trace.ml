@@ -1,0 +1,324 @@
+(* Offline trace analytics over vm1dp-trace/1 files (see lib/trace):
+     report        aggregated per-span profile + counters/gauges/histograms
+     critical-path the wall-clock chain that bounded the run
+     diff          regression gate between two traces (tolerance bands)
+     flame         folded-stack / speedscope export
+     attribute     per-window QoR table + congestion heatmap + net rows
+
+   Exit status mirrors drc: 0 = clean, 1 = regression found (diff only),
+   2 = unreadable input / usage error. *)
+
+open Cmdliner
+
+(* plain string, not Arg.file: a missing file must flow through
+   Model.load so every unreadable input exits 2, not cmdliner's 124 *)
+let trace_file ~docv n =
+  Arg.(required & pos n (some string) None & info [] ~docv
+         ~doc:"Trace file written by --trace (vm1dp-trace/1 JSON).")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit machine-readable JSON instead of tables.")
+
+let ignore_prefixes =
+  Arg.(value & opt_all string [] & info [ "ignore" ] ~docv:"PREFIX"
+         ~doc:"Drop spans/metrics whose name starts with $(docv) before              analyzing (children are spliced into the parent). Repeatable.              Use $(b,--ignore exec.) to hide the nondeterministic              scheduling wrappers.")
+
+let out_file =
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+         ~doc:"Write output to $(docv) instead of stdout.")
+
+let load path =
+  match Trace.Model.load path with
+  | Ok t -> Ok t
+  | Error msg ->
+    Printf.eprintf "vm1trace: %s\n" msg;
+    Error 2
+
+let with_out out f =
+  match out with
+  | None -> f stdout
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let ms ns = float_of_int ns /. 1e6
+
+(* --- report --------------------------------------------------------- *)
+
+let print_report oc (t : Trace.Model.t) ~top =
+  let rows = Trace.Profile.rows t in
+  let rows =
+    match top with 0 -> rows | n -> List.filteri (fun i _ -> i < n) rows
+  in
+  Printf.fprintf oc "wall %.3f ms, %d roots\n\n" (ms (Trace.Model.wall_ns t))
+    (List.length t.spans);
+  Printf.fprintf oc "%-28s %8s %12s %12s %10s %10s %10s\n" "span" "calls"
+    "total ms" "self ms" "p50 ms" "p90 ms" "p99 ms";
+  List.iter
+    (fun (r : Trace.Profile.row) ->
+      Printf.fprintf oc "%-28s %8d %12.3f %12.3f %10.3f %10.3f %10.3f\n"
+        r.name r.calls (ms r.total_ns) (ms r.self_ns) (ms r.p50_ns)
+        (ms r.p90_ns) (ms r.p99_ns))
+    rows;
+  if t.counters <> [] then begin
+    Printf.fprintf oc "\n%-40s %12s\n" "counter" "value";
+    List.iter
+      (fun (k, v) -> Printf.fprintf oc "%-40s %12d\n" k v)
+      t.counters
+  end;
+  if t.gauges <> [] then begin
+    Printf.fprintf oc "\n%-40s %12s\n" "gauge" "value";
+    List.iter
+      (fun (k, v) -> Printf.fprintf oc "%-40s %12g\n" k v)
+      t.gauges
+  end;
+  if t.histograms <> [] then begin
+    Printf.fprintf oc "\n%-32s %8s %10s %10s %10s %10s\n" "histogram" "count"
+      "sum" "p50" "p90" "p99";
+    List.iter
+      (fun (k, (h : Trace.Model.hist)) ->
+        Printf.fprintf oc "%-32s %8d %10g %10g %10g %10g\n" k h.count h.sum
+          (Trace.Model.hist_percentile h 0.50)
+          (Trace.Model.hist_percentile h 0.90)
+          (Trace.Model.hist_percentile h 0.99))
+      t.histograms
+  end
+
+let top_arg =
+  Arg.(value & opt int 0 & info [ "top" ] ~docv:"N"
+         ~doc:"Show only the $(docv) hottest spans (0 = all).")
+
+let run_report file json ignores top out =
+  match load file with
+  | Error e -> e
+  | Ok t ->
+    let t = Trace.Model.prune ~prefixes:ignores t in
+    with_out out (fun oc ->
+        if json then
+          output_string oc (Obs.Json.to_string (Trace.Profile.to_json t) ^ "\n")
+        else print_report oc t ~top);
+    0
+
+(* --- critical-path -------------------------------------------------- *)
+
+let run_critical_path file json ignores out =
+  match load file with
+  | Error e -> e
+  | Ok t ->
+    let t = Trace.Model.prune ~prefixes:ignores t in
+    let steps = Trace.Critical_path.compute t in
+    with_out out (fun oc ->
+        if json then begin
+          let step (s : Trace.Critical_path.step) =
+            Obs.Json.Obj
+              [
+                ("name", Obs.Json.Str s.name);
+                ("depth", Obs.Json.Int s.depth);
+                ("start_ns", Obs.Json.Int s.start_ns);
+                ("end_ns", Obs.Json.Int s.end_ns);
+                ("self_ns", Obs.Json.Int s.self_ns);
+              ]
+          in
+          output_string oc
+            (Obs.Json.to_string
+               (Obs.Json.Obj
+                  [
+                    ( "total_ns",
+                      Obs.Json.Int (Trace.Critical_path.total_ns steps) );
+                    ("steps", Obs.Json.List (List.map step steps));
+                  ])
+            ^ "\n")
+        end
+        else begin
+          Printf.fprintf oc
+            "critical path: %.3f ms of %.3f ms wall (%d steps)\n"
+            (ms (Trace.Critical_path.total_ns steps))
+            (ms (Trace.Model.wall_ns t))
+            (List.length steps);
+          List.iter
+            (fun (s : Trace.Critical_path.step) ->
+              Printf.fprintf oc "%s%-*s %10.3f ms  (self %.3f ms)\n"
+                (String.concat ""
+                   (List.init s.depth (fun _ -> "  ")))
+                (max 1 (30 - (2 * s.depth)))
+                s.name
+                (ms (s.end_ns - s.start_ns))
+                (ms s.self_ns))
+            steps
+        end);
+    0
+
+(* --- diff ----------------------------------------------------------- *)
+
+let time_rel =
+  Arg.(value & opt float Trace.Diff.default.time_rel
+       & info [ "time-rel" ] ~docv:"FRAC"
+           ~doc:"Relative tolerance on per-span total time.")
+
+let time_abs_ms =
+  Arg.(value & opt float 50.0 & info [ "time-abs-ms" ] ~docv:"MS"
+         ~doc:"Absolute slack on per-span total time, milliseconds.")
+
+let gauge_rel =
+  Arg.(value & opt float Trace.Diff.default.gauge_rel
+       & info [ "gauge-rel" ] ~docv:"FRAC"
+           ~doc:"Relative tolerance on gauges and histogram sums.")
+
+let gauge_abs =
+  Arg.(value & opt float Trace.Diff.default.gauge_abs
+       & info [ "gauge-abs" ] ~docv:"X"
+           ~doc:"Absolute slack on gauges and histogram sums.")
+
+let run_diff baseline current json ignores time_rel time_abs_ms gauge_rel
+    gauge_abs =
+  match (load baseline, load current) with
+  | Error e, _ | _, Error e -> e
+  | Ok b, Ok c ->
+    let config =
+      {
+        Trace.Diff.time_rel;
+        time_abs_ns = int_of_float (time_abs_ms *. 1e6);
+        gauge_rel;
+        gauge_abs;
+        ignore_prefixes = ignores;
+      }
+    in
+    let v = Trace.Diff.run config ~baseline:b ~current:c in
+    let sev_str = function
+      | Trace.Diff.Structure -> "structure"
+      | Trace.Diff.Regression -> "regression"
+      | Trace.Diff.Info -> "info"
+    in
+    if json then
+      print_string
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("pass", Obs.Json.Bool v.pass);
+                ( "issues",
+                  Obs.Json.List
+                    (List.map
+                       (fun (i : Trace.Diff.issue) ->
+                         Obs.Json.Obj
+                           [
+                             ("severity", Obs.Json.Str (sev_str i.severity));
+                             ("what", Obs.Json.Str i.what);
+                           ])
+                       v.issues) );
+              ])
+        ^ "\n")
+    else begin
+      List.iter
+        (fun (i : Trace.Diff.issue) ->
+          Printf.printf "%-10s %s\n" (sev_str i.severity) i.what)
+        v.issues;
+      Printf.printf "%s: %s vs %s (%d issues)\n"
+        (if v.pass then "PASS" else "FAIL")
+        baseline current (List.length v.issues)
+    end;
+    if v.pass then 0 else 1
+
+(* --- flame ---------------------------------------------------------- *)
+
+let flame_format =
+  Arg.(value & opt (enum [ ("folded", `Folded); ("speedscope", `Speedscope) ])
+         `Folded
+       & info [ "format"; "f" ] ~docv:"FMT"
+           ~doc:"Output format: $(b,folded) (flamegraph.pl input) or              $(b,speedscope) (JSON for speedscope.app).")
+
+let run_flame file format ignores out =
+  match load file with
+  | Error e -> e
+  | Ok t ->
+    let t = Trace.Model.prune ~prefixes:ignores t in
+    with_out out (fun oc ->
+        match format with
+        | `Folded -> output_string oc (Trace.Export.folded t)
+        | `Speedscope ->
+          output_string oc
+            (Obs.Json.to_string (Trace.Export.speedscope t) ^ "\n"));
+    0
+
+(* --- attribute ------------------------------------------------------ *)
+
+let print_attribute oc (a : Trace.Attribute.t) =
+  (match a.heatmap with
+  | Some h -> output_string oc (Trace.Attribute.render_heatmap h)
+  | None -> output_string oc "no route span with a heatmap in this trace\n");
+  if a.windows <> [] then begin
+    Printf.fprintf oc "\n%4s %4s %6s %6s %10s %8s %8s %9s\n" "ix" "iy"
+      "solves" "moves" "dHPWL" "dAlign" "dOvl" "overflow";
+    List.iter
+      (fun (w : Trace.Attribute.window_row) ->
+        Printf.fprintf oc "%4d %4d %6d %6d %10d %8d %8d %9d\n" w.ix w.iy
+          w.solves w.moves w.d_hpwl_dbu w.d_align w.d_overlap w.overflow)
+      a.windows
+  end
+  else
+    output_string oc
+      "no distopt.window spans in this trace (record with --trace and an\n\
+       instrumented DistOpt run)\n";
+  if a.nets <> [] then begin
+    Printf.fprintf oc "\n%8s %10s %8s\n" "net" "overflow" "failed";
+    List.iter
+      (fun (n : Trace.Attribute.net_row) ->
+        Printf.fprintf oc "%8d %10d %8d\n" n.net_id n.overflow
+          n.failed_subnets)
+      a.nets
+  end
+
+let run_attribute file json out =
+  match load file with
+  | Error e -> e
+  | Ok t ->
+    let a = Trace.Attribute.compute t in
+    with_out out (fun oc ->
+        if json then
+          output_string oc
+            (Obs.Json.to_string (Trace.Attribute.to_json a) ^ "\n")
+        else print_attribute oc a);
+    0
+
+(* --- command wiring -------------------------------------------------- *)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report" ~doc:"aggregated per-span profile of a trace")
+    Term.(const run_report $ trace_file ~docv:"TRACE" 0 $ json_flag
+          $ ignore_prefixes $ top_arg $ out_file)
+
+let critical_path_cmd =
+  Cmd.v
+    (Cmd.info "critical-path"
+       ~doc:"the wall-clock chain of spans that bounded the run")
+    Term.(const run_critical_path $ trace_file ~docv:"TRACE" 0 $ json_flag
+          $ ignore_prefixes $ out_file)
+
+let diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"compare two traces; exit 1 when the second regresses")
+    Term.(const run_diff $ trace_file ~docv:"BASELINE" 0
+          $ trace_file ~docv:"CURRENT" 1 $ json_flag $ ignore_prefixes
+          $ time_rel $ time_abs_ms $ gauge_rel $ gauge_abs)
+
+let flame_cmd =
+  Cmd.v
+    (Cmd.info "flame" ~doc:"export folded stacks or speedscope JSON")
+    Term.(const run_flame $ trace_file ~docv:"TRACE" 0 $ flame_format
+          $ ignore_prefixes $ out_file)
+
+let attribute_cmd =
+  Cmd.v
+    (Cmd.info "attribute"
+       ~doc:"per-window QoR table, congestion heatmap and congested nets")
+    Term.(const run_attribute $ trace_file ~docv:"TRACE" 0 $ json_flag
+          $ out_file)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "vm1trace" ~doc:"analyze vm1dp-trace/1 trace files")
+    [ report_cmd; critical_path_cmd; diff_cmd; flame_cmd; attribute_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -480,7 +480,7 @@ let to_json run =
   in
   Obs.Json.Obj
     [
-      ("schema", Obs.Json.Str "vm1dp-lint/1");
+      ("schema", Obs.Json.Str Obs.Schemas.lint);
       ("files_scanned", Obs.Json.Int run.files_scanned);
       ("active", Obs.Json.Int (active run));
       ("findings", by_verdict Active);

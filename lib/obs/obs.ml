@@ -1,4 +1,5 @@
 module Json = Json
+module Schemas = Schemas
 
 external now_ns : unit -> int64 = "obs_monotonic_ns"
 
@@ -161,6 +162,34 @@ module Histogram = struct
       count = Atomic.get t.nobs;
       sum = Atomic.get t.sum;
     }
+
+  (* Percentile estimate from the bucket counts (linear interpolation
+     inside the bucket, Prometheus-style). The overflow bucket has no
+     upper edge, so anything landing there reports the highest bound. *)
+  let percentile (s : snap) q =
+    if s.count = 0 then 0.0
+    else begin
+      let nb = Array.length s.bounds in
+      let target = q *. float_of_int s.count in
+      let i = ref 0 and cum = ref 0.0 in
+      while
+        !i < nb && !cum +. float_of_int s.counts.(!i) < target
+      do
+        cum := !cum +. float_of_int s.counts.(!i);
+        incr i
+      done;
+      if !i >= nb then (if nb = 0 then 0.0 else s.bounds.(nb - 1))
+      else begin
+        let lower = if !i = 0 then 0.0 else s.bounds.(!i - 1) in
+        let upper = s.bounds.(!i) in
+        let in_bucket = float_of_int s.counts.(!i) in
+        let frac =
+          if in_bucket <= 0.0 then 1.0
+          else Float.min 1.0 ((target -. !cum) /. in_bucket)
+        in
+        lower +. (frac *. (upper -. lower))
+      end
+    end
 
   let reset (t : t) =
     Array.iter (fun c -> Atomic.set c 0) t.counts;
@@ -326,12 +355,15 @@ let hist_json (h : Histogram.snap) =
       ("counts", Json.List (Array.to_list (Array.map (fun i -> Json.Int i) h.counts)));
       ("count", Json.Int h.count);
       ("sum", Json.Float h.sum);
+      ("p50", Json.Float (Histogram.percentile h 0.50));
+      ("p90", Json.Float (Histogram.percentile h 0.90));
+      ("p99", Json.Float (Histogram.percentile h 0.99));
     ]
 
 let trace_json (snap : snapshot) =
   Json.Obj
     [
-      ("schema", Json.Str "vm1dp-trace/1");
+      ("schema", Json.Str Schemas.trace);
       ("spans", Json.List (List.map span_json snap.spans));
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters));
       ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) snap.gauges));

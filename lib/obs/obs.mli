@@ -25,6 +25,10 @@
     consumers can parse and inspect traces (see {!Json.parse}). *)
 module Json : module type of Json
 
+(** The schema-version tags of every machine-readable artifact the repo
+    emits, re-exported so producers and consumers share one registry. *)
+module Schemas : module type of Schemas
+
 (** {1 Master switch} *)
 
 (** [enabled ()] is the process-global instrumentation switch; initially
@@ -113,6 +117,13 @@ module Histogram : sig
   }
 
   val snap : t -> snap
+
+  (** [percentile s q] estimates the [q]-quantile ([0 < q <= 1]) from
+      the bucket counts by linear interpolation within the bucket;
+      observations in the overflow bucket report the highest bound.
+      0 when the histogram is empty. The trace exporter emits p50/p90/p99
+      of every histogram next to the raw buckets. *)
+  val percentile : snap -> float -> float
 end
 
 (** [counter name] gets or creates the counter [name]. *)

@@ -1,0 +1,22 @@
+type id =
+  | Trace
+  | Lint
+  | Route_profile
+  | Bench_scaling
+  | Trace_report
+
+let all = [ Trace; Lint; Route_profile; Bench_scaling; Trace_report ]
+
+let to_string = function
+  | Trace -> "vm1dp-trace/1"
+  | Lint -> "vm1dp-lint/1"
+  | Route_profile -> "vm1dp-route-profile/1"
+  | Bench_scaling -> "vm1dp-bench-scaling/1"
+  | Trace_report -> "vm1dp-trace-report/1"
+
+let of_string s = List.find_opt (fun id -> String.equal (to_string id) s) all
+let trace = to_string Trace
+let lint = to_string Lint
+let route_profile = to_string Route_profile
+let bench_scaling = to_string Bench_scaling
+let trace_report = to_string Trace_report

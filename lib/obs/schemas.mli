@@ -1,0 +1,32 @@
+(** Central registry of the JSON schema tags emitted by this repository.
+
+    Every machine-readable artifact the flow writes carries a top-level
+    ["schema"] field; the version tags used to be string literals
+    scattered over the emitters, which made it impossible to check that
+    a consumer and its producer agree. All tags now live here, and a
+    test asserts that every emitter's ["schema"] field round-trips
+    through {!of_string}. Bump a tag's [/N] suffix when its document
+    shape changes incompatibly. *)
+
+type id =
+  | Trace          (** [Obs.trace_json]: spans + metrics ([--trace]) *)
+  | Lint           (** [Lint.to_json]: the vm1lint report *)
+  | Route_profile  (** [bench route-profile]: router quality/profile *)
+  | Bench_scaling  (** [bench scaling]: per-stage wall-clock vs --jobs *)
+  | Trace_report   (** [Trace.Profile.to_json]: aggregated trace profile *)
+
+(** All tags, in declaration order. *)
+val all : id list
+
+val to_string : id -> string
+
+(** [of_string s] recognises exactly the {!to_string} image. *)
+val of_string : string -> id option
+
+(** {1 Shorthands} — the [to_string] of each tag. *)
+
+val trace : string
+val lint : string
+val route_profile : string
+val bench_scaling : string
+val trace_report : string

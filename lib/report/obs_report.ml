@@ -47,14 +47,21 @@ let hist_table = function
   | hists ->
     [
       "## histograms\n"
-      ^ Table.render ~header:[ "histogram"; "count"; "mean"; "sum" ]
+      ^ Table.render
+          ~header:[ "histogram"; "count"; "mean"; "p50"; "p90"; "p99"; "sum" ]
           ~rows:
             (List.map
                (fun (k, (h : Obs.Histogram.snap)) ->
                  let mean =
                    if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
                  in
-                 [ k; Table.fi h.count; Table.f2 mean; Table.f2 h.sum ])
+                 [
+                   k; Table.fi h.count; Table.f2 mean;
+                   Table.f2 (Obs.Histogram.percentile h 0.50);
+                   Table.f2 (Obs.Histogram.percentile h 0.90);
+                   Table.f2 (Obs.Histogram.percentile h 0.99);
+                   Table.f2 h.sum;
+                 ])
                hists);
     ]
 

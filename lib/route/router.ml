@@ -665,4 +665,60 @@ let route ?(config = default_config) (p : Place.Placement.t) =
   Obs.Gauge.set g_overflow (float_of_int overflow);
   Obs.add_attr "overflow_edges" (`Int overflow);
   Obs.add_attr "failed_subnets" (`Int failed_final);
+  (* Attribution payload for [vm1trace attribute]: a per-tile map of
+     overflowed edges (the congestion heatmap, on the same fixed tiling
+     as the sharded pass) plus the ids of congested and failed nets —
+     the trace-side join keys for per-net QoR. Only computed while
+     instrumentation is on; one O(nodes) sweep, far below routing cost. *)
+  if Obs.enabled () then begin
+    let heat = Array.make (tiles_x * tiles_y) 0 in
+    let bump_tile n =
+      let ti = min (tiles_x - 1) (Grid.i_of_node g n / t)
+      and tj = min (tiles_y - 1) (Grid.j_of_node g n / t) in
+      let k = (tj * tiles_x) + ti in
+      heat.(k) <- heat.(k) + 1
+    in
+    for n = 0 to Grid.node_count g - 1 do
+      if g.Grid.wire_usage.(n) > 1 then bump_tile n;
+      if g.Grid.via_usage.(n) > 1 then bump_tile n
+    done;
+    let ints_to_str a =
+      let b = Buffer.create (4 * Array.length a) in
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int v))
+        a;
+      Buffer.contents b
+    in
+    let pairs_to_str l =
+      String.concat " "
+        (List.map (fun (nid, c) -> Printf.sprintf "%d:%d" nid c) l)
+    in
+    let over_nets = ref [] in
+    for nid = Array.length design.nets - 1 downto 0 do
+      let c = Grid.net_overflow g nid in
+      if c > 0 then over_nets := (nid, c) :: !over_nets
+    done;
+    let failed_nets = ref [] in
+    Array.iter
+      (fun nr ->
+        let c =
+          Array.fold_left
+            (fun a sn -> if sn.routed then a else a + 1)
+            0 nr.subnets
+        in
+        if c > 0 then failed_nets := (nr.net_id, c) :: !failed_nets)
+      routes;
+    let failed_nets =
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) !failed_nets
+    in
+    Obs.add_attr "heat_tiles_x" (`Int tiles_x);
+    Obs.add_attr "heat_tiles_y" (`Int tiles_y);
+    Obs.add_attr "heat_tile_tracks" (`Int t);
+    Obs.add_attr "pitch_dbu" (`Int g.Grid.pitch);
+    Obs.add_attr "heat_overflow" (`Str (ints_to_str heat));
+    Obs.add_attr "overflow_nets" (`Str (pairs_to_str !over_nets));
+    Obs.add_attr "failed_nets" (`Str (pairs_to_str failed_nets))
+  end;
   { grid = g; routes; config; failed_subnets = failed_final })

@@ -1,0 +1,287 @@
+type window_row = {
+  ix : int;
+  iy : int;
+  x0_dbu : int;
+  y0_dbu : int;
+  x1_dbu : int;
+  y1_dbu : int;
+  solves : int;
+  moves : int;
+  d_hpwl_dbu : int;
+  d_align : int;
+  d_overlap : int;
+  overflow : int;
+}
+
+type heatmap = {
+  tiles_x : int;
+  tiles_y : int;
+  tile_tracks : int;
+  pitch_dbu : int;
+  counts : int array;
+}
+
+type net_row = {
+  net_id : int;
+  overflow : int;
+  failed_subnets : int;
+}
+
+type t = {
+  windows : window_row list;
+  heatmap : heatmap option;
+  nets : net_row list;
+}
+
+(* "a:x b:y ..." — the id:count encoding of the route span's
+   overflow_nets/failed_nets attrs. Unparsable fragments are skipped:
+   attribution degrades, it never fails the tool. *)
+let parse_pairs s =
+  String.split_on_char ' ' s
+  |> List.filter_map (fun tok ->
+         match String.index_opt tok ':' with
+         | Some i -> (
+           match
+             ( int_of_string_opt (String.sub tok 0 i),
+               int_of_string_opt
+                 (String.sub tok (i + 1) (String.length tok - i - 1)) )
+           with
+           | Some a, Some b -> Some (a, b)
+           | _ -> None)
+         | None -> None)
+
+let parse_csv_ints s =
+  String.split_on_char ',' s |> List.filter_map int_of_string_opt
+
+let heatmap_of_span (s : Model.span) =
+  match
+    ( Model.attr_int s "heat_tiles_x",
+      Model.attr_int s "heat_tiles_y",
+      Model.attr_int s "heat_tile_tracks",
+      Model.attr_int s "pitch_dbu",
+      Model.attr_str s "heat_overflow" )
+  with
+  | Some tiles_x, Some tiles_y, Some tile_tracks, Some pitch_dbu, Some csv ->
+    let counts = Array.of_list (parse_csv_ints csv) in
+    if Array.length counts = tiles_x * tiles_y && tiles_x > 0 && tiles_y > 0
+    then Some { tiles_x; tiles_y; tile_tracks; pitch_dbu; counts }
+    else None
+  | _ -> None
+
+(* Heat counts of the tiles intersecting [x0,x1) x [y0,y1): the window's
+   share of routing congestion. Tile (ti,tj) covers the DBU square of
+   side tile_tracks * pitch at (ti,tj) * side. *)
+let box_overflow (h : heatmap) ~x0 ~y0 ~x1 ~y1 =
+  let side = h.tile_tracks * h.pitch_dbu in
+  if side <= 0 then 0
+  else begin
+    let clamp lo hi v = min hi (max lo v) in
+    let ti0 = clamp 0 (h.tiles_x - 1) (x0 / side)
+    and ti1 = clamp 0 (h.tiles_x - 1) ((x1 - 1) / side)
+    and tj0 = clamp 0 (h.tiles_y - 1) (y0 / side)
+    and tj1 = clamp 0 (h.tiles_y - 1) ((y1 - 1) / side) in
+    let acc = ref 0 in
+    for tj = tj0 to tj1 do
+      for ti = ti0 to ti1 do
+        acc := !acc + h.counts.((tj * h.tiles_x) + ti)
+      done
+    done;
+    !acc
+  end
+
+type wacc = {
+  mutable a_ix : int;
+  mutable a_iy : int;
+  mutable a_solves : int;
+  mutable a_moves : int;
+  mutable a_hpwl : int;
+  mutable a_align : int;
+  mutable a_ov : int;
+}
+
+let compute (m : Model.t) =
+  let windows : (string, wacc) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let last_route = ref None in
+  Model.iter m (fun ~depth:_ s ->
+      if String.equal s.name "route" then last_route := Some s
+      else if String.equal s.name "distopt.window" then begin
+        match
+          ( Model.attr_int s "x0_dbu",
+            Model.attr_int s "y0_dbu",
+            Model.attr_int s "x1_dbu",
+            Model.attr_int s "y1_dbu" )
+        with
+        | Some x0, Some y0, Some x1, Some y1 ->
+          let key = Printf.sprintf "%d:%d:%d:%d" x0 y0 x1 y1 in
+          let acc =
+            match Hashtbl.find_opt windows key with
+            | Some a -> a
+            | None ->
+              let a =
+                {
+                  a_ix = Option.value ~default:0 (Model.attr_int s "ix");
+                  a_iy = Option.value ~default:0 (Model.attr_int s "iy");
+                  a_solves = 0;
+                  a_moves = 0;
+                  a_hpwl = 0;
+                  a_align = 0;
+                  a_ov = 0;
+                }
+              in
+              Hashtbl.add windows key a;
+              order := (key, (x0, y0, x1, y1)) :: !order;
+              a
+          in
+          let d k0 k1 =
+            match (Model.attr_int s k0, Model.attr_int s k1) with
+            | Some v0, Some v1 -> v1 - v0
+            | _ -> 0
+          in
+          acc.a_solves <- acc.a_solves + 1;
+          acc.a_moves <-
+            acc.a_moves + Option.value ~default:0 (Model.attr_int s "moves");
+          acc.a_hpwl <- acc.a_hpwl + d "hpwl0_dbu" "hpwl1_dbu";
+          acc.a_align <- acc.a_align + d "align0" "align1";
+          acc.a_ov <- acc.a_ov + d "ov0" "ov1"
+        | _ -> ()
+      end);
+  let heatmap = Option.bind !last_route heatmap_of_span in
+  let rows =
+    List.sort
+      (fun (_, (ax0, ay0, _, _)) (_, (bx0, by0, _, _)) ->
+        match Int.compare ay0 by0 with
+        | 0 -> Int.compare ax0 bx0
+        | c -> c)
+      !order
+    |> List.map (fun (key, (x0, y0, x1, y1)) ->
+           let a = Hashtbl.find windows key in
+           {
+             ix = a.a_ix;
+             iy = a.a_iy;
+             x0_dbu = x0;
+             y0_dbu = y0;
+             x1_dbu = x1;
+             y1_dbu = y1;
+             solves = a.a_solves;
+             moves = a.a_moves;
+             d_hpwl_dbu = a.a_hpwl;
+             d_align = a.a_align;
+             d_overlap = a.a_ov;
+             overflow =
+               (match heatmap with
+               | Some h -> box_overflow h ~x0 ~y0 ~x1 ~y1
+               | None -> 0);
+           })
+  in
+  let nets =
+    match !last_route with
+    | None -> []
+    | Some s ->
+      let over =
+        match Model.attr_str s "overflow_nets" with
+        | Some v -> parse_pairs v
+        | None -> []
+      and failed =
+        match Model.attr_str s "failed_nets" with
+        | Some v -> parse_pairs v
+        | None -> []
+      in
+      let tbl : (int, net_row) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (net_id, c) ->
+          Hashtbl.replace tbl net_id
+            { net_id; overflow = c; failed_subnets = 0 })
+        over;
+      List.iter
+        (fun (net_id, c) ->
+          match Hashtbl.find_opt tbl net_id with
+          | Some r -> Hashtbl.replace tbl net_id { r with failed_subnets = c }
+          | None ->
+            Hashtbl.add tbl net_id
+              { net_id; overflow = 0; failed_subnets = c })
+        failed;
+      List.sort
+        (fun a b ->
+          match Int.compare b.overflow a.overflow with
+          | 0 -> Int.compare a.net_id b.net_id
+          | c -> c)
+        (Hashtbl.fold (fun _ r acc -> r :: acc) tbl [])
+  in
+  { windows = rows; heatmap; nets }
+
+let density_scale = " .:-=+*#%@"
+
+let render_heatmap (h : heatmap) =
+  let maxc = Array.fold_left max 1 h.counts in
+  let b = Buffer.create ((h.tiles_x + 3) * (h.tiles_y + 2)) in
+  Buffer.add_string b
+    (Printf.sprintf "congestion heatmap %dx%d tiles (%d tracks/tile, max %d)\n"
+       h.tiles_x h.tiles_y h.tile_tracks
+       (Array.fold_left max 0 h.counts));
+  for tj = h.tiles_y - 1 downto 0 do
+    Buffer.add_char b '|';
+    for ti = 0 to h.tiles_x - 1 do
+      let c = h.counts.((tj * h.tiles_x) + ti) in
+      let ch =
+        if c = 0 then density_scale.[0]
+        else begin
+          let idx = 1 + ((c - 1) * 8 / maxc) in
+          density_scale.[min 9 idx]
+        end
+      in
+      Buffer.add_char b ch
+    done;
+    Buffer.add_string b "|\n"
+  done;
+  Buffer.contents b
+
+module J = Obs.Json
+
+let window_json w =
+  J.Obj
+    [
+      ("ix", J.Int w.ix);
+      ("iy", J.Int w.iy);
+      ("x0_dbu", J.Int w.x0_dbu);
+      ("y0_dbu", J.Int w.y0_dbu);
+      ("x1_dbu", J.Int w.x1_dbu);
+      ("y1_dbu", J.Int w.y1_dbu);
+      ("solves", J.Int w.solves);
+      ("moves", J.Int w.moves);
+      ("d_hpwl_dbu", J.Int w.d_hpwl_dbu);
+      ("d_align", J.Int w.d_align);
+      ("d_overlap", J.Int w.d_overlap);
+      ("overflow", J.Int w.overflow);
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("windows", J.List (List.map window_json t.windows));
+      ( "heatmap",
+        match t.heatmap with
+        | None -> J.Null
+        | Some h ->
+          J.Obj
+            [
+              ("tiles_x", J.Int h.tiles_x);
+              ("tiles_y", J.Int h.tiles_y);
+              ("tile_tracks", J.Int h.tile_tracks);
+              ("pitch_dbu", J.Int h.pitch_dbu);
+              ( "counts",
+                J.List (Array.to_list (Array.map (fun c -> J.Int c) h.counts))
+              );
+            ] );
+      ( "nets",
+        J.List
+          (List.map
+             (fun n ->
+               J.Obj
+                 [
+                   ("net_id", J.Int n.net_id);
+                   ("overflow", J.Int n.overflow);
+                   ("failed_subnets", J.Int n.failed_subnets);
+                 ])
+             t.nets) );
+    ]

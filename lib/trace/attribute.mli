@@ -1,0 +1,53 @@
+(** Per-window QoR attribution and congestion heatmap, computed entirely
+    from the trace — the [distopt.window] spans carry window identity and
+    before/after QoR attrs, the [route] span carries the tiled overflow
+    map and the congested-net ids (see [Dist_opt.run] / [Route.Router]),
+    so no design files are needed at analysis time.
+
+    Windows are keyed by their DBU bounding box: DistOpt passes run with
+    different grid offsets, so grid indices alone do not identify a
+    region. All solves of the same box (across passes, across worker
+    domains) fold into one row. *)
+
+type window_row = {
+  ix : int;           (** window-grid indices of the first solve seen *)
+  iy : int;
+  x0_dbu : int;       (** the window's bounding box — the grouping key *)
+  y0_dbu : int;
+  x1_dbu : int;
+  y1_dbu : int;
+  solves : int;       (** [distopt.window] spans folded into this row *)
+  moves : int;
+  d_hpwl_dbu : int;   (** summed HPWL delta; negative = improvement *)
+  d_align : int;      (** dM1 alignments gained *)
+  d_overlap : int;    (** OpenM1 overlap-sum delta *)
+  overflow : int;     (** heat counts of tiles intersecting the box *)
+}
+
+type heatmap = {
+  tiles_x : int;
+  tiles_y : int;
+  tile_tracks : int;  (** tile side length in routing tracks *)
+  pitch_dbu : int;    (** track pitch; tile side = tile_tracks * pitch *)
+  counts : int array; (** row-major [tiles_x * tiles_y] overflow counts *)
+}
+
+type net_row = {
+  net_id : int;
+  overflow : int;        (** edge occurrences on overflowed edges *)
+  failed_subnets : int;
+}
+
+type t = {
+  windows : window_row list;  (** sorted by (y0, x0) *)
+  heatmap : heatmap option;   (** from the last [route] span, if any *)
+  nets : net_row list;        (** sorted by overflow desc, then id *)
+}
+
+val compute : Model.t -> t
+
+(** ASCII rendering of the heatmap, highest row first (chip orientation),
+    one character per tile on the " .:-=+*#%@" density scale. *)
+val render_heatmap : heatmap -> string
+
+val to_json : t -> Obs.Json.t

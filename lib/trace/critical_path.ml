@@ -1,0 +1,92 @@
+type step = {
+  name : string;
+  depth : int;
+  start_ns : int;
+  end_ns : int;
+  self_ns : int;
+}
+
+(* [walk spans ~depth ~lo ~hi] covers the interval (lo, hi] backward with
+   spans of one sibling level, emitting steps into [out] and returning
+   the covered total. Selection: among unused spans overlapping
+   (lo, frontier), the one ending last — it bounded the frontier — with
+   ties broken by later start, then lexicographically smaller name.
+   Used-flags (not physical identity) retire spans, so duplicate values
+   are handled and the walk terminates after at most one pick per span. *)
+let rec walk (spans : Model.span list) ~depth ~lo ~hi out =
+  let arr = Array.of_list spans in
+  let n = Array.length arr in
+  let used = Array.make n false in
+  let coverage = ref 0 in
+  let cur = ref hi in
+  let stop = ref false in
+  while (not !stop) && !cur > lo do
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      let s = arr.(i) in
+      if (not used.(i)) && s.Model.start_ns < !cur && Model.end_ns s > lo
+      then
+        if !best < 0 then best := i
+        else begin
+          let b = arr.(!best) in
+          let se = Model.end_ns s and be = Model.end_ns b in
+          if
+            se > be
+            || (se = be
+               && (s.start_ns > b.start_ns
+                  || (s.start_ns = b.start_ns
+                     && String.compare s.name b.name < 0)))
+          then best := i
+        end
+    done;
+    if !best < 0 then stop := true (* gap: unexplained at this level *)
+    else begin
+      used.(!best) <- true;
+      let s = arr.(!best) in
+      let seg_lo = max s.start_ns lo and seg_hi = min (Model.end_ns s) !cur in
+      if seg_hi > seg_lo then begin
+        let child_cov =
+          walk s.children ~depth:(depth + 1) ~lo:seg_lo ~hi:seg_hi out
+        in
+        coverage := !coverage + (seg_hi - seg_lo);
+        out :=
+          {
+            name = s.name;
+            depth;
+            start_ns = seg_lo;
+            end_ns = seg_hi;
+            self_ns = seg_hi - seg_lo - child_cov;
+          }
+          :: !out;
+        cur := seg_lo
+      end
+      (* zero-width overlap: retire the span and rescan; never move the
+         frontier for a span that covered nothing *)
+    end
+  done;
+  !coverage
+
+let compute (t : Model.t) =
+  match t.spans with
+  | [] -> []
+  | s0 :: rest ->
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) (s : Model.span) ->
+          (min lo s.start_ns, max hi (Model.end_ns s)))
+        (s0.Model.start_ns, Model.end_ns s0)
+        rest
+    in
+    let out = ref [] in
+    ignore (walk t.spans ~depth:0 ~lo ~hi out);
+    List.sort
+      (fun a b ->
+        match Int.compare a.start_ns b.start_ns with
+        | 0 -> (
+          match Int.compare a.depth b.depth with
+          | 0 -> String.compare a.name b.name
+          | c -> c)
+        | c -> c)
+      !out
+
+let total_ns steps = List.fold_left (fun a s -> a + s.self_ns) 0 steps

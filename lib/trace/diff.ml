@@ -1,0 +1,190 @@
+type config = {
+  time_rel : float;
+  time_abs_ns : int;
+  gauge_rel : float;
+  gauge_abs : float;
+  ignore_prefixes : string list;
+}
+
+let default =
+  {
+    time_rel = 0.25;
+    time_abs_ns = 50_000_000;
+    gauge_rel = 0.10;
+    gauge_abs = 0.5;
+    ignore_prefixes = [];
+  }
+
+type severity = Structure | Regression | Info
+
+type issue = {
+  severity : severity;
+  what : string;
+}
+
+type verdict = {
+  issues : issue list;
+  pass : bool;
+}
+
+(* Aggregate a forest into the deterministic shape we gate on: per-name
+   span counts and total times, and per-edge (parent;child) counts.
+   Roots count as edges from the pseudo-parent "" so a span migrating
+   between root and nested positions is a structure change. *)
+type shape = {
+  calls : (string, int) Hashtbl.t;
+  totals : (string, int) Hashtbl.t;
+  edges : (string, int) Hashtbl.t;
+}
+
+let bump tbl k v =
+  match Hashtbl.find_opt tbl k with
+  | Some old -> Hashtbl.replace tbl k (old + v)
+  | None -> Hashtbl.add tbl k v
+
+let shape_of (t : Model.t) =
+  let sh =
+    {
+      calls = Hashtbl.create 32;
+      totals = Hashtbl.create 32;
+      edges = Hashtbl.create 32;
+    }
+  in
+  let rec visit parent (s : Model.span) =
+    bump sh.calls s.name 1;
+    bump sh.totals s.name s.dur_ns;
+    bump sh.edges (parent ^ ";" ^ s.name) 1;
+    List.iter (visit s.name) s.children
+  in
+  List.iter (visit "") t.spans;
+  sh
+
+(* Sorted union of the key sets of two string-keyed tables/assoc lists —
+   every comparison below walks names in one deterministic order. *)
+let sorted_keys_tbl a b =
+  List.sort_uniq String.compare
+    (Hashtbl.fold
+       (fun k _ acc -> k :: acc)
+       a
+       (Hashtbl.fold (fun k _ acc -> k :: acc) b []))
+
+let sorted_keys_assoc a b =
+  List.sort_uniq String.compare (List.map fst a @ List.map fst b)
+
+let within_band ~rel ~abs ~old ~cur =
+  Float.abs (cur -. old) <= (Float.abs old *. rel) +. abs
+
+let run config ~baseline ~current =
+  let baseline = Model.prune ~prefixes:config.ignore_prefixes baseline in
+  let current = Model.prune ~prefixes:config.ignore_prefixes current in
+  let issues = ref [] in
+  let add severity fmt =
+    Printf.ksprintf (fun what -> issues := { severity; what } :: !issues) fmt
+  in
+  let old_sh = shape_of baseline and cur_sh = shape_of current in
+  (* span name multiset: strict *)
+  List.iter
+    (fun name ->
+      let o = Option.value ~default:0 (Hashtbl.find_opt old_sh.calls name)
+      and c = Option.value ~default:0 (Hashtbl.find_opt cur_sh.calls name) in
+      if o = 0 then add Structure "span %s: new (%d calls)" name c
+      else if c = 0 then add Structure "span %s: disappeared (had %d calls)" name o
+      else if o <> c then add Structure "span %s: calls %d -> %d" name o c)
+    (sorted_keys_tbl old_sh.calls cur_sh.calls);
+  (* parent->child edge multiset: strict *)
+  List.iter
+    (fun edge ->
+      let o = Option.value ~default:0 (Hashtbl.find_opt old_sh.edges edge)
+      and c = Option.value ~default:0 (Hashtbl.find_opt cur_sh.edges edge) in
+      if o <> c then
+        let pretty =
+          match String.index_opt edge ';' with
+          | Some 0 -> "root " ^ String.sub edge 1 (String.length edge - 1)
+          | Some i ->
+            Printf.sprintf "edge %s > %s" (String.sub edge 0 i)
+              (String.sub edge (i + 1) (String.length edge - i - 1))
+          | None -> edge
+        in
+        add Structure "%s: count %d -> %d" pretty o c)
+    (sorted_keys_tbl old_sh.edges cur_sh.edges);
+  (* per-name total time: tolerant, boundary-exact on the upper band *)
+  List.iter
+    (fun name ->
+      match
+        (Hashtbl.find_opt old_sh.totals name, Hashtbl.find_opt cur_sh.totals name)
+      with
+      | Some o, Some c ->
+        let limit =
+          (float_of_int o *. (1.0 +. config.time_rel))
+          +. float_of_int config.time_abs_ns
+        in
+        if float_of_int c > limit then
+          add Regression "span %s: total %dns -> %dns (limit %.0fns)" name o c
+            limit
+        else if
+          float_of_int c
+          < (float_of_int o /. (1.0 +. config.time_rel))
+            -. float_of_int config.time_abs_ns
+        then add Info "span %s: total %dns -> %dns (improved)" name o c
+      | _ -> () (* presence differences already reported as Structure *))
+    (sorted_keys_tbl old_sh.totals cur_sh.totals);
+  (* counters: strict *)
+  List.iter
+    (fun name ->
+      match
+        ( List.assoc_opt name baseline.Model.counters,
+          List.assoc_opt name current.Model.counters )
+      with
+      | Some o, Some c ->
+        if o <> c then add Regression "counter %s: %d -> %d" name o c
+      | None, Some c -> add Structure "counter %s: new (%d)" name c
+      | Some o, None -> add Structure "counter %s: disappeared (was %d)" name o
+      | None, None -> ())
+    (sorted_keys_assoc baseline.Model.counters current.Model.counters);
+  (* gauges: tolerant band *)
+  List.iter
+    (fun name ->
+      match
+        ( List.assoc_opt name baseline.Model.gauges,
+          List.assoc_opt name current.Model.gauges )
+      with
+      | Some o, Some c ->
+        if
+          not
+            (within_band ~rel:config.gauge_rel ~abs:config.gauge_abs ~old:o
+               ~cur:c)
+        then add Regression "gauge %s: %g -> %g" name o c
+      | None, Some c -> add Structure "gauge %s: new (%g)" name c
+      | Some o, None -> add Structure "gauge %s: disappeared (was %g)" name o
+      | None, None -> ())
+    (sorted_keys_assoc baseline.Model.gauges current.Model.gauges);
+  (* histograms: count strict, sum tolerant *)
+  List.iter
+    (fun name ->
+      match
+        ( List.assoc_opt name baseline.Model.histograms,
+          List.assoc_opt name current.Model.histograms )
+      with
+      | Some (o : Model.hist), Some (c : Model.hist) ->
+        if o.count <> c.count then
+          add Regression "histogram %s: count %d -> %d" name o.count c.count;
+        if
+          not
+            (within_band ~rel:config.gauge_rel ~abs:config.gauge_abs
+               ~old:o.sum ~cur:c.sum)
+        then add Regression "histogram %s: sum %g -> %g" name o.sum c.sum
+      | None, Some _ -> add Structure "histogram %s: new" name
+      | Some _, None -> add Structure "histogram %s: disappeared" name
+      | None, None -> ())
+    (sorted_keys_assoc baseline.Model.histograms current.Model.histograms);
+  let issues = List.rev !issues in
+  let pass =
+    not
+      (List.exists
+         (fun i ->
+           match i.severity with
+           | Structure | Regression -> true
+           | Info -> false)
+         issues)
+  in
+  { issues; pass }

@@ -1,0 +1,46 @@
+(** Structural and timing diff of two traces — the engine behind the
+    [@perf-gate] alias. The comparison is deliberately two-speed:
+
+    - {b strict} on everything deterministic: the multiset of span names,
+      the multiset of parent->child edges, counter values, histogram
+      counts. Any change is a failure — these only move when the code's
+      behaviour moves.
+    - {b tolerant} on everything wall-clock: per-name total times and
+      gauge/histogram-sum values compare within configurable relative +
+      absolute bands, so machine noise never fails the gate.
+
+    Nondeterministic scheduling spans (the [exec.] wrappers, whose
+    nesting depends on which domain claimed a task first) are pruned
+    via [ignore] before comparing; see [Model.prune]. *)
+
+type config = {
+  time_rel : float;     (** relative band on per-name total span time *)
+  time_abs_ns : int;    (** absolute slack added on top, ns *)
+  gauge_rel : float;    (** relative band on gauges and histogram sums *)
+  gauge_abs : float;    (** absolute slack for gauges/sums *)
+  ignore_prefixes : string list;
+}
+
+(** 25% + 50ms on times, 10% + 0.5 on gauges, nothing ignored. *)
+val default : config
+
+type severity =
+  | Structure   (** span/counter/gauge sets differ — always fails *)
+  | Regression  (** a strict value changed or a band was exceeded *)
+  | Info        (** noteworthy but harmless, e.g. a big improvement *)
+
+type issue = {
+  severity : severity;
+  what : string;  (** one deterministic human-readable line *)
+}
+
+type verdict = {
+  issues : issue list;  (** deterministic order (sorted by name) *)
+  pass : bool;          (** no [Structure], no [Regression] *)
+}
+
+(** [run config ~baseline ~current] prunes both traces and compares.
+    The timing band is boundary-exact: a total of exactly
+    [old * (1 + time_rel) + time_abs_ns] still passes; one nanosecond
+    more fails. A trace always passes against itself. *)
+val run : config -> baseline:Model.t -> current:Model.t -> verdict

@@ -1,0 +1,115 @@
+let self_ns (s : Model.span) =
+  let child =
+    List.fold_left (fun a (c : Model.span) -> a + c.dur_ns) 0 s.children
+  in
+  max 0 (s.dur_ns - child)
+
+let folded (t : Model.t) =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec visit stack (s : Model.span) =
+    let stack =
+      match stack with "" -> s.name | _ -> stack ^ ";" ^ s.name
+    in
+    let self = self_ns s in
+    if self > 0 then begin
+      match Hashtbl.find_opt tbl stack with
+      | Some v -> Hashtbl.replace tbl stack (v + self)
+      | None -> Hashtbl.add tbl stack self
+    end;
+    List.iter (visit stack) s.children
+  in
+  List.iter (visit "") t.spans;
+  let lines =
+    List.sort String.compare
+      (Hashtbl.fold
+         (fun stack v acc -> Printf.sprintf "%s %d" stack v :: acc)
+         tbl [])
+  in
+  String.concat "" (List.map (fun l -> l ^ "\n") lines)
+
+module J = Obs.Json
+
+(* Greedy lane packing: roots sorted by start time go to the first lane
+   whose previous occupant has already ended. Sequential runs collapse
+   to one lane; k concurrently-live domains need exactly k. *)
+let lanes roots =
+  let roots =
+    List.stable_sort
+      (fun (a : Model.span) (b : Model.span) ->
+        match Int.compare a.start_ns b.start_ns with
+        | 0 -> (
+          match Int.compare (Model.end_ns a) (Model.end_ns b) with
+          | 0 -> String.compare a.name b.name
+          | c -> c)
+        | c -> c)
+      roots
+  in
+  let lanes : (int * Model.span list) list ref = ref [] in
+  List.iter
+    (fun (s : Model.span) ->
+      let rec place = function
+        | [] -> [ (Model.end_ns s, [ s ]) ]
+        | (last_end, members) :: rest when last_end <= s.Model.start_ns ->
+          (Model.end_ns s, s :: members) :: rest
+        | lane :: rest -> lane :: place rest
+      in
+      lanes := place !lanes)
+    roots;
+  List.map (fun (_, members) -> List.rev members) !lanes
+
+let speedscope (t : Model.t) =
+  (* frame table: unique span names, sorted *)
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  Model.iter t (fun ~depth:_ s -> Hashtbl.replace seen s.name ());
+  let names =
+    List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+  in
+  let index : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri (fun i n -> Hashtbl.add index n i) names;
+  let frame n = Hashtbl.find index n in
+  let profile lane_idx members =
+    let events = ref [] in
+    let cursor = ref 0 in
+    (* The cursor clamps every emitted timestamp to be monotone and every
+       close to stay within its parent, so the profile stays valid even
+       for hand-edited traces with sloppy nesting. *)
+    let emit kind fr at =
+      cursor := max !cursor at;
+      events :=
+        J.Obj [ ("type", J.Str kind); ("frame", J.Int fr); ("at", J.Int !cursor) ]
+        :: !events
+    in
+    let rec visit ~hi (s : Model.span) =
+      let fr = frame s.name in
+      emit "O" fr s.start_ns;
+      List.iter (visit ~hi:(min hi (Model.end_ns s))) s.children;
+      emit "C" fr (min hi (Model.end_ns s))
+    in
+    List.iter (fun s -> visit ~hi:(Model.end_ns s) s) members;
+    let start_v =
+      match members with [] -> 0 | s :: _ -> s.Model.start_ns
+    in
+    J.Obj
+      [
+        ("type", J.Str "evented");
+        ("name", J.Str (Printf.sprintf "lane %d" lane_idx));
+        ("unit", J.Str "nanoseconds");
+        ("startValue", J.Int start_v);
+        ("endValue", J.Int !cursor);
+        ("events", J.List (List.rev !events));
+      ]
+  in
+  J.Obj
+    [
+      ("$schema", J.Str "https://www.speedscope.app/file-format-schema.json");
+      ( "shared",
+        J.Obj
+          [
+            ( "frames",
+              J.List (List.map (fun n -> J.Obj [ ("name", J.Str n) ]) names) );
+          ] );
+      ("profiles", J.List (List.mapi profile (lanes t.spans)));
+      ("name", J.Str "vm1dp trace");
+      ("exporter", J.Str "vm1trace");
+      ("activeProfileIndex", J.Int 0);
+    ]

@@ -1,0 +1,16 @@
+(** Trace exporters for standard visualisers.
+
+    [folded] is Brendan Gregg's folded-stack format (one
+    ["root;child;leaf value"] line per unique stack, value = self time in
+    ns), ready for [flamegraph.pl]. Lines are sorted, zero-self stacks
+    dropped, so output is deterministic and minimal.
+
+    [speedscope] is the {{:https://www.speedscope.app/}speedscope}
+    evented JSON format. A single evented profile cannot hold overlapping
+    roots, so parallel roots (worker-domain spans) are packed greedily
+    into non-overlapping lanes and each lane becomes one profile — the
+    timeline view then shows the domains side by side. *)
+
+val folded : Model.t -> string
+
+val speedscope : Model.t -> Obs.Json.t

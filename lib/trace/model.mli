@@ -1,0 +1,70 @@
+(** Parsed [vm1dp-trace/1] documents (see [Obs.write_trace]): the span
+    forest plus the end-of-run counter/gauge/histogram snapshot. This is
+    the input model of every analysis in [lib/trace]; parsing is strict
+    about the schema tag and the field types so a regression gate never
+    silently passes on a half-written file. *)
+
+type attr = [ `Int of int | `Float of float | `Str of string ]
+
+type span = {
+  name : string;
+  start_ns : int;
+  dur_ns : int;
+  attrs : (string * attr) list;
+  children : span list;  (** document order = start order per parent *)
+}
+
+type hist = {
+  bounds : float array;  (** upper bounds, last is the overflow bucket *)
+  counts : int array;
+  count : int;
+  sum : float;
+}
+
+type t = {
+  spans : span list;  (** roots; spans opened on worker domains surface
+                          here as their own roots *)
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist) list;
+}
+
+val end_ns : span -> int
+
+(** Attribute lookup; [attr_int] also accepts a float-typed attribute by
+    truncation, mirroring the leniency of [of_json] on numbers. *)
+val attr_int : span -> string -> int option
+
+val attr_str : span -> string -> string option
+
+(** [of_json j] checks the [vm1dp-trace/1] schema tag and the shape of
+    every field. Numbers are accepted as [Int] or [Float] wherever either
+    can appear (JSON does not distinguish them). *)
+val of_json : Obs.Json.t -> (t, string) result
+
+val of_string : string -> (t, string) result
+
+(** [load path] reads and parses the file; errors (unreadable file, bad
+    JSON, wrong schema) come back as [Error] — callers decide the exit
+    code. *)
+val load : string -> (t, string) result
+
+(** [iter t f] visits every span in pre-order with its depth (roots are
+    depth 0). *)
+val iter : t -> (depth:int -> span -> unit) -> unit
+
+(** [wall_ns t] is the wall-clock extent of the forest:
+    max end - min start over the roots, 0 for an empty forest. *)
+val wall_ns : t -> int
+
+(** [prune ~prefixes t] removes every span whose name starts with one of
+    the prefixes, splicing its children into its place (they keep their
+    own names and times), and drops counters/gauges/histograms matching
+    the same prefixes. This is how analyses ignore the nondeterministic
+    [exec.] scheduling spans: an [exec.task] wrapper disappears but the
+    window solve it ran stays, reparented to wherever the wrapper sat. *)
+val prune : prefixes:string list -> t -> t
+
+(** [hist_percentile h q] interpolates the q-quantile from the bucket
+    counts exactly like [Obs.Histogram.percentile]; 0 when empty. *)
+val hist_percentile : hist -> float -> float

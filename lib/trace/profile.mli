@@ -1,0 +1,26 @@
+(** Aggregated per-span-name profile of a trace: call counts, total and
+    self wall time, and exact-duration percentiles (computed from the
+    recorded durations, not histogram buckets — every span carries its
+    own [dur_ns], so no interpolation is needed). *)
+
+type row = {
+  name : string;
+  calls : int;
+  total_ns : int;   (** summed durations of all spans with this name *)
+  self_ns : int;    (** total minus time covered by child spans *)
+  min_ns : int;
+  max_ns : int;
+  p50_ns : int;     (** nearest-rank percentiles of the durations *)
+  p90_ns : int;
+  p99_ns : int;
+}
+
+(** [rows t] aggregates the whole forest, sorted by total time
+    descending (ties broken by name, so output is deterministic). *)
+val rows : Model.t -> row list
+
+(** [to_json t] is the machine-readable report — schema
+    [vm1dp-trace-report/1] ([Obs.Schemas.trace_report]): the profile rows
+    plus the trace's counters, gauges and histogram summaries
+    (count/sum/p50/p90/p99), all under the conventions above. *)
+val to_json : Model.t -> Obs.Json.t

@@ -30,11 +30,53 @@ let c_windows_solved = Obs.counter "scp.windows_solved"
 let c_moves = Obs.counter "scp.moves"
 let h_window_moves = Obs.histogram "distopt.window_moves"
 
-let solve_batch ~parallel ~mode problems =
+(* Per-window attribution span: identifies the window (grid indices,
+   site/row origin, DBU bounding box) and carries the before/after QoR
+   counts [vm1trace attribute] joins on. The QoR recounts only run while
+   instrumentation is on; results are unchanged either way. *)
+let solve_window (w : Window.t) problem ~mode =
+  let attrs =
+    if not (Obs.enabled ()) then []
+    else begin
+      let tech = problem.Wproblem.placement.Place.Placement.tech in
+      let sw = tech.Pdk.Tech.site_width and rh = tech.Pdk.Tech.row_height in
+      [
+        ("ix", `Int w.Window.ix);
+        ("iy", `Int w.Window.iy);
+        ("site_lo", `Int w.Window.site_lo);
+        ("row_lo", `Int w.Window.row_lo);
+        ("x0_dbu", `Int (w.Window.site_lo * sw));
+        ("y0_dbu", `Int (w.Window.row_lo * rh));
+        ("x1_dbu", `Int ((w.Window.site_lo + w.Window.bw) * sw));
+        ("y1_dbu", `Int ((w.Window.row_lo + w.Window.bh) * rh));
+      ]
+    end
+  in
+  Obs.with_span "distopt.window" ~attrs (fun () ->
+      let q0 =
+        if Obs.enabled () then Some (Wproblem.qor problem) else None
+      in
+      let s = Scp_solver.solve ~mode problem in
+      (match q0 with
+      | Some q0 ->
+        let q1 = Wproblem.qor problem in
+        Obs.add_attr "moves" (`Int s.Scp_solver.moves);
+        Obs.add_attr "obj0" (`Float s.Scp_solver.objective_before);
+        Obs.add_attr "obj1" (`Float s.Scp_solver.objective_after);
+        Obs.add_attr "hpwl0_dbu" (`Int q0.Wproblem.hpwl_dbu);
+        Obs.add_attr "hpwl1_dbu" (`Int q1.Wproblem.hpwl_dbu);
+        Obs.add_attr "align0" (`Int q0.Wproblem.alignments);
+        Obs.add_attr "align1" (`Int q1.Wproblem.alignments);
+        Obs.add_attr "ov0" (`Int q0.Wproblem.overlap_sum);
+        Obs.add_attr "ov1" (`Int q1.Wproblem.overlap_sum)
+      | None -> ());
+      s)
+
+let solve_batch ~parallel ~mode (batch : Window.t array) problems =
   let n = Array.length problems in
   let stats = Array.make n None in
   let solve i =
-    let s = Scp_solver.solve ~mode problems.(i) in
+    let s = solve_window batch.(i) problems.(i) ~mode in
     Obs.Counter.incr c_windows_solved;
     Obs.Counter.add c_moves s.Scp_solver.moves;
     Obs.Histogram.observe h_window_moves (float_of_int s.Scp_solver.moves);
@@ -80,7 +122,8 @@ let run (p : Place.Placement.t) (params : Params.t) (c : config) =
               let moves =
                 Obs.with_span "distopt.solve" (fun () ->
                     let m =
-                      solve_batch ~parallel:c.parallel ~mode:c.mode problems
+                      solve_batch ~parallel:c.parallel ~mode:c.mode batch
+                        problems
                     in
                     Obs.add_attr "moves" (`Int m);
                     m)

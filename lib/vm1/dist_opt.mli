@@ -35,7 +35,12 @@ type stats = {
 (** [run p params config] optimises in place. Emits observability when
     [Obs.enabled]: a [distopt.run] span with nested per-batch
     [distopt.batch] > [distopt.extract]/[distopt.solve]/[distopt.commit]
-    spans, [scp.windows_solved] / [scp.moves] counters and the
+    spans, one [distopt.window] span per window solve carrying the
+    window's identity (grid indices, site/row origin, DBU bounding box)
+    and before/after QoR attrs (objective, HPWL, alignments, overlaps —
+    the join keys and measures of [vm1trace attribute]),
+    [scp.windows_solved] / [scp.moves] counters and the
     [distopt.window_moves] histogram — identical placement results with
-    instrumentation on or off. *)
+    instrumentation on or off. Under [parallel], [distopt.window] spans
+    solved on worker domains surface as their own roots. *)
 val run : Place.Placement.t -> Params.t -> config -> stats

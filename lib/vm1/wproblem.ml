@@ -343,6 +343,35 @@ let pair_gain_with t ~cell ~cand (a, b) =
     (pin_geom_if t ~cell ~cand a)
     (pin_geom_if t ~cell ~cand b)
 
+(* Window-local QoR counts in the problem's current state; the same
+   quantities Objective.counts reports globally, restricted to the
+   window's nets and pre-filtered pairs. Used by Dist_opt to attach
+   before/after attribution data to per-window trace spans. *)
+type qor = {
+  hpwl_dbu : int;
+  alignments : int;
+  overlap_sum : int;
+}
+
+let qor t =
+  let hpwl = ref 0 in
+  Array.iter
+    (fun wnet -> hpwl := !hpwl + net_hpwl_with t ~cell:(-1) ~cand:0 wnet)
+    t.nets;
+  let tech = t.placement.Place.Placement.tech in
+  let alignments = ref 0 and overlap_sum = ref 0 in
+  Array.iter
+    (fun (a, b) ->
+      let ga = pin_geom t a and gb = pin_geom t b in
+      if t.is_open then begin
+        let d, o = Align.overlap t.params tech ga gb in
+        if d then incr alignments;
+        overlap_sum := !overlap_sum + o
+      end
+      else if Align.aligned t.params tech ga gb then incr alignments)
+    t.pairs;
+  { hpwl_dbu = !hpwl; alignments = !alignments; overlap_sum = !overlap_sum }
+
 let objective t =
   let beta = t.params.Params.beta in
   let total = ref 0.0 in

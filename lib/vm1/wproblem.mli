@@ -77,6 +77,19 @@ val pin_geom : t -> wpin -> Align.pin_geom
     beta * sum HPWL(nets) - sum pair_gain(pairs). *)
 val objective : t -> float
 
+(** Window-local QoR counts at the problem's current assignment: summed
+    HPWL over the window's nets (fixed pins included, so deltas are exact
+    for diagonally-independent windows), satisfied dM1 pairs and the
+    OpenM1 overlap sum — the per-window attribution data behind
+    [vm1trace attribute]. *)
+type qor = {
+  hpwl_dbu : int;
+  alignments : int;
+  overlap_sum : int;
+}
+
+val qor : t -> qor
+
 (** [candidate_free t ~cell ~cand] checks the candidate footprint against
     the occupancy map, ignoring the cell's own current footprint. *)
 val candidate_free : t -> cell:int -> cand:int -> bool

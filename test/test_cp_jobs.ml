@@ -1,0 +1,82 @@
+(* Cross-jobs determinism of trace analytics (acceptance criterion of
+   the trace-analytics PR): traces of the same design recorded at
+   --jobs 1/2/4 must agree on every deterministic field once the
+   nondeterministically-nested exec.* scheduling spans are pruned —
+   identical span-name/edge multisets and counters (checked via
+   Trace.Diff with zero-width time bands disabled), and an identical
+   root-level critical-path chain: worker-domain spans always end before
+   the main-thread span that awaits them, so the depth-0 path must be
+   the same main-thread phase sequence whatever the pool size.
+
+   Usage: test_cp_jobs.exe TRACE TRACE [TRACE...]; exits 1 on the first
+   disagreement. *)
+
+let prefixes = [ "exec." ]
+
+let load path =
+  match Trace.Model.load path with
+  | Ok t -> Trace.Model.prune ~prefixes t
+  | Error m ->
+    Printf.eprintf "test_cp_jobs: %s\n" m;
+    exit 1
+
+let root_chain t =
+  List.filter_map
+    (fun (s : Trace.Critical_path.step) ->
+      if s.depth = 0 then Some s.name else None)
+    (Trace.Critical_path.compute t)
+
+let () =
+  let paths =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ :: _ as paths) -> paths
+    | _ ->
+      prerr_endline "usage: test_cp_jobs TRACE TRACE [TRACE...]";
+      exit 1
+  in
+  let traces = List.map (fun p -> (p, load p)) paths in
+  let ref_path, ref_trace = List.hd traces in
+  let diff_config =
+    (* times are noise across pool sizes; everything else is strict *)
+    { Trace.Diff.default with time_rel = 1e9; time_abs_ns = max_int / 2 }
+  in
+  let bad = ref false in
+  List.iter
+    (fun (path, t) ->
+      let v = Trace.Diff.run diff_config ~baseline:ref_trace ~current:t in
+      if not v.pass then begin
+        bad := true;
+        Printf.eprintf "%s vs %s: deterministic fields differ\n" ref_path path;
+        List.iter
+          (fun (i : Trace.Diff.issue) -> Printf.eprintf "  %s\n" i.what)
+          v.issues
+      end;
+      let a = root_chain ref_trace and b = root_chain t in
+      if not (List.equal String.equal a b) then begin
+        bad := true;
+        Printf.eprintf
+          "%s vs %s: root-level critical path differs:\n  [%s]\n  [%s]\n"
+          ref_path path (String.concat "; " a) (String.concat "; " b)
+      end;
+      (* and the path is a pure function of the trace *)
+      let c1 = Trace.Critical_path.compute t in
+      let c2 = Trace.Critical_path.compute t in
+      if
+        not
+          (List.equal
+             (fun (x : Trace.Critical_path.step) y ->
+               String.equal x.name y.name
+               && x.depth = y.depth && x.start_ns = y.start_ns
+               && x.end_ns = y.end_ns && x.self_ns = y.self_ns)
+             c1 c2)
+      then begin
+        bad := true;
+        Printf.eprintf "%s: critical path not reproducible\n" path
+      end;
+      Printf.printf "%s: %d roots, path %d steps, %d ns of %d ns wall\n" path
+        (List.length t.Trace.Model.spans)
+        (List.length (Trace.Critical_path.compute t))
+        (Trace.Critical_path.total_ns (Trace.Critical_path.compute t))
+        (Trace.Model.wall_ns t))
+    (List.tl traces);
+  if !bad then exit 1

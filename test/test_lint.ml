@@ -180,7 +180,7 @@ let test_json_shape () =
     { Lint.files_scanned = 1; reports = [ ("f.ml", lint "let x = compare") ] }
   in
   let j = Lint.to_json run in
-  Alcotest.(check string) "schema" "vm1dp-lint/1"
+  Alcotest.(check string) "schema" Obs.Schemas.lint
     (match Obs.Json.member "schema" j with
     | Some (Obs.Json.Str s) -> s
     | _ -> "missing");

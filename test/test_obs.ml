@@ -102,6 +102,34 @@ let test_histogram () =
       check_bool "sum" true (abs_float (s.sum -. 557.5) < 1e-9);
       check_bool "bucket counts" true (s.counts = [| 1; 2; 1; 1 |]))
 
+let test_percentile () =
+  with_obs (fun () ->
+      let h = Obs.histogram ~bounds:[| 10.0; 20.0; 40.0 |] "test.pct" in
+      (* 8 observations in [0,10), 2 in [10,20): p50 interpolates inside
+         the first bucket, p90 lands exactly on its upper bound, p99
+         interpolates inside the second *)
+      for i = 1 to 8 do
+        Obs.Histogram.observe h (float_of_int i)
+      done;
+      Obs.Histogram.observe h 12.0;
+      Obs.Histogram.observe h 18.0;
+      let s = Obs.Histogram.snap h in
+      let pct q = Obs.Histogram.percentile s q in
+      check_bool "p50" true (abs_float (pct 0.50 -. 6.25) < 1e-9);
+      check_bool "p90" true (abs_float (pct 0.90 -. 15.0) < 1e-9);
+      check_bool "p100 capped at bound" true (pct 1.0 <= 20.0 +. 1e-9);
+      check_bool "empty is 0" true
+        (Obs.Histogram.percentile
+           (Obs.Histogram.snap (Obs.histogram "test.pct2"))
+           0.5
+        = 0.0);
+      (* overflow-only data reports the highest finite bound *)
+      let o = Obs.histogram ~bounds:[| 1.0; 2.0 |] "test.pct3" in
+      Obs.Histogram.observe o 99.0;
+      check_bool "overflow bucket" true
+        (abs_float (Obs.Histogram.percentile (Obs.Histogram.snap o) 0.9 -. 2.0)
+        < 1e-9))
+
 let test_aggregate () =
   with_obs (fun () ->
       for _ = 1 to 3 do
@@ -144,7 +172,7 @@ let test_trace_export_roundtrip () =
       | Error e -> Alcotest.failf "trace does not parse: %s" e
       | Ok j ->
         check_bool "schema tag" true
-          (Obs.Json.member "schema" j = Some (Obs.Json.Str "vm1dp-trace/1"));
+          (Obs.Json.member "schema" j = Some (Obs.Json.Str Obs.Schemas.trace));
         (match Obs.Json.member "counters" j with
         | Some counters ->
           check_bool "counter exported" true
@@ -182,6 +210,7 @@ let () =
           Alcotest.test_case "counter merge across domains" `Quick
             test_counter_merge_across_domains;
           Alcotest.test_case "histogram buckets" `Quick test_histogram;
+          Alcotest.test_case "histogram percentiles" `Quick test_percentile;
           Alcotest.test_case "aggregation" `Quick test_aggregate;
           Alcotest.test_case "reset" `Quick test_reset;
         ] );

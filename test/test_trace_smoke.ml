@@ -19,7 +19,7 @@ let () =
     | Ok j -> j
     | Error e -> fail "%s: invalid JSON: %s" path e
   in
-  if Obs.Json.member "schema" j <> Some (Obs.Json.Str "vm1dp-trace/1") then
+  if Obs.Json.member "schema" j <> Some (Obs.Json.Str Obs.Schemas.trace) then
     fail "%s: missing or unexpected schema tag" path;
   (* per-batch solve spans somewhere in the span forest *)
   let span_names = Hashtbl.create 64 in
