@@ -1,0 +1,119 @@
+(* Batch-service load gate for the @serve-bench-smoke alias.
+
+   Usage: check_vm1d.exe REPORT.json [REPORT.json ...]
+
+   Each file follows the vm1dp-bench-load/1 schema emitted by
+   [main.exe load]. Unlike the route-profile gate this one compares
+   nothing against a baseline — the properties it checks are the
+   service's hard contract, absolute in any report (including the
+   committed BENCH_vm1d.json):
+
+   - no error replies ([errors] = 0);
+   - the artifact cache was exercised ([serve_cache_hits] > 0);
+   - warm jobs (every artifact hit) were strictly faster than cold jobs
+     at every pool size ([warm_below_cold]);
+   - every occurrence of a spec — cold, warm or interleaved, at any
+     --jobs — produced byte-identical results ([byte_identical]).
+
+   Latency and throughput numbers are printed for the log but never
+   gated: CI machines are too noisy for that. *)
+
+let read_json path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Obs.Json.parse text with
+  | Ok j -> j
+  | Error msg ->
+    Printf.eprintf "check_vm1d: %s: bad JSON: %s\n" path msg;
+    exit 2
+
+let get_int path j key =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Int v) -> v
+  | _ ->
+    Printf.eprintf "check_vm1d: %s: missing int field %S\n" path key;
+    exit 2
+
+let get_bool path j key =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Bool v) -> v
+  | _ ->
+    Printf.eprintf "check_vm1d: %s: missing bool field %S\n" path key;
+    exit 2
+
+let get_float j key =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Float v) -> v
+  | Some (Obs.Json.Int v) -> float_of_int v
+  | _ -> nan
+
+let check path =
+  let j = read_json path in
+  (match Obs.Json.member "schema" j with
+  | Some (Obs.Json.Str s) when String.equal s Obs.Schemas.bench_load -> ()
+  | _ ->
+    Printf.eprintf "check_vm1d: %s: not a %s report\n" path
+      Obs.Schemas.bench_load;
+    exit 2);
+  Printf.printf "%s: %d jobs, cache %d hits / %d misses\n" path
+    (get_int path j "serve_jobs")
+    (get_int path j "serve_cache_hits")
+    (get_int path j "serve_cache_misses");
+  (match Obs.Json.member "rows" j with
+  | Some (Obs.Json.List rows) ->
+    List.iter
+      (fun row ->
+        let inter =
+          match Obs.Json.member "interleaved" row with
+          | Some i -> i
+          | None -> Obs.Json.Obj []
+        in
+        Printf.printf
+          "  jobs=%d  cold p50 %.1fms  warm p50 %.1fms  p99 %.1fms  %.1f \
+           jobs/s (informational)\n"
+          (get_int path row "jobs")
+          (get_float
+             (match Obs.Json.member "cold_ms" row with
+             | Some c -> c
+             | None -> Obs.Json.Obj [])
+             "p50")
+          (get_float
+             (match Obs.Json.member "warm_ms" row with
+             | Some w -> w
+             | None -> Obs.Json.Obj [])
+             "p50")
+          (get_float inter "p99_ms")
+          (get_float inter "throughput_jobs_per_s"))
+      rows
+  | _ -> ());
+  let bad = ref false in
+  let require name ok =
+    if not ok then begin
+      Printf.eprintf "VIOLATION: %s: %s\n" path name;
+      bad := true
+    end
+  in
+  require "error replies present (errors != 0)" (get_int path j "errors" = 0);
+  require "no cache hits (serve_cache_hits = 0)"
+    (get_int path j "serve_cache_hits" > 0);
+  require "warm jobs not faster than cold (warm_below_cold)"
+    (get_bool path j "warm_below_cold");
+  require "results not byte-identical across runs (byte_identical)"
+    (get_bool path j "byte_identical");
+  !bad
+
+let () =
+  let paths =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as paths) -> paths
+    | _ ->
+      prerr_endline "usage: check_vm1d.exe REPORT.json [REPORT.json ...]";
+      exit 2
+  in
+  let bad = List.exists Fun.id (List.map check paths) in
+  if bad then exit 1;
+  print_endline "batch-service load OK"

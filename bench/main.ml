@@ -415,6 +415,229 @@ let run_route_profile ~out ~profile_scale () =
       output_char oc '\n');
   Printf.printf "(wrote %s)\n%!" out
 
+(* --- load mode: drive the batch service (lib/serve, the engine behind
+   bin/vm1d) in-process with N concurrent clients and emit a
+   machine-readable vm1dp-bench-load/1 report. Three scenarios per pool
+   size: a cold-then-warm double pass over the spec list on a fresh
+   artifact cache, and an interleaved run where N clients' request
+   streams are multiplexed round-robin. Every reply is classified by its
+   cache outcome (warm = every artifact hit); the report records p50/p99
+   latency and throughput for the interleaved run, cold-vs-warm medians,
+   and whether every occurrence of a spec — cold, warm or interleaved,
+   at any --jobs — produced byte-identical result payloads. The
+   @serve-bench-smoke alias gates those invariants via check_vm1d.exe;
+   refresh the committed baseline with:
+     VM1DP_BENCH_SCALE=32 dune exec bench/main.exe -- load --out BENCH_vm1d.json *)
+
+let load_specs load_scale =
+  let base =
+    {
+      Serve.Protocol.id = "";
+      design = Netlist.Designs.M0;
+      arch = Pdk.Cell_arch.Closed_m1;
+      scale = load_scale;
+      util = 0.75;
+      alpha = None;
+      sequence = 1;
+      want_trace = false;
+    }
+  in
+  [
+    (* three distinct placements (cold resolves), one alpha/sequence
+       variant that shares every artifact with s2 *)
+    { base with Serve.Protocol.id = "s1"; util = 0.70 };
+    { base with Serve.Protocol.id = "s2" };
+    { base with Serve.Protocol.id = "s3"; util = 0.80 };
+    { base with Serve.Protocol.id = "s4"; alpha = Some 600.; sequence = 2 };
+  ]
+
+let drive_serve cache lines =
+  let remaining = ref lines in
+  let replies = ref [] in
+  let next_line () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+      remaining := rest;
+      Some l
+  in
+  let emit line = replies := line :: !replies in
+  let stats = Serve.Daemon.serve cache ~next_line ~emit () in
+  (stats, List.rev !replies)
+
+type load_reply = {
+  lr_id : string;
+  lr_latency_ms : float;
+  lr_warm : bool; (* every artifact cache was hit *)
+  lr_result : string; (* canonical result payload bytes *)
+}
+
+let parse_load_reply line =
+  match Serve.Protocol.parse_reply line with
+  | Error msg -> failwith ("bench load: unreadable reply: " ^ msg)
+  | Ok r -> (
+    match
+      ( r.Serve.Protocol.p_status,
+        r.Serve.Protocol.p_id,
+        r.Serve.Protocol.p_result,
+        r.Serve.Protocol.p_latency_ms )
+    with
+    | "ok", Some id, Some result, Some ms ->
+      {
+        lr_id = id;
+        lr_latency_ms = ms;
+        lr_warm =
+          r.Serve.Protocol.p_cache <> []
+          && List.for_all snd r.Serve.Protocol.p_cache;
+        lr_result = Obs.Json.to_string result;
+      }
+    | _ -> failwith ("bench load: error reply: " ^ line))
+
+(* Round-robin multiplex of [clients] request streams, each a rotation
+   of the spec list (client i leads with spec i), as a socket daemon
+   fed by concurrent submitters would see them. *)
+let interleave ~clients specs =
+  let n = List.length specs in
+  let arr = Array.of_list specs in
+  List.concat
+    (List.init n (fun k ->
+         List.init clients (fun i -> arr.((i + k) mod n))))
+
+let median_ms = function
+  | [] -> 0.
+  | l ->
+    let a = Array.of_list (List.sort Float.compare l) in
+    a.(Array.length a / 2)
+
+let percentile_ms q l =
+  match List.sort Float.compare l with
+  | [] -> 0.
+  | sorted ->
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    a.(max 0 (min (n - 1) rank))
+
+let run_load ~out ~load_scale ~clients ~jobs_list () =
+  Printf.printf "# Batch-service load (m0 at scale 1/%d, %d clients)\n%!"
+    load_scale clients;
+  Obs.set_enabled true;
+  Obs.reset ();
+  let specs = load_specs load_scale in
+  let encode = List.map Serve.Protocol.encode_job in
+  (* spec id -> result payload bytes of its first occurrence; any later
+     occurrence that differs breaks the byte-identity contract *)
+  let results : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let identical = ref true in
+  let record r =
+    match Hashtbl.find_opt results r.lr_id with
+    | None -> Hashtbl.add results r.lr_id r.lr_result
+    | Some prior ->
+      if not (String.equal prior r.lr_result) then identical := false
+  in
+  let total_errors = ref 0 in
+  (* pooled across every pool size: per-row cold/warm medians are
+     recorded but the gated verdict uses the pooled medians — at high
+     oversubscription a single row's 3-sample cold median is too noisy
+     to gate on *)
+  let all_cold_ms = ref [] and all_warm_ms = ref [] in
+  let module J = Obs.Json in
+  let run_at jobs =
+    Exec.set_jobs jobs;
+    (* scenario 1+2: fresh cache, double pass — first occurrences cold,
+       everything after warm *)
+    let cache = Serve.Cache.create () in
+    let stats, replies = drive_serve cache (encode (specs @ specs)) in
+    total_errors := !total_errors + stats.Serve.Daemon.errors;
+    let rs = List.map parse_load_reply replies in
+    List.iter record rs;
+    let latencies sel = List.filter_map sel rs in
+    let cold_ms =
+      latencies (fun r -> if r.lr_warm then None else Some r.lr_latency_ms)
+    in
+    let warm_ms =
+      latencies (fun r -> if r.lr_warm then Some r.lr_latency_ms else None)
+    in
+    (* scenario 3: fresh cache, N interleaved clients *)
+    let cache2 = Serve.Cache.create () in
+    let stream = encode (interleave ~clients specs) in
+    let (istats, ireplies), wall_s = time (fun () -> drive_serve cache2 stream) in
+    total_errors := !total_errors + istats.Serve.Daemon.errors;
+    let irs = List.map parse_load_reply ireplies in
+    List.iter record irs;
+    let ilat = List.map (fun r -> r.lr_latency_ms) irs in
+    all_cold_ms := cold_ms @ !all_cold_ms;
+    all_warm_ms := warm_ms @ !all_warm_ms;
+    let cold_p50 = median_ms cold_ms and warm_p50 = median_ms warm_ms in
+    let warm_below_cold = warm_p50 < cold_p50 in
+    let throughput = float_of_int (List.length irs) /. wall_s in
+    Printf.printf
+      "  jobs=%d  cold p50 %.1fms  warm p50 %.1fms  interleaved p50 %.1fms \
+       p99 %.1fms  %.1f jobs/s\n%!"
+      jobs cold_p50 warm_p50 (percentile_ms 0.5 ilat)
+      (percentile_ms 0.99 ilat) throughput;
+    J.Obj
+      [
+        ("jobs", J.Int jobs);
+        ( "cold_ms",
+          J.Obj
+            [ ("n", J.Int (List.length cold_ms)); ("p50", J.Float cold_p50) ]
+        );
+        ( "warm_ms",
+          J.Obj
+            [ ("n", J.Int (List.length warm_ms)); ("p50", J.Float warm_p50) ]
+        );
+        ( "interleaved",
+          J.Obj
+            [
+              ("n", J.Int (List.length irs));
+              ("wall_s", J.Float wall_s);
+              ("throughput_jobs_per_s", J.Float throughput);
+              ("p50_ms", J.Float (percentile_ms 0.5 ilat));
+              ("p99_ms", J.Float (percentile_ms 0.99 ilat));
+            ] );
+        ("warm_below_cold", J.Bool warm_below_cold);
+      ]
+  in
+  let rows = List.map run_at jobs_list in
+  let snap = Obs.snapshot () in
+  Obs.set_enabled false;
+  let counter name =
+    match List.assoc_opt name snap.Obs.counters with Some v -> v | None -> 0
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str Obs.Schemas.bench_load);
+        ("design", J.Str "m0");
+        ("scale", J.Int load_scale);
+        ("clients", J.Int clients);
+        ("specs", J.Int (List.length specs));
+        ("cpus", J.Int (Domain.recommended_domain_count ()));
+        ("serve_jobs", J.Int (counter "serve.jobs"));
+        ("serve_cache_hits", J.Int (counter "serve.cache_hits"));
+        ("serve_cache_misses", J.Int (counter "serve.cache_misses"));
+        ("errors", J.Int !total_errors);
+        ("byte_identical", J.Bool !identical);
+        ("cold_p50_ms", J.Float (median_ms !all_cold_ms));
+        ("warm_p50_ms", J.Float (median_ms !all_warm_ms));
+        ( "warm_below_cold",
+          J.Bool (median_ms !all_warm_ms < median_ms !all_cold_ms) );
+        ("rows", J.List rows);
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Printf.printf "(wrote %s)\n%!" out;
+  if !total_errors > 0 || not !identical then begin
+    prerr_endline "bench: load run violated the service contract";
+    exit 1
+  end
+
 (* --trace/--metrics mirror the vm1opt/expt flags so benchmark runs emit
    the same comparable JSON; see README "Measuring performance". The
    trace is written for the regeneration half only — Bechamel's timed
@@ -422,27 +645,36 @@ let run_route_profile ~out ~profile_scale () =
    before the microbenchmarks run. *)
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse (mode, trace, metrics, jobs, out) = function
-    | [] -> Some (mode, trace, metrics, jobs, out)
-    | "--trace" :: file :: rest -> parse (mode, Some file, metrics, jobs, out) rest
-    | "--metrics" :: rest -> parse (mode, trace, true, jobs, out) rest
+  let rec parse (mode, trace, metrics, jobs, out, clients) = function
+    | [] -> Some (mode, trace, metrics, jobs, out, clients)
+    | "--trace" :: file :: rest ->
+      parse (mode, Some file, metrics, jobs, out, clients) rest
+    | "--metrics" :: rest -> parse (mode, trace, true, jobs, out, clients) rest
     | "--jobs" :: n :: rest -> begin
       match int_of_string_opt n with
-      | Some n when n >= 1 -> parse (mode, trace, metrics, Some n, out) rest
+      | Some n when n >= 1 ->
+        parse (mode, trace, metrics, Some n, out, clients) rest
       | _ -> None
     end
-    | "--out" :: file :: rest -> parse (mode, trace, metrics, jobs, file) rest
-    | ("tables" | "micro" | "scaling" | "route-profile") as m :: rest ->
-      parse (Some m, trace, metrics, jobs, out) rest
+    | "--clients" :: n :: rest -> begin
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> parse (mode, trace, metrics, jobs, out, n) rest
+      | _ -> None
+    end
+    | "--out" :: file :: rest ->
+      parse (mode, trace, metrics, jobs, file, clients) rest
+    | ("tables" | "micro" | "scaling" | "route-profile" | "load") as m :: rest
+      ->
+      parse (Some m, trace, metrics, jobs, out, clients) rest
     | _ -> None
   in
-  match parse (None, None, false, None, "BENCH_vm1dp.json") args with
+  match parse (None, None, false, None, "BENCH_vm1dp.json", 4) args with
   | None ->
     prerr_endline
-      "usage: main.exe [tables|micro|scaling|route-profile] [--trace FILE] \
-       [--metrics] [--jobs N] [--out FILE]";
+      "usage: main.exe [tables|micro|scaling|route-profile|load] \
+       [--trace FILE] [--metrics] [--jobs N] [--clients N] [--out FILE]";
     exit 1
-  | Some (mode, trace, metrics, jobs, out) ->
+  | Some (mode, trace, metrics, jobs, out, clients) ->
     if trace <> None || metrics then Obs.set_enabled true;
     (match jobs with Some n -> Exec.set_jobs n | None -> ());
     let finish () =
@@ -483,6 +715,15 @@ let () =
         if out = "BENCH_vm1dp.json" then "route_profile.json" else out
       in
       run_route_profile ~out ~profile_scale ()
+    | Some "load" ->
+      let load_scale =
+        match Sys.getenv_opt "VM1DP_BENCH_SCALE" with
+        | Some s -> int_of_string s
+        | None -> 16
+      in
+      let out = if out = "BENCH_vm1dp.json" then "BENCH_vm1d.json" else out in
+      run_load ~out ~load_scale ~clients ~jobs_list:[ 1; 2; 4 ] ();
+      finish ()
     | _ ->
       regenerate ();
       finish ();

@@ -1,0 +1,125 @@
+(* vm1d: the batch-optimization daemon. Serves a stream of vm1dp-jobs/1
+   request lines — from stdin (default) or a Unix socket — scheduling
+   jobs onto the shared domain pool and streaming replies back in
+   request order. Immutable artifacts (cell libraries, netlists, input
+   placements, grid skeletons) are cached across jobs for the lifetime
+   of the process; see PROTOCOL.md for the wire format and README
+   "Running the batch service" for usage. *)
+
+open Cmdliner
+
+let socket_path =
+  Arg.(value & opt (some string) None & info [ "socket"; "s" ]
+         ~doc:"Listen on a Unix-domain socket at $(docv) instead of serving \
+               stdin. Connections are served one at a time, each to EOF; \
+               every connection shares the process-wide artifact cache. \
+               The socket file is removed on clean shutdown." ~docv:"PATH")
+
+let accept_limit =
+  Arg.(value & opt int 0 & info [ "accept-limit" ]
+         ~doc:"With --socket: exit after serving $(docv) connections \
+               (0 = serve forever). Lets tests and scripts run a bounded \
+               daemon." ~docv:"N")
+
+let jobs =
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ]
+         ~doc:"Size of the shared domain pool (caller + workers) jobs are \
+               scheduled onto. 0 picks the recommended domain count. \
+               Results are byte-identical for every value." ~docv:"N")
+
+let max_in_flight =
+  Arg.(value & opt int 0 & info [ "max-in-flight" ]
+         ~doc:"Maximum jobs running or queued at once; the reader blocks \
+               on the oldest job beyond this (backpressure). 0 picks \
+               2 * jobs." ~docv:"N")
+
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ]
+         ~doc:"Write a JSON trace of the daemon's whole service period to \
+               $(docv) on exit (enables observability for the run)."
+         ~docv:"FILE")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the observability summary tables (serve.* counters, \
+               queue-depth gauge, latency histogram) to stderr on exit.")
+
+let serve_channel cache ~max_in_flight ic oc =
+  Serve.Daemon.serve
+    ?max_in_flight
+    cache
+    ~next_line:(fun () -> In_channel.input_line ic)
+    ~emit:(fun line ->
+      Out_channel.output_string oc line;
+      Out_channel.output_char oc '\n';
+      Out_channel.flush oc)
+    ()
+
+let add_stats (a : Serve.Daemon.stats) (b : Serve.Daemon.stats) =
+  { Serve.Daemon.jobs = a.Serve.Daemon.jobs + b.Serve.Daemon.jobs;
+    ok = a.ok + b.ok;
+    errors = a.errors + b.errors }
+
+let serve_socket cache ~max_in_flight ~accept_limit path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind sock (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (err, _, _) ->
+     Printf.eprintf "vm1d: cannot bind %s: %s\n%!" path
+       (Unix.error_message err);
+     exit 1);
+  Unix.listen sock 16;
+  Printf.eprintf "vm1d: listening on %s\n%!" path;
+  let totals = ref { Serve.Daemon.jobs = 0; ok = 0; errors = 0 } in
+  let served = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      while accept_limit = 0 || !served < accept_limit do
+        let conn, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr conn in
+        let oc = Unix.out_channel_of_descr conn in
+        let stats =
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close conn with Unix.Unix_error _ -> ())
+            (fun () -> serve_channel cache ~max_in_flight ic oc)
+        in
+        totals := add_stats !totals stats;
+        incr served
+      done;
+      !totals)
+
+let run socket_path accept_limit jobs max_in_flight trace metrics =
+  if trace <> None || metrics then Obs.set_enabled true;
+  if jobs > 0 then Exec.set_jobs jobs;
+  let max_in_flight = if max_in_flight > 0 then Some max_in_flight else None in
+  let cache = Serve.Cache.create () in
+  let stats =
+    match socket_path with
+    | None -> serve_channel cache ~max_in_flight stdin stdout
+    | Some path -> serve_socket cache ~max_in_flight ~accept_limit path
+  in
+  Printf.eprintf "vm1d: served %d jobs (%d ok, %d errors)\n%!"
+    stats.Serve.Daemon.jobs stats.Serve.Daemon.ok stats.Serve.Daemon.errors;
+  (match trace with
+   | Some path ->
+     (try
+        Obs.write_trace path;
+        Printf.eprintf "(wrote %s)\n%!" path
+      with Sys_error msg ->
+        Printf.eprintf "vm1d: cannot write trace: %s\n%!" msg;
+        exit 1)
+   | None -> ());
+  (* stdout is the protocol channel — the summary goes to stderr *)
+  if metrics then
+    Printf.eprintf "%s%!" (Report.Obs_report.summary (Obs.snapshot ()))
+
+let cmd =
+  let doc = "batch-optimization daemon: the vm1dp flow as a service" in
+  Cmd.v (Cmd.info "vm1d" ~doc)
+    Term.(const run $ socket_path $ accept_limit $ jobs $ max_in_flight
+          $ trace $ metrics)
+
+let () = exit (Cmd.eval cmd)

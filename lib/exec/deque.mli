@@ -12,6 +12,7 @@
     Owner operations must all be called from the same domain; [steal]
     may be called from any domain, concurrently with everything. *)
 
+(** A deque of ['a] tasks, owned by the domain that created it. *)
 type 'a t
 
 (** [create ()] is an empty deque (initial capacity [min_capacity]). *)

@@ -30,6 +30,8 @@
     span [exec.task] around each pool-executed task (a root span of its
     worker domain, see the span-forest notes in ARCHITECTURE.md). *)
 
+(** The work-stealing deque the pool is built on, re-exported for
+    direct use and for the deque unit/property tests. *)
 module Deque : module type of Deque
 
 (** {1 Pool configuration} *)
@@ -74,8 +76,18 @@ module Future : sig
       blocking or helping. *)
   val poll : 'a t -> 'a option
 
+  (** [return v] is an already-completed future holding [v]; [await]
+      and [poll] yield it immediately. *)
   val return : 'a -> 'a t
+
+  (** [map f t] is a future for [f] applied to [t]'s value. [f] runs
+      in the caller on every [await] (or successful [poll]) — it is not
+      memoised, so it should be cheap and pure. *)
   val map : ('a -> 'b) -> 'a t -> 'b t
+
+  (** [all ts] is a future for the values of [ts], in order. Awaiting
+      it awaits each in turn (helping inline as usual); there is no
+      early exit on failure. *)
   val all : 'a t list -> 'a list t
 
   (** [cancel t] reclaims a submitted task from the pool: [true] when

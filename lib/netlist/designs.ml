@@ -38,9 +38,16 @@ let tune name (c : Generator.config) =
   | Vga ->
     { c with dff_fraction = 0.10; locality_window = 28; global_fraction = 0.01 }
 
-let make ?(scale = 8) name arch =
+let make ?lib ?(scale = 8) name arch =
   if scale < 1 then invalid_arg "Designs.make: scale must be >= 1";
-  let lib = Pdk.Libgen.generate (Pdk.Tech.default arch) in
+  let lib =
+    match lib with
+    | Some (l : Pdk.Libgen.t) ->
+      if not (Pdk.Cell_arch.equal l.Pdk.Libgen.tech.Pdk.Tech.arch arch) then
+        invalid_arg "Designs.make: library architecture does not match";
+      l
+    | None -> Pdk.Libgen.generate (Pdk.Tech.default arch)
+  in
   let n = max 64 (paper_instances name / scale) in
   let config = tune name (Generator.default_config ~n_instances:n ~seed:(seed_of name)) in
   Generator.generate lib config ~name:(to_string name)

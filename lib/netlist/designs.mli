@@ -15,6 +15,11 @@ val of_string : string -> name option
 (** Paper instance count of a design at scale 1. *)
 val paper_instances : name -> int
 
-(** [make ?scale name arch] generates the design bound to a freshly
-    generated library for [arch]. [scale] defaults to 8. *)
-val make : ?scale:int -> name -> Pdk.Cell_arch.t -> Design.t
+(** [make ?lib ?scale name arch] generates the design bound to a library
+    for [arch]: the given [lib] (its architecture must match [arch] —
+    raises [Invalid_argument] otherwise), or a freshly generated one.
+    Passing a library lets callers that build many designs — the batch
+    service's artifact cache above all — pay [Pdk.Libgen.generate] once
+    per architecture; the generated netlist is identical either way.
+    [scale] defaults to 8. *)
+val make : ?lib:Pdk.Libgen.t -> ?scale:int -> name -> Pdk.Cell_arch.t -> Design.t

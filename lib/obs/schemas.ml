@@ -4,8 +4,11 @@ type id =
   | Route_profile
   | Bench_scaling
   | Trace_report
+  | Jobs
+  | Bench_load
 
-let all = [ Trace; Lint; Route_profile; Bench_scaling; Trace_report ]
+let all =
+  [ Trace; Lint; Route_profile; Bench_scaling; Trace_report; Jobs; Bench_load ]
 
 let to_string = function
   | Trace -> "vm1dp-trace/1"
@@ -13,6 +16,8 @@ let to_string = function
   | Route_profile -> "vm1dp-route-profile/1"
   | Bench_scaling -> "vm1dp-bench-scaling/1"
   | Trace_report -> "vm1dp-trace-report/1"
+  | Jobs -> "vm1dp-jobs/1"
+  | Bench_load -> "vm1dp-bench-load/1"
 
 let of_string s = List.find_opt (fun id -> String.equal (to_string id) s) all
 let trace = to_string Trace
@@ -20,3 +25,5 @@ let lint = to_string Lint
 let route_profile = to_string Route_profile
 let bench_scaling = to_string Bench_scaling
 let trace_report = to_string Trace_report
+let jobs = to_string Jobs
+let bench_load = to_string Bench_load

@@ -14,6 +14,13 @@ type id =
   | Route_profile  (** [bench route-profile]: router quality/profile *)
   | Bench_scaling  (** [bench scaling]: per-stage wall-clock vs --jobs *)
   | Trace_report   (** [Trace.Profile.to_json]: aggregated trace profile *)
+  | Jobs
+      (** the [vm1d] batch-service wire format: both the job requests a
+          client sends and the replies the daemon streams back (one JSON
+          object per line; full spec in PROTOCOL.md) *)
+  | Bench_load
+      (** [bench load]: daemon throughput/latency under N concurrent
+          clients (the committed BENCH_vm1d.json) *)
 
 (** All tags, in declaration order. *)
 val all : id list
@@ -30,3 +37,5 @@ val lint : string
 val route_profile : string
 val bench_scaling : string
 val trace_report : string
+val jobs : string
+val bench_load : string

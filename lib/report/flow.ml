@@ -10,17 +10,20 @@ type eval = {
   alignments : int;
 }
 
+let prepare_placement ?(utilization = 0.75) ?(detailed = true) design =
+  let p = Place.Placement.create design ~utilization in
+  Place.Global.place p;
+  (* the paper's input placements come out of a commercial flow whose
+     own detailed placement has already converged; the HPWL-driven row
+     DP stands in for that, so the vertical-M1 optimiser is not
+     credited with generic wirelength cleanup *)
+  if detailed then ignore (Place.Row_opt.optimize ~passes:2 p);
+  p
+
 let prepare ?(scale = 8) ?(utilization = 0.75) ?(detailed = true) name arch =
   Obs.with_span "flow.prepare" (fun () ->
       let design = Netlist.Designs.make ~scale name arch in
-      let p = Place.Placement.create design ~utilization in
-      Place.Global.place p;
-      (* the paper's input placements come out of a commercial flow whose
-         own detailed placement has already converged; the HPWL-driven row
-         DP stands in for that, so the vertical-M1 optimiser is not
-         credited with generic wirelength cleanup *)
-      if detailed then ignore (Place.Row_opt.optimize ~passes:2 p);
-      p)
+      prepare_placement ~utilization ~detailed design)
 
 let evaluate ?clock_ps ?router_config (params : Vm1.Params.t)
     (p : Place.Placement.t) =

@@ -23,6 +23,15 @@ val prepare :
   ?scale:int -> ?utilization:float -> ?detailed:bool ->
   Netlist.Designs.name -> Pdk.Cell_arch.t -> Place.Placement.t
 
+(** [prepare_placement ?utilization ?detailed design] is the placement
+    half of {!prepare} for an already-generated design — the entry the
+    batch service uses so one cached netlist can seed many jobs. The
+    result for a given design is identical to what {!prepare} would
+    produce for the same inputs. *)
+val prepare_placement :
+  ?utilization:float -> ?detailed:bool -> Netlist.Design.t ->
+  Place.Placement.t
+
 (** [evaluate ?clock_ps ?router_config params p] routes the placement and
     computes all metrics. Pass the [clock_ps] captured from the initial
     evaluation when evaluating the optimised placement, so WNS is

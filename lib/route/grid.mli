@@ -93,13 +93,53 @@ val has_via_edge : t -> int -> bool
 (** [via_dest g n] is the node one layer up at the same (i,j). *)
 val via_dest : t -> int -> int
 
-(** [of_placement ?layers ?pdn_stripes p] builds the grid and installs
-    blockage: per-pin M1 blockage with net ownership; M1 power rails for
-    the conventional architecture or M2 power rails along row boundaries
-    for the 7.5-track architectures; and, when [pdn_stripes] (default
-    true), periodic M5/M6 power straps. [layers] (2..6, default 6) limits
-    the routable stack. Rebuild after the placement changes. *)
-val of_placement : ?layers:int -> ?pdn_stripes:bool -> Place.Placement.t -> t
+(** {1 Grid skeleton}
+
+    The power-grid blockage (M1/M2 rails, M5/M6 PDN straps) is a pure
+    function of the die size, the row structure and the architecture —
+    never of cell positions — so it can be computed once and shared
+    across every placement of the same die. The batch service
+    ([lib/serve]) caches skeletons keyed by {!skeleton_key}; a one-shot
+    run never needs them. *)
+
+(** The placement-independent blockage of a grid: the [wire_owner]
+    contents after rail/PDN installation and before any pin shape.
+    Immutable once built — [of_placement] copies it into the fresh
+    grid. *)
+type skeleton = private {
+  sk_key : string;      (** the {!skeleton_key} it was built for *)
+  sk_nl : int;          (** layer count the skeleton covers *)
+  sk_nx : int;
+  sk_ny : int;
+  sk_pitch : int;
+  sk_owner : int array; (** blockage-only wire_owner, length nl*nx*ny *)
+}
+
+(** [skeleton_key ?layers ?pdn_stripes p] identifies the blockage
+    content a grid for [p] needs: architecture, layer count, track
+    counts, pitch, row structure and the PDN switch. Two placements
+    with equal keys can share one {!skeleton}. *)
+val skeleton_key : ?layers:int -> ?pdn_stripes:bool -> Place.Placement.t -> string
+
+(** [skeleton ?layers ?pdn_stripes p] computes the shared blockage for
+    [p]'s die by running exactly the installation [of_placement] would
+    run, so building a grid from the result is byte-identical to
+    building it from scratch. *)
+val skeleton : ?layers:int -> ?pdn_stripes:bool -> Place.Placement.t -> skeleton
+
+(** [of_placement ?layers ?pdn_stripes ?skeleton p] builds the grid and
+    installs blockage: per-pin M1 blockage with net ownership; M1 power
+    rails for the conventional architecture or M2 power rails along row
+    boundaries for the 7.5-track architectures; and, when [pdn_stripes]
+    (default true), periodic M5/M6 power straps. [layers] (2..6, default
+    6) limits the routable stack. Passing a cached [skeleton] replaces
+    the rail/PDN installation with an array copy; its key must equal
+    [skeleton_key ?layers ?pdn_stripes p] (checked — raises
+    [Invalid_argument] on a mismatched skeleton rather than building a
+    wrong grid). Rebuild after the placement changes. *)
+val of_placement :
+  ?layers:int -> ?pdn_stripes:bool -> ?skeleton:skeleton ->
+  Place.Placement.t -> t
 
 (** [pin_access g pr] is the list of grid nodes at which a route may
     terminate for the given pin: on-M1 nodes along the pin segment for

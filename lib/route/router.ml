@@ -9,6 +9,7 @@ type config = {
   layers : int;
   pdn_stripes : bool;
   shard_tracks : int;
+  grid_skeleton : Grid.skeleton option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     layers = 6;
     pdn_stripes = true;
     shard_tracks = 64;
+    grid_skeleton = None;
   }
 
 (* Metric handles created once: the initial pass bumps these from
@@ -443,7 +445,8 @@ let route_subnet ?clamp ctx ~net subnet =
 let route ?(config = default_config) (p : Place.Placement.t) =
   Obs.with_span "route" (fun () ->
   let g =
-    Grid.of_placement ~layers:config.layers ~pdn_stripes:config.pdn_stripes p
+    Grid.of_placement ~layers:config.layers ~pdn_stripes:config.pdn_stripes
+      ?skeleton:config.grid_skeleton p
   in
   let ctx = make_ctx g config in
   let design = p.Place.Placement.design in

@@ -36,6 +36,11 @@ type config = {
                                is a fixed function of the grid — never of
                                [Exec.jobs] — so routing results are
                                byte-identical across pool sizes *)
+  grid_skeleton : Grid.skeleton option;
+      (** cached rail/PDN blockage to seed {!Grid.of_placement} with
+          (see {!Grid.skeleton}); [None] recomputes it. Purely a
+          construction shortcut — routing results are byte-identical
+          either way *)
 }
 
 val default_config : config

@@ -1,0 +1,71 @@
+(** Content-keyed caches for the immutable cross-job artifacts of the
+    batch service.
+
+    Every one-shot run of the flow pays four start-up costs that do not
+    depend on anything a job may mutate: generating the standard-cell
+    library of an architecture, generating a netlist, computing the
+    converged input placement the optimiser starts from, and installing
+    the power-grid blockage of the routing grid. A cache holds each of
+    these keyed by the parameters that determine its content, so a
+    daemon serving many jobs pays them once.
+
+    The soundness argument has two halves, and both are load-bearing:
+
+    - {b Cached artifacts are immutable.} Jobs never write into a
+      design, a library or a skeleton, and the cached placement is a
+      master copy that jobs duplicate ([Place.Placement.copy]) before
+      touching. The per-job mutable state starts at the copy.
+    - {b Generation is deterministic.} Every generator behind a cache
+      is a pure function of the key, so a hit returns exactly what a
+      miss would have computed — cold, warm and interleaved service are
+      byte-identical (checked by [test/test_serve.ml] and the
+      [bench load] gate).
+
+    A cache is confined to the domain that owns it: the daemon resolves
+    artifacts on the submitting thread {e before} a job fans out to the
+    pool, which is what keeps this module free of locks (and of the
+    [domain-prims] lint rule). Hits and misses are counted both per
+    store ({!stats}) and in the [serve.cache_hits] / [serve.cache_misses]
+    observability counters. *)
+
+type t
+
+(** Whether a lookup was served from the store. *)
+type outcome = Hit | Miss
+
+val create : unit -> t
+
+(** [library t arch] is the generated standard-cell library for [arch],
+    keyed by the architecture name. *)
+val library : t -> Pdk.Cell_arch.t -> Pdk.Libgen.t * outcome
+
+(** [netlist t ~lib ~name ~arch ~scale] is the generated design, keyed
+    by (design name, architecture, scale) — the design seed is a fixed
+    function of the name, so the key covers everything the generator
+    reads. [lib] (from {!library}, same [arch]) is used only on a miss;
+    passing the dependency in keeps each store's hit/miss tally at
+    exactly one count per job. *)
+val netlist :
+  t -> lib:Pdk.Libgen.t -> name:Netlist.Designs.name ->
+  arch:Pdk.Cell_arch.t -> scale:int -> Netlist.Design.t * outcome
+
+(** [placement t ~design ~name ~arch ~scale ~utilization] is the
+    prepared input placement ([Report.Flow.prepare_placement]: global
+    place + row-DP baseline), keyed by the netlist key plus the
+    utilisation. [design] (from {!netlist}, same key fields) is used
+    only on a miss. The returned placement is the shared master —
+    callers must [Place.Placement.copy] it and never mutate it. *)
+val placement :
+  t -> design:Netlist.Design.t -> name:Netlist.Designs.name ->
+  arch:Pdk.Cell_arch.t -> scale:int -> utilization:float ->
+  Place.Placement.t * outcome
+
+(** [grid_skeleton t p] is the routing-grid blockage skeleton for [p]'s
+    die, keyed by {!Route.Grid.skeleton_key} (die tracks, architecture,
+    row structure, PDN) — placements of different designs that share a
+    die size share the skeleton. *)
+val grid_skeleton : t -> Place.Placement.t -> Route.Grid.skeleton * outcome
+
+(** [stats t] is [(store, hits, misses)] per artifact store, in a fixed
+    order: [grid], [library], [netlist], [placement]. *)
+val stats : t -> (string * int * int) list

@@ -1,0 +1,65 @@
+type stats = {
+  jobs : int;
+  ok : int;
+  errors : int;
+}
+
+let c_jobs = Obs.counter "serve.jobs"
+let c_errors = Obs.counter "serve.errors"
+let g_depth = Obs.gauge "serve.queue_depth"
+
+let serve ?max_in_flight cache ~next_line ~emit () =
+  let cap =
+    match max_in_flight with
+    | Some n -> max 1 n
+    | None -> max 2 (2 * Exec.jobs ())
+  in
+  (* in-flight replies, oldest first; emission order = request order *)
+  let inflight : Protocol.reply Exec.Future.t Queue.t = Queue.create () in
+  let jobs = ref 0 and ok = ref 0 and errors = ref 0 in
+  let set_depth () =
+    Obs.Gauge.set g_depth (float_of_int (Queue.length inflight))
+  in
+  let flush_one () =
+    let reply = Exec.Future.await (Queue.pop inflight) in
+    set_depth ();
+    (match reply with
+    | Protocol.Ok _ -> incr ok
+    | Protocol.Err _ ->
+      incr errors;
+      Obs.Counter.incr c_errors);
+    emit (Protocol.encode_reply reply)
+  in
+  let drain () =
+    while not (Queue.is_empty inflight) do
+      flush_one ()
+    done
+  in
+  let push fut =
+    Queue.push fut inflight;
+    set_depth ();
+    while Queue.length inflight > cap do
+      flush_one ()
+    done
+  in
+  let rec loop () =
+    match next_line () with
+    | None ->
+      drain ();
+      { jobs = !jobs; ok = !ok; errors = !errors }
+    | Some line ->
+      incr jobs;
+      Obs.Counter.incr c_jobs;
+      (match Protocol.parse_job line with
+      | Error e -> push (Exec.Future.return (Protocol.Err e))
+      | Ok job when job.Protocol.want_trace ->
+        (* serialisation point: the trace must contain this job's spans
+           only, so nothing else may be running *)
+        drain ();
+        push (Exec.Future.return (Engine.run cache job))
+      | Ok job ->
+        let prep = Engine.prepare cache job in
+        push (Exec.submit (fun () -> Engine.execute prep)));
+      loop ()
+  in
+  loop ()

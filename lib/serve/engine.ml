@@ -1,0 +1,161 @@
+type artifacts = {
+  master : Place.Placement.t;  (** shared, read-only: copy before use *)
+  skeleton : Route.Grid.skeleton;
+  resolved : (string * bool) list;  (** per-store outcome, for the reply *)
+}
+
+type prepared = {
+  job : Protocol.job;
+  art : (artifacts, Protocol.error) result;
+  resolve_ns : int64;
+}
+
+let hit = function Cache.Hit -> true | Cache.Miss -> false
+
+let prepare cache (job : Protocol.job) =
+  let t0 = Obs.now_ns () in
+  let art =
+    match
+      let lib, l_o = Cache.library cache job.arch in
+      let design, n_o =
+        Cache.netlist cache ~lib ~name:job.design ~arch:job.arch
+          ~scale:job.scale
+      in
+      let master, p_o =
+        Cache.placement cache ~design ~name:job.design ~arch:job.arch
+          ~scale:job.scale ~utilization:job.util
+      in
+      let skeleton, g_o = Cache.grid_skeleton cache master in
+      {
+        master;
+        skeleton;
+        resolved =
+          [
+            ("library", hit l_o);
+            ("netlist", hit n_o);
+            ("placement", hit p_o);
+            ("grid", hit g_o);
+          ];
+      }
+    with
+    | a -> Ok a
+    | exception e ->
+      Error
+        {
+          Protocol.code = Protocol.Internal;
+          message = "artifact resolution failed: " ^ Printexc.to_string e;
+          err_id = Some job.id;
+        }
+  in
+  { job; art; resolve_ns = Int64.sub (Obs.now_ns ()) t0 }
+
+(* Marshal-free placement fingerprint: coordinates and orientations in
+   textual form, hashed. Covers exactly the job-mutable state, so equal
+   digests mean the optimiser made identical decisions. *)
+let placement_digest (p : Place.Placement.t) =
+  let b = Buffer.create (8 * Array.length p.Place.Placement.xs) in
+  Array.iter
+    (fun x ->
+      Buffer.add_string b (string_of_int x);
+      Buffer.add_char b ',')
+    p.Place.Placement.xs;
+  Buffer.add_char b ';';
+  Array.iter
+    (fun y ->
+      Buffer.add_string b (string_of_int y);
+      Buffer.add_char b ',')
+    p.Place.Placement.ys;
+  Buffer.add_char b ';';
+  Array.iter
+    (fun o ->
+      Buffer.add_string b (Geom.Orient.to_string o);
+      Buffer.add_char b ',')
+    p.Place.Placement.orients;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let run_flow (job : Protocol.job) (a : artifacts) =
+  let q = Place.Placement.copy a.master in
+  let params =
+    let base = Vm1.Params.default q.Place.Placement.tech in
+    match job.alpha with
+    | Some alpha -> { base with Vm1.Params.alpha }
+    | None -> base
+  in
+  let router_config =
+    { Route.Router.default_config with grid_skeleton = Some a.skeleton }
+  in
+  let config =
+    { Vm1.Vm1_opt.default_config with
+      Vm1.Vm1_opt.sequence = Vm1.Params.sequence job.sequence;
+      parallel = false }
+  in
+  let init, clock_ps = Report.Flow.evaluate ~router_config params q in
+  let (_ : Vm1.Vm1_opt.report) = Vm1.Vm1_opt.run ~config params q in
+  let final, _ = Report.Flow.evaluate ~clock_ps ~router_config params q in
+  {
+    Protocol.r_design = Netlist.Designs.to_string job.design;
+    r_arch = Pdk.Cell_arch.to_string job.arch;
+    r_scale = job.scale;
+    r_util = job.util;
+    r_alpha = params.Vm1.Params.alpha;
+    r_sequence = job.sequence;
+    instances = Place.Placement.num_instances q;
+    init;
+    final;
+    digest = placement_digest q;
+  }
+
+(* The trace blob of a traced job: the root spans whose start lies
+   inside the job's run, over the daemon's cumulative metrics. Traced
+   jobs run drained and inline (see Daemon), so those roots belong to
+   this job alone. *)
+let with_job_trace f =
+  let was_enabled = Obs.enabled () in
+  Obs.set_enabled true;
+  let t0 = Obs.now_ns () in
+  let finish () =
+    let snap = Obs.snapshot () in
+    let job_spans =
+      List.filter
+        (fun (s : Obs.Span.t) -> Int64.compare s.Obs.Span.start_ns t0 >= 0)
+        snap.Obs.spans
+    in
+    Obs.set_enabled was_enabled;
+    Obs.trace_json { snap with Obs.spans = job_spans }
+  in
+  match f () with
+  | v -> (v, finish ())
+  | exception e ->
+    Obs.set_enabled was_enabled;
+    raise e
+
+let h_latency = Obs.histogram "serve.job_latency_ms"
+
+let execute { job; art; resolve_ns } =
+  match art with
+  | Error e -> Protocol.Err e
+  | Ok a -> (
+    let t0 = Obs.now_ns () in
+    match
+      if job.want_trace then
+        let result, trace = with_job_trace (fun () -> run_flow job a) in
+        (result, Some trace)
+      else (run_flow job a, None)
+    with
+    | result, trace ->
+      let latency_ms =
+        Int64.to_float (Int64.add resolve_ns (Int64.sub (Obs.now_ns ()) t0))
+        /. 1e6
+      in
+      Obs.Histogram.observe h_latency latency_ms;
+      Protocol.Ok
+        { job; result; artifacts = a.resolved; latency_ms; trace }
+    | exception e ->
+      Protocol.Err
+        {
+          Protocol.code = Protocol.Internal;
+          message = Printexc.to_string e;
+          err_id = Some job.id;
+        })
+
+let run cache job = execute (prepare cache job)

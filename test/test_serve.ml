@@ -1,0 +1,263 @@
+(* The batch service (lib/serve): protocol codec round-trips and
+   negative paths, artifact-cache correctness (a cache hit must change
+   nothing but latency), grid-skeleton equivalence, and the daemon
+   loop's ordering and robustness guarantees. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let job id =
+  {
+    Serve.Protocol.id;
+    design = Netlist.Designs.M0;
+    arch = Pdk.Cell_arch.Closed_m1;
+    scale = 64;
+    util = 0.75;
+    alpha = None;
+    sequence = 1;
+    want_trace = false;
+  }
+
+(* --- protocol codec --- *)
+
+let test_job_roundtrip () =
+  let j =
+    {
+      (job "rt") with
+      Serve.Protocol.arch = Pdk.Cell_arch.Open_m1;
+      scale = 16;
+      util = 0.8;
+      alpha = Some 600.;
+      sequence = 3;
+      want_trace = true;
+    }
+  in
+  match Serve.Protocol.parse_job (Serve.Protocol.encode_job j) with
+  | Error e -> Alcotest.fail ("round-trip rejected: " ^ e.Serve.Protocol.message)
+  | Ok j' ->
+    checks "round-trip" (Serve.Protocol.encode_job j)
+      (Serve.Protocol.encode_job j')
+
+let test_defaults_applied () =
+  match
+    Serve.Protocol.parse_job
+      {|{"schema":"vm1dp-jobs/1","id":"d","design":"m0"}|}
+  with
+  | Error e -> Alcotest.fail e.Serve.Protocol.message
+  | Ok j ->
+    checks "id" "d" j.Serve.Protocol.id;
+    check "scale" 8 j.Serve.Protocol.scale;
+    checkb "util" true (j.Serve.Protocol.util = 0.75);
+    checkb "arch" true
+      (Pdk.Cell_arch.equal j.Serve.Protocol.arch Pdk.Cell_arch.Closed_m1);
+    checkb "alpha" true (j.Serve.Protocol.alpha = None);
+    check "sequence" 1 j.Serve.Protocol.sequence;
+    checkb "trace" false j.Serve.Protocol.want_trace
+
+let expect_error ~code line =
+  match Serve.Protocol.parse_job line with
+  | Ok _ -> Alcotest.fail ("accepted: " ^ line)
+  | Error e ->
+    checks "error code"
+      (Serve.Protocol.error_code_string code)
+      (Serve.Protocol.error_code_string e.Serve.Protocol.code);
+    e
+
+let test_truncated_line () =
+  let e = expect_error ~code:Serve.Protocol.Parse_error {|{"schema":"vm1|} in
+  checkb "no id extracted" true (e.Serve.Protocol.err_id = None)
+
+let test_not_an_object () =
+  ignore (expect_error ~code:Serve.Protocol.Parse_error "42")
+
+let test_unknown_schema () =
+  ignore
+    (expect_error ~code:Serve.Protocol.Unsupported_schema
+       {|{"schema":"vm1dp-jobs/999","id":"x","design":"m0"}|});
+  ignore
+    (expect_error ~code:Serve.Protocol.Unsupported_schema
+       {|{"id":"x","design":"m0"}|})
+
+let test_bad_fields () =
+  (* id still extracted so the client can correlate the error reply *)
+  let e =
+    expect_error ~code:Serve.Protocol.Bad_request
+      {|{"schema":"vm1dp-jobs/1","id":"b1","design":"m0","scale":"big"}|}
+  in
+  checkb "id extracted" true (e.Serve.Protocol.err_id = Some "b1");
+  ignore
+    (expect_error ~code:Serve.Protocol.Bad_request
+       {|{"schema":"vm1dp-jobs/1","id":"b2","design":"nosuch"}|});
+  ignore
+    (expect_error ~code:Serve.Protocol.Bad_request
+       {|{"schema":"vm1dp-jobs/1","id":"b3","design":"m0","util":1.5}|});
+  ignore
+    (expect_error ~code:Serve.Protocol.Bad_request
+       {|{"schema":"vm1dp-jobs/1","id":"b4","design":"m0","sequence":9}|})
+
+let test_error_reply_roundtrip () =
+  let e =
+    {
+      Serve.Protocol.code = Serve.Protocol.Bad_request;
+      message = "no";
+      err_id = Some "x";
+    }
+  in
+  match Serve.Protocol.parse_reply (Serve.Protocol.encode_reply (Err e)) with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    checks "status" "error" r.Serve.Protocol.p_status;
+    checkb "code" true
+      (r.Serve.Protocol.p_error_code = Some "bad_request");
+    checkb "id" true (r.Serve.Protocol.p_id = Some "x")
+
+(* --- artifact cache --- *)
+
+let result_bytes = function
+  | Serve.Protocol.Ok o -> Obs.Json.to_string (Serve.Protocol.result_json o.result)
+  | Serve.Protocol.Err e -> Alcotest.fail e.Serve.Protocol.message
+
+let artifacts = function
+  | Serve.Protocol.Ok o -> o.artifacts
+  | Serve.Protocol.Err e -> Alcotest.fail e.Serve.Protocol.message
+
+let test_cold_warm_identical () =
+  let cache = Serve.Cache.create () in
+  let cold = Serve.Engine.run cache (job "c") in
+  let warm = Serve.Engine.run cache (job "c") in
+  checkb "cold run misses" true (List.for_all (fun (_, h) -> not h) (artifacts cold));
+  checkb "warm run hits" true (List.for_all snd (artifacts warm));
+  checks "byte-identical results" (result_bytes cold) (result_bytes warm);
+  (* and a fresh cache reproduces the same bytes again *)
+  let cold2 = Serve.Engine.run (Serve.Cache.create ()) (job "c") in
+  checks "reproducible across caches" (result_bytes cold) (result_bytes cold2)
+
+let test_cache_stats_count () =
+  let cache = Serve.Cache.create () in
+  ignore (Serve.Engine.run cache (job "a"));
+  ignore (Serve.Engine.run cache (job "b"));
+  List.iter
+    (fun (name, hits, misses) ->
+      check (name ^ " misses") 1 misses;
+      check (name ^ " hits") 1 hits)
+    (Serve.Cache.stats cache)
+
+(* --- grid skeleton --- *)
+
+let placement scale =
+  Report.Flow.prepare ~scale Netlist.Designs.M0 Pdk.Cell_arch.Closed_m1
+
+let test_skeleton_equivalent () =
+  let p = placement 64 in
+  let s = Route.Grid.skeleton p in
+  let plain = Route.Router.route p in
+  let seeded =
+    Route.Router.route
+      ~config:
+        { Route.Router.default_config with grid_skeleton = Some s }
+      p
+  in
+  check "failed subnets" plain.Route.Router.failed_subnets
+    seeded.Route.Router.failed_subnets;
+  let m1 = Route.Metrics.summarize plain
+  and m2 = Route.Metrics.summarize seeded in
+  checkb "identical metrics" true (m1 = m2)
+
+let test_skeleton_mismatch_rejected () =
+  let s = Route.Grid.skeleton (placement 64) in
+  match Route.Grid.of_placement ~skeleton:s (placement 32) with
+  | _ -> Alcotest.fail "mismatched skeleton accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- daemon loop --- *)
+
+let serve_lines lines =
+  let remaining = ref lines in
+  let replies = ref [] in
+  let stats =
+    Serve.Daemon.serve
+      (Serve.Cache.create ())
+      ~next_line:(fun () ->
+        match !remaining with
+        | [] -> None
+        | l :: rest ->
+          remaining := rest;
+          Some l)
+      ~emit:(fun line -> replies := line :: !replies)
+      ()
+  in
+  (stats, List.rev !replies)
+
+let reply_id line =
+  match Serve.Protocol.parse_reply line with
+  | Ok r -> Option.value ~default:"?" r.Serve.Protocol.p_id
+  | Error msg -> Alcotest.fail msg
+
+let test_daemon_survives_bad_input () =
+  let stats, replies =
+    serve_lines
+      [
+        Serve.Protocol.encode_job (job "j1");
+        "{\"truncated";
+        {|{"schema":"vm1dp-jobs/1","id":"j2","design":"m0","scale":"x"}|};
+        Serve.Protocol.encode_job (job "j3");
+      ]
+  in
+  check "all lines answered" 4 (List.length replies);
+  check "jobs" 4 stats.Serve.Daemon.jobs;
+  check "ok" 2 stats.Serve.Daemon.ok;
+  check "errors" 2 stats.Serve.Daemon.errors;
+  (* replies in request order, ids echoed where extractable *)
+  checks "order" "j1,?,j2,j3"
+    (String.concat "," (List.map reply_id replies))
+
+let test_daemon_order_under_concurrency () =
+  let ids = List.init 8 (fun i -> Printf.sprintf "k%d" i) in
+  let _, replies = serve_lines (List.map (fun i -> Serve.Protocol.encode_job (job i)) ids) in
+  checks "request order preserved" (String.concat "," ids)
+    (String.concat "," (List.map reply_id replies))
+
+let test_traced_job_carries_trace () =
+  let j = { (job "t") with Serve.Protocol.want_trace = true } in
+  let _, replies = serve_lines [ Serve.Protocol.encode_job j ] in
+  match replies with
+  | [ line ] ->
+    checkb "reply has trace" true
+      (match Obs.Json.parse line with
+      | Ok json -> Obs.Json.member "trace" json <> None
+      | Error _ -> false)
+  | _ -> Alcotest.fail "expected one reply"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "job roundtrip" `Quick test_job_roundtrip;
+          Alcotest.test_case "defaults" `Quick test_defaults_applied;
+          Alcotest.test_case "truncated line" `Quick test_truncated_line;
+          Alcotest.test_case "not an object" `Quick test_not_an_object;
+          Alcotest.test_case "unknown schema" `Quick test_unknown_schema;
+          Alcotest.test_case "bad fields" `Quick test_bad_fields;
+          Alcotest.test_case "error reply" `Quick test_error_reply_roundtrip;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "cold=warm bytes" `Quick test_cold_warm_identical;
+          Alcotest.test_case "stats" `Quick test_cache_stats_count;
+        ] );
+      ( "skeleton",
+        [
+          Alcotest.test_case "route equivalence" `Quick test_skeleton_equivalent;
+          Alcotest.test_case "key mismatch" `Quick test_skeleton_mismatch_rejected;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "survives bad input" `Quick
+            test_daemon_survives_bad_input;
+          Alcotest.test_case "reply order" `Quick
+            test_daemon_order_under_concurrency;
+          Alcotest.test_case "traced job" `Quick test_traced_job_carries_trace;
+        ] );
+    ]

@@ -1,0 +1,51 @@
+(* Checker for the @serve-smoke alias: vm1d.exe has served the three
+   jobs in serve_smoke_jobs.txt (the second a byte-for-byte duplicate of
+   the first) over stdin; this program validates the captured reply
+   stream. The daemon's exit code is checked by the dune rule itself.
+
+   Usage: test_serve_smoke.exe REPLIES.txt *)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ -> fail "usage: test_serve_smoke.exe REPLIES.txt"
+  in
+  let ic = open_in path in
+  let lines = In_channel.input_lines ic in
+  close_in ic;
+  let replies =
+    List.map
+      (fun line ->
+        match Serve.Protocol.parse_reply line with
+        | Ok r -> (r, line)
+        | Error msg -> fail "unparsable reply %S: %s" line msg)
+      lines
+  in
+  (match List.map (fun (r, _) -> r.Serve.Protocol.p_status) replies with
+  | [ "ok"; "ok"; "ok" ] -> ()
+  | statuses ->
+    fail "expected 3 ok replies, got [%s]" (String.concat "; " statuses));
+  let ids =
+    List.map
+      (fun (r, _) -> Option.value ~default:"?" r.Serve.Protocol.p_id)
+      replies
+  in
+  if ids <> [ "a"; "b"; "c" ] then
+    fail "reply order wrong: [%s]" (String.concat "; " ids);
+  let nth n = List.nth replies n in
+  let result n =
+    match (fst (nth n)).Serve.Protocol.p_result with
+    | Some j -> Obs.Json.to_string j
+    | None -> fail "reply %d has no result" n
+  in
+  let all_hit n = List.for_all snd (fst (nth n)).Serve.Protocol.p_cache in
+  if all_hit 0 then fail "first job cannot be a full cache hit";
+  if not (all_hit 1) then fail "duplicate job missed the artifact cache";
+  if not (String.equal (result 0) (result 1)) then
+    fail "duplicate job produced different result bytes";
+  if String.equal (result 0) (result 2) then
+    fail "distinct jobs (alpha override) produced identical results";
+  print_endline "serve smoke OK"
