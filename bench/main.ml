@@ -430,25 +430,17 @@ let run_route_profile ~out ~profile_scale () =
      VM1DP_BENCH_SCALE=32 dune exec bench/main.exe -- load --out BENCH_vm1d.json *)
 
 let load_specs load_scale =
-  let base =
-    {
-      Serve.Protocol.id = "";
-      design = Netlist.Designs.M0;
-      arch = Pdk.Cell_arch.Closed_m1;
-      scale = load_scale;
-      util = 0.75;
-      alpha = None;
-      sequence = 1;
-      want_trace = false;
-    }
+  let spec ~id ?util ?alpha ?sequence () =
+    Serve.Protocol.generated_job ~id ~scale:load_scale ?util ?alpha
+      ?sequence Netlist.Designs.M0
   in
   [
     (* three distinct placements (cold resolves), one alpha/sequence
        variant that shares every artifact with s2 *)
-    { base with Serve.Protocol.id = "s1"; util = 0.70 };
-    { base with Serve.Protocol.id = "s2" };
-    { base with Serve.Protocol.id = "s3"; util = 0.80 };
-    { base with Serve.Protocol.id = "s4"; alpha = Some 600.; sequence = 2 };
+    spec ~id:"s1" ~util:0.70 ();
+    spec ~id:"s2" ();
+    spec ~id:"s3" ~util:0.80 ();
+    spec ~id:"s4" ~alpha:600. ~sequence:2 ();
   ]
 
 let drive_serve cache lines =

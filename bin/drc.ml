@@ -1,5 +1,5 @@
-(* Standalone placement checker: reads a DEF-like dump (as written by
-   vm1opt --dump or Netlist.Def_io), validates netlist integrity and
+(* Standalone placement checker: reads a DEF file (as written by
+   vm1opt --dump or Io.Def), validates netlist integrity and
    placement legality through the lib/check oracles, and reports the
    design's metrics; optionally routes it and re-verifies the routing
    result.
@@ -10,11 +10,15 @@ open Cmdliner
 
 let def_file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"DEF"
-         ~doc:"Placement dump produced by Netlist.Def_io.")
+         ~doc:"DEF file produced by vm1opt --dump (the Io.Def subset).")
 
 let arch =
   Arg.(value & opt string "closedm1" & info [ "arch"; "a" ]
-         ~doc:"Cell architecture the dump was produced with.")
+         ~doc:"Cell architecture the DEF was produced with (ignored              when --lef is given).")
+
+let lef_file =
+  Arg.(value & opt (some file) None & info [ "lef" ]
+         ~doc:"Bind the DEF against this LEF library instead of the              generated library for --arch.")
 
 let do_route =
   Arg.(value & flag & info [ "route" ]
@@ -33,20 +37,29 @@ let print_problems ~verbose problems =
         Printf.printf "  ... %d more (use --verbose to see all)\n" (n - 10))
     problems
 
-let run def_file arch do_route verbose =
-  match Pdk.Cell_arch.of_string arch with
-  | None ->
-    Printf.eprintf "unknown architecture %S\n" arch;
+let run def_file arch lef_file do_route verbose =
+  let lib =
+    match lef_file with
+    | Some path ->
+      (match Io.Lef.parse_file path with
+      | Ok lib -> Ok lib
+      | Error e ->
+        Error (Printf.sprintf "%s: %s" path (Io.Lex.error_to_string e)))
+    | None ->
+      (match Pdk.Cell_arch.of_string arch with
+      | Some arch -> Ok (Pdk.Libgen.generate (Pdk.Tech.default arch))
+      | None -> Error (Printf.sprintf "unknown architecture %S" arch))
+  in
+  match lib with
+  | Error msg ->
+    Printf.eprintf "drc: %s\n" msg;
     2
-  | Some arch ->
-    (match
-       let lib = Pdk.Libgen.generate (Pdk.Tech.default arch) in
-       Netlist.Def_io.read_file lib def_file
-     with
-    | exception Failure msg ->
+  | Ok lib ->
+    (match Io.Def.read_file lib def_file with
+    | Error msg ->
       Printf.eprintf "drc: cannot read %s: %s\n" def_file msg;
       2
-    | design, def ->
+    | Ok (design, def) ->
       let bad = ref false in
       let section name problems =
         match problems with
@@ -72,8 +85,8 @@ let run def_file arch do_route verbose =
       if !bad then 1 else 0)
 
 let cmd =
-  let doc = "validate and report on a placement dump" in
+  let doc = "validate and report on a placement DEF" in
   Cmd.v (Cmd.info "drc" ~doc)
-    Term.(const run $ def_file $ arch $ do_route $ verbose)
+    Term.(const run $ def_file $ arch $ lef_file $ do_route $ verbose)
 
 let () = exit (Cmd.eval' cmd)

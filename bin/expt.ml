@@ -23,7 +23,35 @@ let write_csv csv_prefix name header rows =
       (fun () -> output_string oc (Report.Table.to_csv ~header ~rows));
     Printf.printf "(wrote %s)\n%!" path
 
-let run_one scale csv_prefix = function
+let run_matrix manifest out =
+  match manifest with
+  | None ->
+    Printf.eprintf "expt: matrix needs --manifest FILE\n";
+    exit 1
+  | Some path ->
+    (match Io.Manifest.load path with
+    | Error msg ->
+      Printf.eprintf "expt: %s: %s\n" path msg;
+      exit 1
+    | Ok m ->
+      (match Report.Matrix.run m with
+      | Error msg ->
+        Printf.eprintf "expt: matrix: %s\n" msg;
+        exit 1
+      | Ok r ->
+        print_string (Report.Matrix.render r);
+        (match out with
+         | Some path ->
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () ->
+               output_string oc (Obs.Json.to_string (Report.Matrix.to_json r));
+               output_char oc '\n');
+           Printf.printf "(wrote %s)\n%!" path
+         | None -> ())))
+
+let run_one scale csv_prefix manifest out = function
   | "a1" | "fig5" ->
     banner "ExptA-1 (Fig. 5): window size and perturbation range";
     let points = Report.Expt.Fig5.run ~scale () in
@@ -88,6 +116,9 @@ let run_one scale csv_prefix = function
     print_string
       (Report.Expt.Fig6.render
          (Report.Expt.Fig6.run ~scale ~arch:Pdk.Cell_arch.Open_m1 ()))
+  | "matrix" ->
+    banner "Experiment matrix (benchmark-manifest sweep)";
+    run_matrix manifest out
   | "ablation" ->
     banner "Ablation: window-solver ladder (greedy/anneal/exact/MILP)";
     print_string
@@ -107,7 +138,15 @@ let run_one scale csv_prefix = function
 let experiments =
   Arg.(value & pos_all string [ "a1"; "a2"; "a3"; "table2"; "fig8" ]
        & info [] ~docv:"EXPT"
-           ~doc:"Experiments to run: a1|a2|a2-openm1|a3|b1|b2|table2|fig8|ablation.")
+           ~doc:"Experiments to run:                a1|a2|a2-openm1|a3|b1|b2|table2|fig8|ablation|matrix.")
+
+let manifest =
+  Arg.(value & opt (some file) None & info [ "manifest" ]
+         ~doc:"Benchmark manifest (vm1dp-bench-manifest/1 JSON) the                $(b,matrix) experiment sweeps." ~docv:"FILE")
+
+let out =
+  Arg.(value & opt (some string) None & info [ "out" ]
+         ~doc:"Write the $(b,matrix) report (vm1dp-expt-matrix/1 JSON)                to $(docv)." ~docv:"FILE")
 
 let csv_prefix =
   Arg.(value & opt (some string) None & info [ "csv" ]
@@ -125,10 +164,10 @@ let jobs =
   Arg.(value & opt int 0 & info [ "jobs" ]
          ~doc:"Size of the shared domain pool (caller + workers) for the                parallel phases. 0 picks the recommended domain count.                Results are byte-identical for every value." ~docv:"N")
 
-let run scale csv_prefix trace metrics jobs experiments =
+let run scale csv_prefix trace metrics jobs manifest out experiments =
   if trace <> None || metrics then Obs.set_enabled true;
   if jobs > 0 then Exec.set_jobs jobs;
-  List.iter (run_one scale csv_prefix) experiments;
+  List.iter (run_one scale csv_prefix manifest out) experiments;
   (match trace with
    | Some path ->
      (try
@@ -143,6 +182,7 @@ let run scale csv_prefix trace metrics jobs experiments =
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v (Cmd.info "expt" ~doc)
-    Term.(const run $ scale $ csv_prefix $ trace $ metrics $ jobs $ experiments)
+    Term.(const run $ scale $ csv_prefix $ trace $ metrics $ jobs $ manifest
+          $ out $ experiments)
 
 let () = exit (Cmd.eval cmd)

@@ -87,7 +87,7 @@ let run design arch scale utilization alpha sequence dump_prefix svg_prefix
   Printf.printf "%s\n%!" (Netlist.Design.stats p.Place.Placement.design);
   (match dump_prefix with
    | Some prefix ->
-     Netlist.Def_io.write_file (prefix ^ ".init.def") p.design
+     Io.Def.write_file (prefix ^ ".init.def") p.design
        (Place.Placement.to_def p)
    | None -> ());
   let init, clock_ps = Report.Flow.evaluate params p in
@@ -100,7 +100,7 @@ let run design arch scale utilization alpha sequence dump_prefix svg_prefix
   let final, _ = Report.Flow.evaluate ~clock_ps params p in
   (match dump_prefix with
    | Some prefix ->
-     Netlist.Def_io.write_file (prefix ^ ".opt.def") p.design
+     Io.Def.write_file (prefix ^ ".opt.def") p.design
        (Place.Placement.to_def p)
    | None -> ());
   (match svg_prefix with

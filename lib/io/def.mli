@@ -1,0 +1,112 @@
+(** DEF-subset codec: the design-exchange half of the interchange
+    subsystem.
+
+    The subset covers what the flow produces and consumes: [DESIGN],
+    [UNITS], [DIEAREA], [ROW], [TRACKS], [COMPONENTS] (placed cells),
+    [PINS] (die-boundary pins — parsed and preserved, not used by the
+    flow, whose netlists have no primary IO), and [NETS] with a
+    [+ USE SIGNAL/CLOCK] clause. All coordinates are integer DBU
+    (1 DBU = 1 nm; [UNITS DISTANCE MICRONS 1000]).
+
+    Parsing is total: {!parse} returns a structured {!Lex.error} with
+    the exact line/column and the expected token instead of raising.
+    Emission has a normal form, and [emit] and [parse] are mutually
+    inverse on it: for any document [d] in the image of {!emit} (in
+    particular the committed [*.def] examples and everything
+    [vm1opt --dump] writes), [emit (parse d) = d] byte for byte — the
+    round-trip fixed point checked by [test/test_io.ml]. *)
+
+type component = {
+  c_name : string;
+  c_master : string;
+  c_x : int;
+  c_y : int;
+  c_orient : Geom.Orient.t;
+}
+
+(** A die-boundary pin. [p_dir] is the DEF direction word ([INPUT],
+    [OUTPUT], [INOUT]) — kept textual because the flow does not model
+    primary IO; the codec only preserves it. *)
+type io_pin = {
+  p_name : string;
+  p_net : string;
+  p_dir : string;
+  p_x : int;
+  p_y : int;
+  p_orient : Geom.Orient.t;
+}
+
+type net = {
+  n_name : string;
+  n_pins : (string * string) list;  (** (instance, pin) in net order *)
+  n_is_clock : bool;                (** [+ USE CLOCK] *)
+}
+
+type row = {
+  r_name : string;
+  r_site : string;
+  r_x : int;
+  r_y : int;
+  r_orient : Geom.Orient.t;
+  r_count : int;   (** sites in the row ([DO count BY 1]) *)
+  r_step : int;    (** site pitch ([STEP step 0]) *)
+}
+
+type axis = X | Y
+
+type tracks = {
+  t_axis : axis;
+  t_start : int;
+  t_count : int;
+  t_step : int;
+  t_layer : string;
+}
+
+type t = {
+  design : string;
+  dbu : int;  (** [UNITS DISTANCE MICRONS] — always 1000 when emitted *)
+  die : Geom.Rect.t;
+  rows : row list;
+  tracks : tracks list;
+  components : component array;
+  io_pins : io_pin list;
+  nets : net array;
+}
+
+(** {1 Codec} *)
+
+val parse : string -> (t, Lex.error) result
+
+(** [parse_file path] parses the file's contents.
+    @raise Sys_error when the file cannot be read. *)
+val parse_file : string -> (t, Lex.error) result
+
+val emit : t -> string
+
+(** {1 Mapping onto the flow's types} *)
+
+(** [of_design d p] builds the document for a design and its placement:
+    rows and tracks are derived from the library's technology and the
+    die, components and nets from the design. *)
+val of_design : Netlist.Design.t -> Netlist.Def_io.placement -> t
+
+(** [to_design lib doc] binds the document against [lib]: masters are
+    resolved by name, net pins by (instance, pin) name. Errors — wrong
+    DBU, unknown master/instance/pin, duplicate instance — are
+    human-readable strings (binding has no source position; syntax
+    errors were already caught by {!parse}). *)
+val to_design :
+  Pdk.Libgen.t -> t -> (Netlist.Design.t * Netlist.Def_io.placement, string) result
+
+(** {1 Convenience: the old [Netlist.Def_io] surface} *)
+
+val write : Netlist.Design.t -> Netlist.Def_io.placement -> string
+val write_file : string -> Netlist.Design.t -> Netlist.Def_io.placement -> unit
+
+(** [read lib s] is [parse] followed by [to_design]; parse errors are
+    rendered with {!Lex.error_to_string}. *)
+val read :
+  Pdk.Libgen.t -> string -> (Netlist.Design.t * Netlist.Def_io.placement, string) result
+
+val read_file :
+  Pdk.Libgen.t -> string -> (Netlist.Design.t * Netlist.Def_io.placement, string) result

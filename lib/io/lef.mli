@@ -1,0 +1,25 @@
+(** LEF-subset codec: the library half of the interchange subsystem.
+
+    The subset carries exactly what {!Pdk.Libgen.t} holds: the site
+    ([SITE core SIZE w BY h]), the routing layers with direction, pitch
+    and offset ([LAYER]), the vertical-M1 technology rules the paper
+    adds ([VM1RULES GAMMA g DELTA d] — a subset extension, as is
+    [ARCH]), and the macros: kind/drive ([KIND]), footprint ([SIZE]),
+    electrical model ([ELECTRICAL cap_in drive_res intrinsic_delay
+    leakage]) and per-pin geometry ([PIN]/[PORT]/[LAYER]/[RECT]). All
+    geometry is integer DBU ([UNITS DATABASE MICRONS 1000]), so
+    round-trips are exact; the electrical floats are printed with
+    enough digits to survive [float_of_string].
+
+    Like {!Def}, parsing is total with positioned errors, and
+    [emit]/[parse] are mutually inverse: [parse (emit lib)]
+    reconstructs [lib] exactly, and [emit] of the result is
+    byte-identical. *)
+
+val parse : string -> (Pdk.Libgen.t, Lex.error) result
+
+(** @raise Sys_error when the file cannot be read. *)
+val parse_file : string -> (Pdk.Libgen.t, Lex.error) result
+
+val emit : Pdk.Libgen.t -> string
+val emit_file : string -> Pdk.Libgen.t -> unit

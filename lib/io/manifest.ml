@@ -1,0 +1,213 @@
+type source =
+  | Generate of Netlist.Designs.name
+  | External of {
+      def_path : string;
+      lef_path : string option;
+      arch : Pdk.Cell_arch.t;
+    }
+
+type entry = { e_id : string; source : source }
+
+type t = {
+  m_name : string;
+  entries : entry list;
+  archs : Pdk.Cell_arch.t list;
+  utils : float list;
+  scales : int list;
+}
+
+(* --- JSON ------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let str ~what = function
+  | Obs.Json.Str s -> Ok s
+  | j -> Error (Printf.sprintf "%s: expected a string, got %s" what (Obs.Json.to_string j))
+
+let field obj key ~what =
+  match Obs.Json.member key obj with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing %S" what key)
+
+let list_of ~what f = function
+  | Obs.Json.List xs ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest ->
+        let* v = f x in
+        go (v :: acc) rest
+    in
+    go [] xs
+  | j -> Error (Printf.sprintf "%s: expected a list, got %s" what (Obs.Json.to_string j))
+
+let number ~what = function
+  | Obs.Json.Int n -> Ok (float_of_int n)
+  | Obs.Json.Float f -> Ok f
+  | j -> Error (Printf.sprintf "%s: expected a number, got %s" what (Obs.Json.to_string j))
+
+let int_of ~what = function
+  | Obs.Json.Int n -> Ok n
+  | j -> Error (Printf.sprintf "%s: expected an integer, got %s" what (Obs.Json.to_string j))
+
+let arch_of_json ~what j =
+  let* s = str ~what j in
+  match Pdk.Cell_arch.of_string s with
+  | Some a -> Ok a
+  | None -> Error (Printf.sprintf "%s: unknown architecture %S" what s)
+
+let entry_of_json j =
+  let* id = Result.bind (field j "id" ~what:"design entry") (str ~what:"design id") in
+  let what = Printf.sprintf "design %S" id in
+  match Obs.Json.member "generate" j, Obs.Json.member "def" j with
+  | Some _, Some _ ->
+    Error (Printf.sprintf "%s: has both \"generate\" and \"def\"" what)
+  | Some g, None ->
+    let* s = str ~what:(what ^ ": \"generate\"") g in
+    (match Netlist.Designs.of_string s with
+    | Some name -> Ok { e_id = id; source = Generate name }
+    | None -> Error (Printf.sprintf "%s: unknown generator design %S" what s))
+  | None, Some d ->
+    let* def_path = str ~what:(what ^ ": \"def\"") d in
+    let* lef_path =
+      match Obs.Json.member "lef" j with
+      | None -> Ok None
+      | Some l ->
+        let* p = str ~what:(what ^ ": \"lef\"") l in
+        Ok (Some p)
+    in
+    let* arch =
+      match Obs.Json.member "arch" j with
+      | None -> Ok Pdk.Cell_arch.Closed_m1
+      | Some a -> arch_of_json ~what:(what ^ ": \"arch\"") a
+    in
+    Ok { e_id = id; source = External { def_path; lef_path; arch } }
+  | None, None ->
+    Error (Printf.sprintf "%s: needs \"generate\" or \"def\"" what)
+
+let of_json j =
+  let what = "manifest" in
+  let* schema = Result.bind (field j "schema" ~what) (str ~what:"schema") in
+  let* () =
+    if String.equal schema Obs.Schemas.bench_manifest then Ok ()
+    else
+      Error
+        (Printf.sprintf "manifest: schema %S, expected %S" schema
+           Obs.Schemas.bench_manifest)
+  in
+  let* m_name = Result.bind (field j "name" ~what) (str ~what:"name") in
+  let* entries =
+    Result.bind (field j "designs" ~what) (list_of ~what:"designs" entry_of_json)
+  in
+  let* archs =
+    Result.bind (field j "archs" ~what)
+      (list_of ~what:"archs" (arch_of_json ~what:"archs"))
+  in
+  let* utils =
+    Result.bind (field j "utils" ~what) (list_of ~what:"utils" (number ~what:"utils"))
+  in
+  let* scales =
+    Result.bind (field j "scales" ~what)
+      (list_of ~what:"scales" (int_of ~what:"scales"))
+  in
+  let* () =
+    match entries with [] -> Error "manifest: no designs" | _ :: _ -> Ok ()
+  in
+  let* () =
+    let seen = Hashtbl.create 7 in
+    let rec dup = function
+      | [] -> Ok ()
+      | e :: rest ->
+        if Hashtbl.mem seen e.e_id then
+          Error (Printf.sprintf "manifest: duplicate design id %S" e.e_id)
+        else begin
+          Hashtbl.replace seen e.e_id ();
+          dup rest
+        end
+    in
+    dup entries
+  in
+  Ok { m_name; entries; archs; utils; scales }
+
+let entry_to_json e =
+  let open Obs.Json in
+  match e.source with
+  | Generate name ->
+    Obj
+      [
+        ("id", Str e.e_id); ("generate", Str (Netlist.Designs.to_string name));
+      ]
+  | External { def_path; lef_path; arch } ->
+    Obj
+      (("id", Str e.e_id)
+      :: ("def", Str def_path)
+      :: (match lef_path with
+         | Some p -> [ ("lef", Str p) ]
+         | None -> [ ("arch", Str (Pdk.Cell_arch.to_string arch)) ]))
+
+let to_json m =
+  let open Obs.Json in
+  Obj
+    [
+      ("schema", Str Obs.Schemas.bench_manifest);
+      ("name", Str m.m_name);
+      ("designs", List (List.map entry_to_json m.entries));
+      ("archs", List (List.map (fun a -> Str (Pdk.Cell_arch.to_string a)) m.archs));
+      ("utils", List (List.map (fun u -> Float u) m.utils));
+      ("scales", List (List.map (fun s -> Int s) m.scales));
+    ]
+
+let parse s =
+  let* j = Obs.Json.parse s in
+  of_json j
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  let* m = parse (read_whole_file path) in
+  let dir = Filename.dirname path in
+  let resolve p = if Filename.is_relative p then Filename.concat dir p else p in
+  let entries =
+    List.map
+      (fun e ->
+        match e.source with
+        | Generate _ -> e
+        | External x ->
+          {
+            e with
+            source =
+              External
+                {
+                  x with
+                  def_path = resolve x.def_path;
+                  lef_path = Option.map resolve x.lef_path;
+                };
+          })
+      m.entries
+  in
+  Ok { m with entries }
+
+(* external paths are replaced by their file-content digests, so the
+   key does not depend on where the manifest (or the process) lives *)
+let digest m =
+  let file_key p = Digest.to_hex (Digest.string (read_whole_file p)) in
+  let canon_entry e =
+    match e.source with
+    | Generate _ -> e
+    | External x ->
+      {
+        e with
+        source =
+          External
+            {
+              x with
+              def_path = file_key x.def_path;
+              lef_path = Option.map file_key x.lef_path;
+            };
+      }
+  in
+  let canon = { m with entries = List.map canon_entry m.entries } in
+  Digest.to_hex (Digest.string (Obs.Json.to_string (to_json canon)))

@@ -1,0 +1,63 @@
+(** Benchmark manifests ([vm1dp-bench-manifest/1]).
+
+    A manifest names the designs an experiment matrix sweeps and the
+    axes it sweeps them over. Designs come from two sources: the
+    built-in generator ([{"generate": "m0"}], crossed with every
+    arch/util/scale combination), or external DEF/LEF files
+    ([{"def": "path"}], one matrix cell each — the placement is fixed,
+    so the generator axes do not apply). Relative paths are resolved
+    against the manifest file's directory at {!load} time.
+
+    Example:
+    {v
+    { "schema": "vm1dp-bench-manifest/1",
+      "name": "mini",
+      "designs": [
+        { "id": "m0", "generate": "m0" },
+        { "id": "smoke", "def": "m0_smoke.def", "arch": "closedm1" } ],
+      "archs": ["closedm1", "openm1"],
+      "utils": [0.7, 0.8],
+      "scales": [48] }
+    v} *)
+
+type source =
+  | Generate of Netlist.Designs.name
+  | External of {
+      def_path : string;
+      lef_path : string option;
+          (** when absent, the external DEF is bound against the
+              generated library for [arch] *)
+      arch : Pdk.Cell_arch.t;
+          (** ignored when [lef_path] is given — the LEF's [ARCH]
+              statement governs *)
+    }
+
+type entry = { e_id : string; source : source }
+
+type t = {
+  m_name : string;
+  entries : entry list;
+  archs : Pdk.Cell_arch.t list;
+  utils : float list;
+  scales : int list;
+}
+
+val of_json : Obs.Json.t -> (t, string) result
+
+(** [to_json m] re-emits the manifest; [of_json (to_json m) = Ok m]. *)
+val to_json : t -> Obs.Json.t
+
+val parse : string -> (t, string) result
+
+(** [load path] parses the manifest file and resolves every relative
+    [def]/[lef] path against [Filename.dirname path].
+    @raise Sys_error when the file cannot be read. *)
+val load : string -> (t, string) result
+
+(** [digest m] is a content key over the manifest's JSON form with
+    every external path replaced by a digest of the file's bytes — two
+    manifests share a digest exactly when a matrix sweep over them is
+    guaranteed to produce the same report, regardless of where the
+    files live.
+    @raise Sys_error when an external file cannot be read. *)
+val digest : t -> string

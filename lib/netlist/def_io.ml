@@ -4,165 +4,3 @@ type placement = {
   ys : int array;
   orients : Geom.Orient.t array;
 }
-
-let orient_of_string = function
-  | "N" -> Geom.Orient.N
-  | "FN" -> Geom.Orient.FN
-  | "S" -> Geom.Orient.S
-  | "FS" -> Geom.Orient.FS
-  | s -> failwith (Printf.sprintf "Def_io: bad orientation %S" s)
-
-let write (d : Design.t) (p : placement) =
-  let buf = Buffer.create (1 lsl 16) in
-  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  addf "VERSION 1\n";
-  addf "DESIGN %s\n" d.name;
-  addf "DIEAREA %d %d %d %d\n" p.die.Geom.Rect.lx p.die.ly p.die.hx p.die.hy;
-  addf "COMPONENTS %d\n" (Array.length d.instances);
-  Array.iteri
-    (fun i (inst : Design.instance) ->
-      addf "- %s %s PLACED %d %d %s\n" inst.inst_name
-        inst.master.Pdk.Stdcell.name p.xs.(i) p.ys.(i)
-        (Geom.Orient.to_string p.orients.(i)))
-    d.instances;
-  addf "END COMPONENTS\n";
-  addf "NETS %d\n" (Array.length d.nets);
-  Array.iter
-    (fun (net : Design.net) ->
-      addf "- %s%s" net.net_name (if net.is_clock then " CLOCK" else "");
-      Array.iter
-        (fun (pr : Design.pin_ref) ->
-          let inst = d.instances.(pr.inst) in
-          let mp = List.nth inst.master.Pdk.Stdcell.pins pr.pin in
-          addf " ( %s %s )" inst.inst_name mp.Pdk.Stdcell.pin_name)
-        net.pins;
-      addf "\n")
-    d.nets;
-  addf "END NETS\n";
-  addf "END DESIGN\n";
-  Buffer.contents buf
-
-let write_file path d p =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (write d p))
-
-let tokens_of_line line =
-  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
-
-let read (lib : Pdk.Libgen.t) s =
-  let lines = String.split_on_char '\n' s in
-  let design_name = ref "" in
-  let die = ref Geom.Rect.empty in
-  let comps = ref [] and ncomps = ref 0 in
-  let nets = ref [] and nnets = ref 0 in
-  let mode = ref `Top in
-  let fail line msg = failwith (Printf.sprintf "Def_io: %s in %S" msg line) in
-  List.iter
-    (fun line ->
-      match (tokens_of_line line, !mode) with
-      | [], _ -> ()
-      | [ "VERSION"; _ ], `Top -> ()
-      | [ "DESIGN"; n ], `Top -> design_name := n
-      | [ "DIEAREA"; a; b; c; d ], `Top ->
-        die :=
-          Geom.Rect.make ~lx:(int_of_string a) ~ly:(int_of_string b)
-            ~hx:(int_of_string c) ~hy:(int_of_string d)
-      | [ "COMPONENTS"; n ], `Top ->
-        ncomps := int_of_string n;
-        mode := `Components
-      | [ "END"; "COMPONENTS" ], `Components -> mode := `Top
-      | "-" :: name :: master :: "PLACED" :: x :: y :: [ o ], `Components ->
-        comps :=
-          (name, master, int_of_string x, int_of_string y, orient_of_string o)
-          :: !comps
-      | [ "NETS"; n ], `Top ->
-        nnets := int_of_string n;
-        mode := `Nets
-      | [ "END"; "NETS" ], `Nets -> mode := `Top
-      | "-" :: name :: rest, `Nets ->
-        let is_clock, rest =
-          match rest with
-          | "CLOCK" :: tl -> (true, tl)
-          | _ -> (false, rest)
-        in
-        let rec parse_pins acc = function
-          | [] -> List.rev acc
-          | "(" :: inst :: pin :: ")" :: tl -> parse_pins ((inst, pin) :: acc) tl
-          | _ -> fail line "bad pin list"
-        in
-        nets := (name, is_clock, parse_pins [] rest) :: !nets
-      | [ "END"; "DESIGN" ], `Top -> ()
-      | _, _ -> fail line "unexpected line"
-    )
-    lines;
-  let comps = Array.of_list (List.rev !comps) in
-  let nets_raw = Array.of_list (List.rev !nets) in
-  if Array.length comps <> !ncomps then failwith "Def_io: COMPONENTS count mismatch";
-  if Array.length nets_raw <> !nnets then failwith "Def_io: NETS count mismatch";
-  let inst_index = Hashtbl.create (Array.length comps) in
-  Array.iteri
-    (fun i (name, _, _, _, _) -> Hashtbl.replace inst_index name i)
-    comps;
-  let masters =
-    Array.map (fun (_, mname, _, _, _) -> Pdk.Libgen.find lib mname) comps
-  in
-  let pin_nets =
-    Array.map
-      (fun (m : Pdk.Stdcell.t) -> Array.make (List.length m.pins) (-1))
-      masters
-  in
-  let pin_index master_pins pname =
-    let rec go k = function
-      | [] -> failwith (Printf.sprintf "Def_io: unknown pin %s" pname)
-      | (p : Pdk.Stdcell.pin) :: rest ->
-        if String.equal p.pin_name pname then k else go (k + 1) rest
-    in
-    go 0 master_pins
-  in
-  let nets =
-    Array.mapi
-      (fun nid (name, is_clock, pins) ->
-        let pin_refs =
-          List.map
-            (fun (iname, pname) ->
-              let i =
-                match Hashtbl.find_opt inst_index iname with
-                | Some i -> i
-                | None -> failwith (Printf.sprintf "Def_io: unknown instance %s" iname)
-              in
-              let k = pin_index masters.(i).Pdk.Stdcell.pins pname in
-              pin_nets.(i).(k) <- nid;
-              { Design.inst = i; pin = k })
-            pins
-        in
-        { Design.net_name = name; pins = Array.of_list pin_refs; is_clock })
-      nets_raw
-  in
-  let instances =
-    Array.mapi
-      (fun i (name, _, _, _, _) ->
-        { Design.inst_name = name; master = masters.(i); pin_nets = pin_nets.(i) })
-      comps
-  in
-  let design =
-    { Design.name = !design_name; lib; instances; nets }
-  in
-  let placement =
-    {
-      die = !die;
-      xs = Array.map (fun (_, _, x, _, _) -> x) comps;
-      ys = Array.map (fun (_, _, _, y, _) -> y) comps;
-      orients = Array.map (fun (_, _, _, _, o) -> o) comps;
-    }
-  in
-  (design, placement)
-
-let read_file lib path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      read lib (really_input_string ic n))

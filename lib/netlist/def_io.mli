@@ -1,9 +1,11 @@
-(** Compact DEF-like text interchange for a design plus a placement.
+(** The flat placement record exchanged between the placement substrate
+    and the interchange codecs.
 
-    The format carries the die area, one COMPONENTS line per instance
-    (name, master, x, y, orientation) and one NETS line per net. It
-    round-trips exactly: [read lib (write d p)] reconstructs the same
-    connectivity and placement. *)
+    [xs]/[ys]/[orients] are indexed by instance id and give each cell's
+    lower-left corner and orientation; [die] is the placeable area. The
+    DEF codec that reads and writes this record lives in [Io.Def]
+    (lib/io) — this module only defines the type, so [Netlist] and
+    [Place] need no dependency on the codec. *)
 
 type placement = {
   die : Geom.Rect.t;
@@ -11,13 +13,3 @@ type placement = {
   ys : int array;          (** lower-left y per instance id *)
   orients : Geom.Orient.t array;
 }
-
-val write : Design.t -> placement -> string
-val write_file : string -> Design.t -> placement -> unit
-
-(** [read lib s] parses a dump produced by [write]. Masters are resolved in
-    [lib].
-    @raise Failure on malformed input. *)
-val read : Pdk.Libgen.t -> string -> Design.t * placement
-
-val read_file : Pdk.Libgen.t -> string -> Design.t * placement

@@ -6,9 +6,21 @@ type id =
   | Trace_report
   | Jobs
   | Bench_load
+  | Bench_manifest
+  | Expt_matrix
 
 let all =
-  [ Trace; Lint; Route_profile; Bench_scaling; Trace_report; Jobs; Bench_load ]
+  [
+    Trace;
+    Lint;
+    Route_profile;
+    Bench_scaling;
+    Trace_report;
+    Jobs;
+    Bench_load;
+    Bench_manifest;
+    Expt_matrix;
+  ]
 
 let to_string = function
   | Trace -> "vm1dp-trace/1"
@@ -18,6 +30,8 @@ let to_string = function
   | Trace_report -> "vm1dp-trace-report/1"
   | Jobs -> "vm1dp-jobs/1"
   | Bench_load -> "vm1dp-bench-load/1"
+  | Bench_manifest -> "vm1dp-bench-manifest/1"
+  | Expt_matrix -> "vm1dp-expt-matrix/1"
 
 let of_string s = List.find_opt (fun id -> String.equal (to_string id) s) all
 let trace = to_string Trace
@@ -27,3 +41,5 @@ let bench_scaling = to_string Bench_scaling
 let trace_report = to_string Trace_report
 let jobs = to_string Jobs
 let bench_load = to_string Bench_load
+let bench_manifest = to_string Bench_manifest
+let expt_matrix = to_string Expt_matrix

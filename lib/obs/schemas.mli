@@ -21,6 +21,13 @@ type id =
   | Bench_load
       (** [bench load]: daemon throughput/latency under N concurrent
           clients (the committed BENCH_vm1d.json) *)
+  | Bench_manifest
+      (** [Io.Manifest]: a benchmark manifest naming designs (generator
+          specs or external DEF/LEF paths) and the arch/util/scale axes
+          an experiment matrix sweeps *)
+  | Expt_matrix
+      (** [expt matrix]: the per-cell QoR report swept from a benchmark
+          manifest (the committed test/matrix_golden.json) *)
 
 (** All tags, in declaration order. *)
 val all : id list
@@ -39,3 +46,5 @@ val bench_scaling : string
 val trace_report : string
 val jobs : string
 val bench_load : string
+val bench_manifest : string
+val expt_matrix : string

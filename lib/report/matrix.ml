@@ -1,0 +1,204 @@
+type cell = {
+  cell_id : string;
+  design_name : string;
+  arch : Pdk.Cell_arch.t;
+  util : float option;
+  scale : int option;
+  instances : int;
+  init : Flow.eval;
+  final : Flow.eval;
+}
+
+type report = {
+  manifest_name : string;
+  manifest_digest : string;
+  cells : cell list;
+}
+
+(* one grid point, before running *)
+type spec =
+  | Gen of {
+      s_id : string;
+      name : Netlist.Designs.name;
+      arch : Pdk.Cell_arch.t;
+      util : float;
+      scale : int;
+    }
+  | Ext of {
+      s_id : string;
+      def_path : string;
+      lef_path : string option;
+      arch : Pdk.Cell_arch.t;
+    }
+
+let specs_of_manifest (m : Io.Manifest.t) =
+  List.concat_map
+    (fun (e : Io.Manifest.entry) ->
+      match e.Io.Manifest.source with
+      | Io.Manifest.Generate name ->
+        List.concat_map
+          (fun arch ->
+            List.concat_map
+              (fun util ->
+                List.map
+                  (fun scale ->
+                    Gen { s_id = e.Io.Manifest.e_id; name; arch; util; scale })
+                  m.Io.Manifest.scales)
+              m.Io.Manifest.utils)
+          m.Io.Manifest.archs
+      | Io.Manifest.External { def_path; lef_path; arch } ->
+        [ Ext { s_id = e.Io.Manifest.e_id; def_path; lef_path; arch } ])
+    m.Io.Manifest.entries
+
+(* evaluate init, optimise (sequentially — the cell grid is the unit of
+   parallelism), re-evaluate against the same clock *)
+let run_pipeline p =
+  let params = Vm1.Params.default p.Place.Placement.tech in
+  let init, clock_ps = Flow.evaluate params p in
+  let config =
+    { Vm1.Vm1_opt.default_config with Vm1.Vm1_opt.parallel = false }
+  in
+  ignore (Vm1.Vm1_opt.run ~config params p);
+  let final, _ = Flow.evaluate ~clock_ps params p in
+  (init, final)
+
+let run_cell = function
+  | Gen { s_id; name; arch; util; scale } ->
+    let design = Netlist.Designs.make ~scale name arch in
+    let p = Flow.prepare_placement ~utilization:util design in
+    let init, final = run_pipeline p in
+    Ok
+      {
+        cell_id = Printf.sprintf "%s/%s/u%.2f/s%d" s_id
+            (Pdk.Cell_arch.to_string arch) util scale;
+        design_name = Netlist.Designs.to_string name;
+        arch;
+        util = Some util;
+        scale = Some scale;
+        instances = Netlist.Design.num_instances design;
+        init;
+        final;
+      }
+  | Ext { s_id; def_path; lef_path; arch } ->
+    let lib =
+      match lef_path with
+      | Some path ->
+        (match Io.Lef.parse_file path with
+        | Ok lib -> Ok lib
+        | Error e ->
+          Error (Printf.sprintf "%s: %s" path (Io.Lex.error_to_string e)))
+      | None -> Ok (Pdk.Libgen.generate (Pdk.Tech.default arch))
+    in
+    Result.bind lib (fun lib ->
+        match Io.Def.read_file lib def_path with
+        | Error msg -> Error (Printf.sprintf "%s: %s" def_path msg)
+        | Ok (design, def) ->
+          let p = Place.Placement.of_def design def in
+          let init, final = run_pipeline p in
+          Ok
+            {
+              cell_id = s_id ^ "/ext";
+              design_name = design.Netlist.Design.name;
+              arch = lib.Pdk.Libgen.tech.Pdk.Tech.arch;
+              util = None;
+              scale = None;
+              instances = Netlist.Design.num_instances design;
+              init;
+              final;
+            })
+
+let run (m : Io.Manifest.t) =
+  match Io.Manifest.digest m with
+  | exception Sys_error msg -> Error msg
+  | manifest_digest ->
+    let specs = Array.of_list (specs_of_manifest m) in
+    let results = Exec.parallel_map ~chunk:1 run_cell specs in
+    let rec collect acc i =
+      if i >= Array.length results then Ok (List.rev acc)
+      else
+        match results.(i) with
+        | Ok c -> collect (c :: acc) (i + 1)
+        | Error msg -> Error msg
+    in
+    Result.map
+      (fun cells ->
+        { manifest_name = m.Io.Manifest.m_name; manifest_digest; cells })
+      (collect [] 0)
+
+(* --- report forms ----------------------------------------------------- *)
+
+let eval_json (e : Flow.eval) =
+  Obs.Json.Obj
+    [
+      ("dm1", Obs.Json.Int e.Flow.dm1);
+      ("m1_wl_um", Obs.Json.Float e.Flow.m1_wl_um);
+      ("via12", Obs.Json.Int e.Flow.via12);
+      ("hpwl_um", Obs.Json.Float e.Flow.hpwl_um);
+      ("rwl_um", Obs.Json.Float e.Flow.rwl_um);
+      ("wns_ns", Obs.Json.Float e.Flow.wns_ns);
+      ("power_mw", Obs.Json.Float e.Flow.power_mw);
+      ("drvs", Obs.Json.Int e.Flow.drvs);
+      ("alignments", Obs.Json.Int e.Flow.alignments);
+    ]
+
+let cell_json (c : cell) =
+  let open Obs.Json in
+  Obj
+    [
+      ("id", Str c.cell_id);
+      ("design", Str c.design_name);
+      ("arch", Str (Pdk.Cell_arch.to_string c.arch));
+      ("util", match c.util with Some u -> Float u | None -> Null);
+      ("scale", match c.scale with Some s -> Int s | None -> Null);
+      ("instances", Int c.instances);
+      ("init", eval_json c.init);
+      ("final", eval_json c.final);
+      ( "delta_pct",
+        Obj
+          [
+            ("hpwl", Float (Flow.delta_pct c.init.Flow.hpwl_um c.final.Flow.hpwl_um));
+            ("rwl", Float (Flow.delta_pct c.init.Flow.rwl_um c.final.Flow.rwl_um));
+            ("m1_wl", Float (Flow.delta_pct c.init.Flow.m1_wl_um c.final.Flow.m1_wl_um));
+            ( "via12",
+              Float
+                (Flow.delta_pct
+                   (float_of_int c.init.Flow.via12)
+                   (float_of_int c.final.Flow.via12)) );
+          ] );
+    ]
+
+let to_json (r : report) =
+  let open Obs.Json in
+  Obj
+    [
+      ("schema", Str Obs.Schemas.expt_matrix);
+      ("manifest", Str r.manifest_name);
+      ("manifest_digest", Str r.manifest_digest);
+      ("cells", List (List.map cell_json r.cells));
+    ]
+
+let render (r : report) =
+  let header =
+    [ "cell"; "inst"; "dM1 i->f"; "via12 i->f"; "RWL um (d%)";
+      "HPWL um (d%)"; "DRV i->f" ]
+  in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          c.cell_id;
+          Table.fi c.instances;
+          Printf.sprintf "%d -> %d" c.init.Flow.dm1 c.final.Flow.dm1;
+          Printf.sprintf "%d -> %d" c.init.Flow.via12 c.final.Flow.via12;
+          Table.f1 c.final.Flow.rwl_um
+          ^ " " ^ Table.pct c.init.Flow.rwl_um c.final.Flow.rwl_um;
+          Table.f1 c.final.Flow.hpwl_um
+          ^ " " ^ Table.pct c.init.Flow.hpwl_um c.final.Flow.hpwl_um;
+          Printf.sprintf "%d -> %d" c.init.Flow.drvs c.final.Flow.drvs;
+        ])
+      r.cells
+  in
+  Printf.sprintf "matrix %s (%d cells, manifest %s)\n%s" r.manifest_name
+    (List.length r.cells)
+    (String.sub r.manifest_digest 0 12)
+    (Table.render ~header ~rows)

@@ -1,0 +1,41 @@
+(** The experiment matrix: sweep a benchmark manifest through the full
+    flow and report QoR per cell ([vm1dp-expt-matrix/1]).
+
+    A manifest's generator entries are crossed with every
+    arch/utilisation/scale combination of its axes; external DEF entries
+    contribute one cell each (their placement — and so their axes — are
+    fixed by the file). Every cell runs the same pipeline as [vm1opt]:
+    evaluate the initial routed placement, run VM1Opt, re-route,
+    evaluate again.
+
+    Cells are distributed over the exec pool ({!Exec.parallel_map}),
+    with the in-cell optimiser forced sequential so the cell grid is the
+    unit of parallelism; the report — including its JSON form — is
+    byte-identical for every [--jobs] setting (the [@matrix-smoke] gate
+    diffs it against a committed golden at jobs 1, 2 and 4). *)
+
+type cell = {
+  cell_id : string;  (** e.g. ["m0/closedm1/u0.70/s48"], ["smoke/ext"] *)
+  design_name : string;
+  arch : Pdk.Cell_arch.t;
+  util : float option;   (** [None] for external cells *)
+  scale : int option;    (** [None] for external cells *)
+  instances : int;
+  init : Flow.eval;
+  final : Flow.eval;
+}
+
+type report = {
+  manifest_name : string;
+  manifest_digest : string;  (** {!Io.Manifest.digest} of the input *)
+  cells : cell list;         (** entry-major, then arch/util/scale order *)
+}
+
+(** [run m] sweeps the manifest. [Error] carries the first failing
+    cell's diagnostic (unreadable or unbindable external DEF/LEF). *)
+val run : Io.Manifest.t -> (report, string) result
+
+(** No timing fields: the JSON is a pure function of the manifest. *)
+val to_json : report -> Obs.Json.t
+
+val render : report -> string

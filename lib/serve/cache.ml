@@ -14,8 +14,11 @@ type t = {
   libraries : Pdk.Libgen.t store;
   netlists : Netlist.Design.t store;
   placements : Place.Placement.t store;
+  externals : Place.Placement.t store;
   skeletons : Route.Grid.skeleton store;
 }
+
+exception Rejected of string
 
 let c_hits = Obs.counter "serve.cache_hits"
 let c_misses = Obs.counter "serve.cache_misses"
@@ -27,6 +30,7 @@ let create () =
     libraries = new_store ();
     netlists = new_store ();
     placements = new_store ();
+    externals = new_store ();
     skeletons = new_store ();
   }
 
@@ -65,12 +69,34 @@ let placement t ~design ~name ~arch ~scale ~utilization =
   lookup t.placements key (fun () ->
       Report.Flow.prepare_placement ~utilization design)
 
+(* A rejected DEF counts as a miss but is never stored: only placements
+   that survived binding and the legality oracle enter the table, so a
+   hit can skip both. *)
+let external_placement t ~lib ~arch ~def_text =
+  let key =
+    Pdk.Cell_arch.to_string arch ^ "/"
+    ^ Digest.to_hex (Digest.string def_text)
+  in
+  match
+    lookup t.externals key (fun () ->
+        match Io.Def.read lib def_text with
+        | Error msg -> raise (Rejected msg)
+        | Stdlib.Ok (design, pl) -> (
+          let p = Place.Placement.of_def design pl in
+          match Place.Legalize.check p with
+          | [] -> p
+          | v :: _ -> raise (Rejected ("illegal placement: " ^ v))))
+  with
+  | pair -> Stdlib.Ok pair
+  | exception Rejected msg -> Error msg
+
 let grid_skeleton t p =
   lookup t.skeletons (Route.Grid.skeleton_key p) (fun () ->
       Route.Grid.skeleton p)
 
 let stats t =
   [
+    ("external", t.externals.hits, t.externals.misses);
     ("grid", t.skeletons.hits, t.skeletons.misses);
     ("library", t.libraries.hits, t.libraries.misses);
     ("netlist", t.netlists.hits, t.netlists.misses);

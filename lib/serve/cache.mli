@@ -33,6 +33,11 @@ type t
 (** Whether a lookup was served from the store. *)
 type outcome = Hit | Miss
 
+(** Raised internally when an external DEF fails binding or the
+    legality oracle; {!external_placement} catches it and returns the
+    message as [Error] — it never escapes this module. *)
+exception Rejected of string
+
 val create : unit -> t
 
 (** [library t arch] is the generated standard-cell library for [arch],
@@ -60,6 +65,20 @@ val placement :
   arch:Pdk.Cell_arch.t -> scale:int -> utilization:float ->
   Place.Placement.t * outcome
 
+(** [external_placement t ~lib ~arch ~def_text] is the placement of an
+    external-DEF job, keyed by (architecture, MD5 of the DEF text): the
+    text is ingested through [Io.Def.read] against [lib] (from
+    {!library}, same [arch]), mapped onto a placement and checked by
+    the legality oracle ([Place.Legalize.check]). [Error] — a parse,
+    binding or legality failure, as a human-readable string — is the
+    client's fault ([bad_request] on the wire) and is never cached: a
+    rejected DEF counts as a miss and re-validates on every submission.
+    The returned placement is a shared master — callers must
+    [Place.Placement.copy] it and never mutate it. *)
+val external_placement :
+  t -> lib:Pdk.Libgen.t -> arch:Pdk.Cell_arch.t -> def_text:string ->
+  (Place.Placement.t * outcome, string) Stdlib.result
+
 (** [grid_skeleton t p] is the routing-grid blockage skeleton for [p]'s
     die, keyed by {!Route.Grid.skeleton_key} (die tracks, architecture,
     row structure, PDN) — placements of different designs that share a
@@ -67,5 +86,5 @@ val placement :
 val grid_skeleton : t -> Place.Placement.t -> Route.Grid.skeleton * outcome
 
 (** [stats t] is [(store, hits, misses)] per artifact store, in a fixed
-    order: [grid], [library], [netlist], [placement]. *)
+    order: [external], [grid], [library], [netlist], [placement]. *)
 val stats : t -> (string * int * int) list

@@ -12,33 +12,76 @@ type prepared = {
 
 let hit = function Cache.Hit -> true | Cache.Miss -> false
 
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let prepare cache (job : Protocol.job) =
   let t0 = Obs.now_ns () in
+  let bad_request message =
+    Error { Protocol.code = Protocol.Bad_request; message;
+            err_id = Some job.id }
+  in
   let art =
     match
-      let lib, l_o = Cache.library cache job.arch in
-      let design, n_o =
-        Cache.netlist cache ~lib ~name:job.design ~arch:job.arch
-          ~scale:job.scale
-      in
-      let master, p_o =
-        Cache.placement cache ~design ~name:job.design ~arch:job.arch
-          ~scale:job.scale ~utilization:job.util
-      in
-      let skeleton, g_o = Cache.grid_skeleton cache master in
-      {
-        master;
-        skeleton;
-        resolved =
-          [
-            ("library", hit l_o);
-            ("netlist", hit n_o);
-            ("placement", hit p_o);
-            ("grid", hit g_o);
-          ];
-      }
+      match job.source with
+      | Protocol.Generated { design; scale; util } ->
+        let lib, l_o = Cache.library cache job.arch in
+        let netlist, n_o =
+          Cache.netlist cache ~lib ~name:design ~arch:job.arch ~scale
+        in
+        let master, p_o =
+          Cache.placement cache ~design:netlist ~name:design ~arch:job.arch
+            ~scale ~utilization:util
+        in
+        let skeleton, g_o = Cache.grid_skeleton cache master in
+        Ok
+          {
+            master;
+            skeleton;
+            resolved =
+              [
+                ("library", hit l_o);
+                ("netlist", hit n_o);
+                ("placement", hit p_o);
+                ("grid", hit g_o);
+              ];
+          }
+      | Protocol.External src -> (
+        let def_text =
+          match src with
+          | Protocol.Inline text -> Ok text
+          | Protocol.Path path -> (
+            match read_whole_file path with
+            | text -> Ok text
+            | exception Sys_error msg ->
+              bad_request (Printf.sprintf "cannot read \"def_path\": %s" msg))
+        in
+        match def_text with
+        | Error _ as e -> e
+        | Ok text -> (
+          let lib, l_o = Cache.library cache job.arch in
+          match
+            Cache.external_placement cache ~lib ~arch:job.arch ~def_text:text
+          with
+          | Error msg -> bad_request ("DEF rejected: " ^ msg)
+          | Ok (master, e_o) ->
+            let skeleton, g_o = Cache.grid_skeleton cache master in
+            Ok
+              {
+                master;
+                skeleton;
+                resolved =
+                  [
+                    ("library", hit l_o);
+                    ("external", hit e_o);
+                    ("grid", hit g_o);
+                  ];
+              }))
     with
-    | a -> Ok a
+    | a -> a
     | exception e ->
       Error
         {
@@ -92,11 +135,18 @@ let run_flow (job : Protocol.job) (a : artifacts) =
   let init, clock_ps = Report.Flow.evaluate ~router_config params q in
   let (_ : Vm1.Vm1_opt.report) = Vm1.Vm1_opt.run ~config params q in
   let final, _ = Report.Flow.evaluate ~clock_ps ~router_config params q in
+  let r_scale, r_util =
+    match job.source with
+    | Protocol.Generated { scale; util; _ } -> (Some scale, Some util)
+    | Protocol.External _ -> (None, None)
+  in
   {
-    Protocol.r_design = Netlist.Designs.to_string job.design;
+    (* For external jobs the placement's design carries the DEF's
+       [DESIGN] name; for generated ones it equals the request field. *)
+    Protocol.r_design = q.Place.Placement.design.Netlist.Design.name;
     r_arch = Pdk.Cell_arch.to_string job.arch;
-    r_scale = job.scale;
-    r_util = job.util;
+    r_scale;
+    r_util;
     r_alpha = params.Vm1.Params.alpha;
     r_sequence = job.sequence;
     instances = Place.Placement.num_instances q;

@@ -1,15 +1,28 @@
 module J = Obs.Json
 
+type def_source = Inline of string | Path of string
+
+type source =
+  | Generated of {
+      design : Netlist.Designs.name;
+      scale : int;
+      util : float;
+    }
+  | External of def_source
+
 type job = {
   id : string;
-  design : Netlist.Designs.name;
+  source : source;
   arch : Pdk.Cell_arch.t;
-  scale : int;
-  util : float;
   alpha : float option;
   sequence : int;
   want_trace : bool;
 }
+
+let generated_job ~id ?(arch = Pdk.Cell_arch.Closed_m1) ?(scale = 8)
+    ?(util = 0.75) ?alpha ?(sequence = 1) ?(want_trace = false) design =
+  { id; source = Generated { design; scale; util }; arch; alpha; sequence;
+    want_trace }
 
 type error_code = Parse_error | Unsupported_schema | Bad_request | Internal
 
@@ -28,8 +41,8 @@ type error = {
 type result = {
   r_design : string;
   r_arch : string;
-  r_scale : int;
-  r_util : float;
+  r_scale : int option;
+  r_util : float option;
   r_alpha : float;
   r_sequence : int;
   instances : int;
@@ -51,15 +64,29 @@ type reply =
 (* --- encoding ------------------------------------------------------- *)
 
 let encode_job j =
+  let source_fields =
+    match j.source with
+    | Generated { design; scale; util } ->
+      [
+        ("design", J.Str (Netlist.Designs.to_string design));
+        ("arch", J.Str (Pdk.Cell_arch.to_string j.arch));
+        ("scale", J.Int scale);
+        ("util", J.Float util);
+      ]
+    | External (Inline text) ->
+      [
+        ("def", J.Str text);
+        ("arch", J.Str (Pdk.Cell_arch.to_string j.arch));
+      ]
+    | External (Path path) ->
+      [
+        ("def_path", J.Str path);
+        ("arch", J.Str (Pdk.Cell_arch.to_string j.arch));
+      ]
+  in
   let fields =
-    [
-      ("schema", J.Str Obs.Schemas.jobs);
-      ("id", J.Str j.id);
-      ("design", J.Str (Netlist.Designs.to_string j.design));
-      ("arch", J.Str (Pdk.Cell_arch.to_string j.arch));
-      ("scale", J.Int j.scale);
-      ("util", J.Float j.util);
-    ]
+    [ ("schema", J.Str Obs.Schemas.jobs); ("id", J.Str j.id) ]
+    @ source_fields
     @ (match j.alpha with Some a -> [ ("alpha", J.Float a) ] | None -> [])
     @ [ ("sequence", J.Int j.sequence) ]
     @ if j.want_trace then [ ("trace", J.Bool true) ] else []
@@ -85,8 +112,8 @@ let result_json r =
     [
       ("design", J.Str r.r_design);
       ("arch", J.Str r.r_arch);
-      ("scale", J.Int r.r_scale);
-      ("util", J.Float r.r_util);
+      ("scale", (match r.r_scale with Some s -> J.Int s | None -> J.Null));
+      ("util", (match r.r_util with Some u -> J.Float u | None -> J.Null));
       ("alpha", J.Float r.r_alpha);
       ("sequence", J.Int r.r_sequence);
       ("instances", J.Int r.instances);
@@ -145,6 +172,53 @@ let as_float = function
   | J.Float f -> Some f
   | _ -> None
 
+let ( let* ) = Result.bind
+
+(* [design] selects a generated job; [def] (inline DEF text) or
+   [def_path] (daemon-local file) an external one. Exactly one of the
+   three must be present, and the generator axes (scale/util) are
+   rejected on external jobs. *)
+let parse_source ?id obj =
+  let gen_axis name = J.member name obj <> None in
+  match (J.member "design" obj, J.member "def" obj, J.member "def_path" obj) with
+  | Some _, Some _, _ | Some _, _, Some _ ->
+    fail ?id Bad_request
+      "\"design\" and \"def\"/\"def_path\" are mutually exclusive"
+  | _, Some _, Some _ ->
+    fail ?id Bad_request "\"def\" and \"def_path\" are mutually exclusive"
+  | None, None, None ->
+    fail ?id Bad_request "missing \"design\", \"def\" or \"def_path\" field"
+  | Some (J.Str d), None, None -> (
+    match Netlist.Designs.of_string d with
+    | None -> fail ?id Bad_request "unknown design %S (m0|aes|jpeg|vga)" d
+    | Some design ->
+      let* scale =
+        match J.member "scale" obj with
+        | None -> Stdlib.Ok 8
+        | Some (J.Int n) when n >= 1 -> Stdlib.Ok n
+        | Some _ -> fail ?id Bad_request "\"scale\" must be an integer >= 1"
+      in
+      let* util =
+        match Option.map as_float (J.member "util" obj) with
+        | None -> Stdlib.Ok 0.75
+        | Some (Some u) when u > 0.0 && u < 1.0 -> Stdlib.Ok u
+        | Some _ -> fail ?id Bad_request "\"util\" must be a number in (0,1)"
+      in
+      Stdlib.Ok (Generated { design; scale; util }))
+  | Some _, None, None -> fail ?id Bad_request "\"design\" must be a string"
+  | None, (Some _ as def), None | None, None, (Some _ as def) ->
+    if gen_axis "scale" || gen_axis "util" then
+      fail ?id Bad_request
+        "\"scale\" and \"util\" apply only to generated jobs"
+    else (
+      match def with
+      | Some (J.Str text) ->
+        Stdlib.Ok
+          (External
+             (if J.member "def" obj <> None then Inline text else Path text))
+      | _ ->
+        fail ?id Bad_request "\"def\" and \"def_path\" must be strings")
+
 let parse_job line =
   match J.parse line with
   | Error msg -> fail Parse_error "not a JSON line: %s" msg
@@ -158,79 +232,40 @@ let parse_job line =
       fail ?id Unsupported_schema "schema %S is not %S" s Obs.Schemas.jobs
     | Some (J.Str _) -> (
       match id with
-      | None ->
-        fail Bad_request "missing or non-string \"id\" field"
-      | Some id_s -> (
+      | None -> fail Bad_request "missing or non-string \"id\" field"
+      | Some id_s ->
         let id = Some id_s in
-        match J.member "design" obj with
-        | None -> fail ?id Bad_request "missing \"design\" field"
-        | Some (J.Str d) -> (
-          match Netlist.Designs.of_string d with
-          | None ->
-            fail ?id Bad_request "unknown design %S (m0|aes|jpeg|vga)" d
-          | Some design -> (
-            let arch_r =
-              match J.member "arch" obj with
-              | None -> Stdlib.Ok Pdk.Cell_arch.Closed_m1
-              | Some (J.Str a) -> (
-                match Pdk.Cell_arch.of_string a with
-                | Some arch -> Stdlib.Ok arch
-                | None ->
-                  fail ?id Bad_request
-                    "unknown arch %S (closedm1|openm1|conv12)" a)
-              | Some _ -> fail ?id Bad_request "\"arch\" must be a string"
-            in
-            let scale_r =
-              match J.member "scale" obj with
-              | None -> Stdlib.Ok 8
-              | Some (J.Int n) when n >= 1 -> Stdlib.Ok n
-              | Some _ ->
-                fail ?id Bad_request "\"scale\" must be an integer >= 1"
-            in
-            let util_r =
-              match Option.map as_float (J.member "util" obj) with
-              | None -> Stdlib.Ok 0.75
-              | Some (Some u) when u > 0.0 && u < 1.0 -> Stdlib.Ok u
-              | Some _ ->
-                fail ?id Bad_request "\"util\" must be a number in (0,1)"
-            in
-            let alpha_r =
-              match Option.map as_float (J.member "alpha" obj) with
-              | None -> Stdlib.Ok None
-              | Some (Some a) when a > 0.0 -> Stdlib.Ok (Some a)
-              | Some _ -> fail ?id Bad_request "\"alpha\" must be a number > 0"
-            in
-            let sequence_r =
-              match J.member "sequence" obj with
-              | None -> Stdlib.Ok 1
-              | Some (J.Int n) when n >= 1 && n <= 5 -> Stdlib.Ok n
-              | Some _ ->
-                fail ?id Bad_request "\"sequence\" must be an integer in 1..5"
-            in
-            let trace_r =
-              match J.member "trace" obj with
-              | None -> Stdlib.Ok false
-              | Some (J.Bool b) -> Stdlib.Ok b
-              | Some _ -> fail ?id Bad_request "\"trace\" must be a boolean"
-            in
-            match (arch_r, scale_r, util_r, alpha_r, sequence_r, trace_r) with
-            | ( Stdlib.Ok arch,
-                Stdlib.Ok scale,
-                Stdlib.Ok util,
-                Stdlib.Ok alpha,
-                Stdlib.Ok sequence,
-                Stdlib.Ok want_trace ) ->
-              Stdlib.Ok
-                { id = id_s; design; arch; scale; util; alpha; sequence;
-                  want_trace }
-            | (Error _ as e), _, _, _, _, _
-            | _, (Error _ as e), _, _, _, _
-            | _, _, (Error _ as e), _, _, _
-            | _, _, _, (Error _ as e), _, _
-            | _, _, _, _, (Error _ as e), _
-            | _, _, _, _, _, (Error _ as e) ->
-              e))
-        | Some _ -> fail ?id Bad_request "\"design\" must be a string"))
+        let* source = parse_source ?id obj in
+        let* arch =
+          match J.member "arch" obj with
+          | None -> Stdlib.Ok Pdk.Cell_arch.Closed_m1
+          | Some (J.Str a) -> (
+            match Pdk.Cell_arch.of_string a with
+            | Some arch -> Stdlib.Ok arch
+            | None ->
+              fail ?id Bad_request "unknown arch %S (closedm1|openm1|conv12)" a)
+          | Some _ -> fail ?id Bad_request "\"arch\" must be a string"
+        in
+        let* alpha =
+          match Option.map as_float (J.member "alpha" obj) with
+          | None -> Stdlib.Ok None
+          | Some (Some a) when a > 0.0 -> Stdlib.Ok (Some a)
+          | Some _ -> fail ?id Bad_request "\"alpha\" must be a number > 0"
+        in
+        let* sequence =
+          match J.member "sequence" obj with
+          | None -> Stdlib.Ok 1
+          | Some (J.Int n) when n >= 1 && n <= 5 -> Stdlib.Ok n
+          | Some _ ->
+            fail ?id Bad_request "\"sequence\" must be an integer in 1..5"
+        in
+        let* want_trace =
+          match J.member "trace" obj with
+          | None -> Stdlib.Ok false
+          | Some (J.Bool b) -> Stdlib.Ok b
+          | Some _ -> fail ?id Bad_request "\"trace\" must be a boolean"
+        in
+        Stdlib.Ok { id = id_s; source; arch; alpha; sequence; want_trace })
     | Some _ -> fail ?id Unsupported_schema "\"schema\" must be a string")
   | Stdlib.Ok _ -> fail Parse_error "request line is not a JSON object"
 

@@ -15,17 +15,40 @@
 
 (** {1 Requests} *)
 
+(** Where an external job's DEF text comes from: inline on the request
+    line (["def"]) or a daemon-local file path (["def_path"]). *)
+type def_source = Inline of string | Path of string
+
+(** What the job optimises: a generated benchmark (the ["design"] /
+    ["scale"] / ["util"] request fields) or an external placement
+    ingested through the [Io.Def] codec. The two are mutually
+    exclusive on the wire. *)
+type source =
+  | Generated of {
+      design : Netlist.Designs.name;
+      scale : int;   (** design-size divisor, >= 1; default 8 *)
+      util : float;  (** placement utilisation in (0,1); default 0.75 *)
+    }
+  | External of def_source
+
 (** One optimisation job, defaults already applied. *)
 type job = {
   id : string;              (** client-chosen tag, echoed on the reply *)
-  design : Netlist.Designs.name;
-  arch : Pdk.Cell_arch.t;   (** default ClosedM1 *)
-  scale : int;              (** design-size divisor, >= 1; default 8 *)
-  util : float;             (** placement utilisation in (0,1); default 0.75 *)
+  source : source;
+  arch : Pdk.Cell_arch.t;   (** default ClosedM1; for external jobs, the
+                                library the DEF is bound against *)
   alpha : float option;     (** alignment-weight override; default: paper *)
   sequence : int;           (** optimisation sequence 1..5; default 1 *)
   want_trace : bool;        (** reply carries a [vm1dp-trace/1] blob *)
 }
+
+(** [generated_job ~id ?arch ?scale ?util ?alpha ?sequence ?want_trace
+    design] builds a generated-benchmark job with the protocol's
+    defaults — the shape every pre-external client sent. *)
+val generated_job :
+  id:string -> ?arch:Pdk.Cell_arch.t -> ?scale:int -> ?util:float ->
+  ?alpha:float -> ?sequence:int -> ?want_trace:bool ->
+  Netlist.Designs.name -> job
 
 (** {1 Errors} *)
 
@@ -56,10 +79,10 @@ type error = {
     warm = interleaved, at any [--jobs]) is checked over the
     {!result_json} serialisation of this record. *)
 type result = {
-  r_design : string;
+  r_design : string;        (** generated name, or the DEF's [DESIGN] *)
   r_arch : string;
-  r_scale : int;
-  r_util : float;
+  r_scale : int option;     (** [None] (JSON [null]) for external jobs *)
+  r_util : float option;    (** [None] (JSON [null]) for external jobs *)
   r_alpha : float;          (** the alpha actually used *)
   r_sequence : int;
   instances : int;

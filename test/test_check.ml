@@ -43,15 +43,15 @@ let test_flow_passes (arch, p) () =
 
 let test_corrupted_def () =
   let lib = Pdk.Libgen.generate (Pdk.Tech.default Pdk.Cell_arch.Closed_m1) in
-  (match Netlist.Def_io.read lib "THIS IS NOT A PLACEMENT DUMP\n" with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "garbage DEF accepted");
+  (match Io.Def.read lib "THIS IS NOT A PLACEMENT DUMP\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage DEF accepted");
   let p = closedm1 () in
-  let good = Netlist.Def_io.write p.design (Place.Placement.to_def p) in
+  let good = Io.Def.write p.design (Place.Placement.to_def p) in
   (* truncating mid-dump must not silently yield a partial design *)
-  match Netlist.Def_io.read lib (String.sub good 0 (String.length good / 2)) with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "truncated DEF accepted"
+  match Io.Def.read lib (String.sub good 0 (String.length good / 2)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated DEF accepted"
 
 (* --- illegal placements are rejected by both checkers --- *)
 

@@ -69,8 +69,12 @@ let test_def_roundtrip_through_flow () =
   let p = Report.Flow.prepare ~scale:24 Netlist.Designs.M0 Pdk.Cell_arch.Closed_m1 in
   let params = Vm1.Params.default p.Place.Placement.tech in
   ignore (Vm1.Vm1_opt.run params p);
-  let text = Netlist.Def_io.write p.design (Place.Placement.to_def p) in
-  let d2, def2 = Netlist.Def_io.read p.design.Netlist.Design.lib text in
+  let text = Io.Def.write p.design (Place.Placement.to_def p) in
+  let d2, def2 =
+    match Io.Def.read p.design.Netlist.Design.lib text with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "re-read of emitted DEF failed: %s" msg
+  in
   let q = Place.Placement.of_def d2 def2 in
   Alcotest.(check (list string)) "round-tripped placement legal" []
     (Place.Legalize.check q);

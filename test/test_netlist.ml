@@ -172,83 +172,6 @@ let test_designs_arch_consistency () =
         dop.instances.(i).master.Pdk.Stdcell.name)
     dc.instances
 
-(* --- Def_io --- *)
-
-let dummy_placement (d : Netlist.Design.t) =
-  let n = Netlist.Design.num_instances d in
-  {
-    Netlist.Def_io.die = Geom.Rect.make ~lx:0 ~ly:0 ~hx:10000 ~hy:10000;
-    xs = Array.init n (fun i -> i * 36 mod 9000);
-    ys = Array.init n (fun i -> i * 270 mod 8100);
-    orients =
-      Array.init n (fun i -> if i mod 3 = 0 then Geom.Orient.FN else Geom.Orient.N);
-  }
-
-let test_def_roundtrip () =
-  let d = small ~n:120 () in
-  let p = dummy_placement d in
-  let text = Netlist.Def_io.write d p in
-  let d2, p2 = Netlist.Def_io.read lib text in
-  check "instances" (Netlist.Design.num_instances d) (Netlist.Design.num_instances d2);
-  check "nets" (Netlist.Design.num_nets d) (Netlist.Design.num_nets d2);
-  Alcotest.(check (list string)) "valid after read" [] (Netlist.Design.validate d2);
-  checkb "die" true (Geom.Rect.equal p.die p2.die);
-  Alcotest.(check (array int)) "xs" p.xs p2.xs;
-  Alcotest.(check (array int)) "ys" p.ys p2.ys;
-  Array.iteri
-    (fun i o -> checkb "orient" true (Geom.Orient.equal o p2.orients.(i)))
-    p.orients;
-  (* connectivity identical *)
-  Array.iteri
-    (fun nid (net : Netlist.Design.net) ->
-      let net2 = d2.nets.(nid) in
-      checkb "clock flag" true (net.is_clock = net2.is_clock);
-      check "degree" (Array.length net.pins) (Array.length net2.pins))
-    d.nets
-
-let test_def_write_is_stable () =
-  let d = small ~n:60 () in
-  let p = dummy_placement d in
-  let text = Netlist.Def_io.write d p in
-  let d2, p2 = Netlist.Def_io.read lib text in
-  checks "second write identical" text (Netlist.Def_io.write d2 p2)
-
-let test_def_rejects_garbage () =
-  Alcotest.check_raises "bad line" (Failure "Def_io: unexpected line in \"WHAT 3\"")
-    (fun () -> ignore (Netlist.Def_io.read lib "WHAT 3\n"))
-
-(* --- Lef_io --- *)
-
-let test_lef_roundtrip () =
-  let text = Netlist.Lef_io.write lib in
-  let lib2 = Netlist.Lef_io.read text in
-  check "cell count" (List.length lib.cells) (List.length lib2.cells);
-  List.iter2
-    (fun (a : Pdk.Stdcell.t) (b : Pdk.Stdcell.t) ->
-      checks "name" a.name b.name;
-      check "width" a.width b.width;
-      check "pins" (List.length a.pins) (List.length b.pins);
-      Alcotest.(check (float 1e-6)) "cap" a.cap_in b.cap_in;
-      Alcotest.(check (float 1e-6)) "leak" a.leakage b.leakage;
-      List.iter2
-        (fun (pa : Pdk.Stdcell.pin) (pb : Pdk.Stdcell.pin) ->
-          checks "pin name" pa.pin_name pb.pin_name;
-          checkb "same dir" true (pa.dir = pb.dir);
-          List.iter2
-            (fun (la, ra) (lb, rb) ->
-              checkb "layer" true (Pdk.Layer.equal la lb);
-              checkb "rect" true (Geom.Rect.equal ra rb))
-            pa.shapes pb.shapes)
-        a.pins b.pins)
-    lib.cells lib2.cells
-
-let test_lef_openm1_roundtrip () =
-  let olib = Pdk.Libgen.generate (Pdk.Tech.default Pdk.Cell_arch.Open_m1) in
-  let lib2 = Netlist.Lef_io.read (Netlist.Lef_io.write olib) in
-  checkb "arch preserved" true
-    (lib2.tech.Pdk.Tech.arch = Pdk.Cell_arch.Open_m1);
-  check "cells" (List.length olib.cells) (List.length lib2.cells)
-
 let () =
   Alcotest.run "netlist"
     [
@@ -277,16 +200,5 @@ let () =
           Alcotest.test_case "scaling" `Quick test_designs_scaling;
           Alcotest.test_case "names" `Quick test_designs_names;
           Alcotest.test_case "arch consistency" `Quick test_designs_arch_consistency;
-        ] );
-      ( "def_io",
-        [
-          Alcotest.test_case "roundtrip" `Quick test_def_roundtrip;
-          Alcotest.test_case "stable" `Quick test_def_write_is_stable;
-          Alcotest.test_case "rejects garbage" `Quick test_def_rejects_garbage;
-        ] );
-      ( "lef_io",
-        [
-          Alcotest.test_case "roundtrip closed" `Quick test_lef_roundtrip;
-          Alcotest.test_case "roundtrip open" `Quick test_lef_openm1_roundtrip;
         ] );
     ]

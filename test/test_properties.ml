@@ -207,11 +207,13 @@ let prop_def_roundtrip =
       let d = design_of_seed ~n:60 seed in
       let p = Place.Placement.create d ~utilization:0.7 in
       Place.Global.place p;
-      let text = Netlist.Def_io.write d (Place.Placement.to_def p) in
-      let d2, def2 = Netlist.Def_io.read lib text in
-      let p2 = Place.Placement.of_def d2 def2 in
-      Netlist.Design.validate d2 = []
-      && Place.Hpwl.total p = Place.Hpwl.total p2)
+      let text = Io.Def.write d (Place.Placement.to_def p) in
+      match Io.Def.read lib text with
+      | Error _ -> false
+      | Ok (d2, def2) ->
+        let p2 = Place.Placement.of_def d2 def2 in
+        Netlist.Design.validate d2 = []
+        && Place.Hpwl.total p = Place.Hpwl.total p2)
 
 (* the row DP never worsens total HPWL *)
 let prop_row_dp_monotone =

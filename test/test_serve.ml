@@ -7,31 +7,15 @@ let check = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 let checks = Alcotest.(check string)
 
-let job id =
-  {
-    Serve.Protocol.id;
-    design = Netlist.Designs.M0;
-    arch = Pdk.Cell_arch.Closed_m1;
-    scale = 64;
-    util = 0.75;
-    alpha = None;
-    sequence = 1;
-    want_trace = false;
-  }
+let job id = Serve.Protocol.generated_job ~id ~scale:64 Netlist.Designs.M0
 
 (* --- protocol codec --- *)
 
 let test_job_roundtrip () =
   let j =
-    {
-      (job "rt") with
-      Serve.Protocol.arch = Pdk.Cell_arch.Open_m1;
-      scale = 16;
-      util = 0.8;
-      alpha = Some 600.;
-      sequence = 3;
-      want_trace = true;
-    }
+    Serve.Protocol.generated_job ~id:"rt" ~arch:Pdk.Cell_arch.Open_m1
+      ~scale:16 ~util:0.8 ~alpha:600. ~sequence:3 ~want_trace:true
+      Netlist.Designs.M0
   in
   match Serve.Protocol.parse_job (Serve.Protocol.encode_job j) with
   | Error e -> Alcotest.fail ("round-trip rejected: " ^ e.Serve.Protocol.message)
@@ -47,8 +31,12 @@ let test_defaults_applied () =
   | Error e -> Alcotest.fail e.Serve.Protocol.message
   | Ok j ->
     checks "id" "d" j.Serve.Protocol.id;
-    check "scale" 8 j.Serve.Protocol.scale;
-    checkb "util" true (j.Serve.Protocol.util = 0.75);
+    (match j.Serve.Protocol.source with
+    | Serve.Protocol.Generated { design; scale; util } ->
+      checkb "design" true (design = Netlist.Designs.M0);
+      check "scale" 8 scale;
+      checkb "util" true (util = 0.75)
+    | Serve.Protocol.External _ -> Alcotest.fail "expected a generated job");
     checkb "arch" true
       (Pdk.Cell_arch.equal j.Serve.Protocol.arch Pdk.Cell_arch.Closed_m1);
     checkb "alpha" true (j.Serve.Protocol.alpha = None);
@@ -96,6 +84,49 @@ let test_bad_fields () =
     (expect_error ~code:Serve.Protocol.Bad_request
        {|{"schema":"vm1dp-jobs/1","id":"b4","design":"m0","sequence":9}|})
 
+let test_external_field_rules () =
+  (* exactly one of design / def / def_path *)
+  ignore
+    (expect_error ~code:Serve.Protocol.Bad_request
+       {|{"schema":"vm1dp-jobs/1","id":"x1","design":"m0","def":"DESIGN"}|});
+  ignore
+    (expect_error ~code:Serve.Protocol.Bad_request
+       {|{"schema":"vm1dp-jobs/1","id":"x2","def":"D","def_path":"a.def"}|});
+  ignore
+    (expect_error ~code:Serve.Protocol.Bad_request
+       {|{"schema":"vm1dp-jobs/1","id":"x3"}|});
+  (* generator axes are meaningless on a fixed external placement *)
+  ignore
+    (expect_error ~code:Serve.Protocol.Bad_request
+       {|{"schema":"vm1dp-jobs/1","id":"x4","def":"D","scale":4}|});
+  ignore
+    (expect_error ~code:Serve.Protocol.Bad_request
+       {|{"schema":"vm1dp-jobs/1","id":"x5","def_path":"a.def","util":0.7}|})
+
+let test_external_job_roundtrip () =
+  List.iter
+    (fun source ->
+      let j =
+        {
+          Serve.Protocol.id = "ext";
+          source;
+          arch = Pdk.Cell_arch.Open_m1;
+          alpha = Some 500.;
+          sequence = 2;
+          want_trace = false;
+        }
+      in
+      match Serve.Protocol.parse_job (Serve.Protocol.encode_job j) with
+      | Error e ->
+        Alcotest.fail ("round-trip rejected: " ^ e.Serve.Protocol.message)
+      | Ok j' ->
+        checks "round-trip" (Serve.Protocol.encode_job j)
+          (Serve.Protocol.encode_job j'))
+    [
+      Serve.Protocol.External (Serve.Protocol.Inline "DESIGN fake ;");
+      Serve.Protocol.External (Serve.Protocol.Path "designs/a.def");
+    ]
+
 let test_error_reply_roundtrip () =
   let e =
     {
@@ -139,9 +170,104 @@ let test_cache_stats_count () =
   ignore (Serve.Engine.run cache (job "b"));
   List.iter
     (fun (name, hits, misses) ->
-      check (name ^ " misses") 1 misses;
-      check (name ^ " hits") 1 hits)
+      (* generated jobs never consult the external-DEF store *)
+      let expected = if String.equal name "external" then 0 else 1 in
+      check (name ^ " misses") expected misses;
+      check (name ^ " hits") expected hits)
     (Serve.Cache.stats cache)
+
+(* --- external-placement jobs --- *)
+
+let external_job ?(id = "e") source =
+  {
+    Serve.Protocol.id;
+    source = Serve.Protocol.External source;
+    arch = Pdk.Cell_arch.Closed_m1;
+    alpha = None;
+    sequence = 1;
+    want_trace = false;
+  }
+
+(* The DEF an external job would round-trip: the same prepared
+   placement the generated path computes, emitted by the codec. *)
+let external_def_text () =
+  let p = Report.Flow.prepare ~scale:64 Netlist.Designs.M0 Pdk.Cell_arch.Closed_m1 in
+  Io.Def.write p.Place.Placement.design (Place.Placement.to_def p)
+
+let run_ok reply =
+  match reply with
+  | Serve.Protocol.Ok { result; artifacts; _ } -> (result, artifacts)
+  | Serve.Protocol.Err e -> Alcotest.fail e.Serve.Protocol.message
+
+let test_external_inline_job () =
+  let text = external_def_text () in
+  let cache = Serve.Cache.create () in
+  let result, arts =
+    run_ok (Serve.Engine.run cache (external_job (Serve.Protocol.Inline text)))
+  in
+  checks "design from DEF" "m0" result.Serve.Protocol.r_design;
+  checkb "scale is null" true (result.Serve.Protocol.r_scale = None);
+  checkb "util is null" true (result.Serve.Protocol.r_util = None);
+  checks "resolved stores" "library,external,grid"
+    (String.concat "," (List.map fst arts));
+  (* the external ingest of our own emitted DEF must optimise to the
+     same placement as the generated job it was derived from *)
+  let gen, _ = run_ok (Serve.Engine.run (Serve.Cache.create ()) (job "g")) in
+  checks "same final digest" gen.Serve.Protocol.digest
+    result.Serve.Protocol.digest
+
+let test_external_job_cache_hit () =
+  let text = external_def_text () in
+  let cache = Serve.Cache.create () in
+  let cold, cold_arts =
+    run_ok
+      (Serve.Engine.run cache
+         (external_job ~id:"c1" (Serve.Protocol.Inline text)))
+  in
+  let warm, warm_arts =
+    run_ok
+      (Serve.Engine.run cache
+         (external_job ~id:"c2" (Serve.Protocol.Inline text)))
+  in
+  checkb "cold run misses" true (List.for_all (fun (_, h) -> not h) cold_arts);
+  checkb "warm run hits" true (List.for_all snd warm_arts);
+  checks "byte-identical results"
+    (Obs.Json.to_string (Serve.Protocol.result_json cold))
+    (Obs.Json.to_string (Serve.Protocol.result_json warm))
+
+let expect_bad_request reply =
+  match reply with
+  | Serve.Protocol.Ok _ -> Alcotest.fail "expected bad_request"
+  | Serve.Protocol.Err e ->
+    checks "code" "bad_request"
+      (Serve.Protocol.error_code_string e.Serve.Protocol.code)
+
+let test_external_path_job () =
+  let path = Filename.temp_file "vm1dp_test" ".def" in
+  let oc = open_out_bin path in
+  output_string oc (external_def_text ());
+  close_out oc;
+  let cache = Serve.Cache.create () in
+  let result, _ =
+    run_ok (Serve.Engine.run cache (external_job (Serve.Protocol.Path path)))
+  in
+  Sys.remove path;
+  checks "design from DEF" "m0" result.Serve.Protocol.r_design;
+  (* a dangling path is the client's fault, not an internal error *)
+  expect_bad_request
+    (Serve.Engine.run cache (external_job (Serve.Protocol.Path path)))
+
+let test_external_rejects_bad_def () =
+  let cache = Serve.Cache.create () in
+  expect_bad_request
+    (Serve.Engine.run cache (external_job (Serve.Protocol.Inline "garbage")));
+  (* well-formed DEF, but bound against a library missing its master *)
+  let text =
+    Str.global_replace (Str.regexp_string "INV_X") "BOGUS_X"
+      (external_def_text ())
+  in
+  expect_bad_request
+    (Serve.Engine.run cache (external_job (Serve.Protocol.Inline text)))
 
 (* --- grid skeleton --- *)
 
@@ -240,12 +366,24 @@ let () =
           Alcotest.test_case "not an object" `Quick test_not_an_object;
           Alcotest.test_case "unknown schema" `Quick test_unknown_schema;
           Alcotest.test_case "bad fields" `Quick test_bad_fields;
+          Alcotest.test_case "external field rules" `Quick
+            test_external_field_rules;
+          Alcotest.test_case "external job roundtrip" `Quick
+            test_external_job_roundtrip;
           Alcotest.test_case "error reply" `Quick test_error_reply_roundtrip;
         ] );
       ( "cache",
         [
           Alcotest.test_case "cold=warm bytes" `Quick test_cold_warm_identical;
           Alcotest.test_case "stats" `Quick test_cache_stats_count;
+        ] );
+      ( "external",
+        [
+          Alcotest.test_case "inline def" `Quick test_external_inline_job;
+          Alcotest.test_case "cache hit" `Quick test_external_job_cache_hit;
+          Alcotest.test_case "def_path" `Quick test_external_path_job;
+          Alcotest.test_case "bad def rejected" `Quick
+            test_external_rejects_bad_def;
         ] );
       ( "skeleton",
         [

@@ -280,7 +280,33 @@ let test_schemas_roundtrip () =
     | _ -> false
   in
   Alcotest.(check bool) "trace report emitter" true
-    (tagged (Trace.Profile.to_json (mini ())))
+    (tagged (Trace.Profile.to_json (mini ())));
+  let manifest =
+    {
+      Io.Manifest.m_name = "tagcheck";
+      entries =
+        [
+          {
+            Io.Manifest.e_id = "m0";
+            source = Io.Manifest.Generate Netlist.Designs.M0;
+          };
+        ];
+      archs = [ Pdk.Cell_arch.Closed_m1 ];
+      utils = [ 0.75 ];
+      scales = [ 64 ];
+    }
+  in
+  Alcotest.(check bool) "bench-manifest emitter" true
+    (tagged (Io.Manifest.to_json manifest));
+  let matrix =
+    {
+      Report.Matrix.manifest_name = "tagcheck";
+      manifest_digest = "0";
+      cells = [];
+    }
+  in
+  Alcotest.(check bool) "expt-matrix emitter" true
+    (tagged (Report.Matrix.to_json matrix))
 
 let () =
   Alcotest.run "trace"
