@@ -93,6 +93,7 @@ let bench_fig5 =
                 mode = `Greedy;
                 parallel = false;
                 candidate_cost = None;
+                wcache = None;
               })))
 
 (* Fig. 6 kernel: the full VM1Opt metaheuristic at the selected alpha. *)
@@ -185,6 +186,7 @@ let distopt_cfg parallel =
     mode = `Greedy;
     parallel;
     candidate_cost = None;
+    wcache = None;
   }
 
 let bench_distopt_sequential =
@@ -510,6 +512,126 @@ let percentile_ms q l =
     let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
     a.(max 0 (min (n - 1) rank))
 
+(* --- distopt-profile mode: two observability-enabled DistOpt passes of
+   the jpeg testcase through the `Portfolio solver with one shared
+   window cache — a cold pass that fills it and a warm pass that replays
+   from it — reporting per-window solve-time percentiles, the cache hit
+   rate, portfolio win counts and the resulting placement QoR as
+   machine-readable JSON. The warm pass starts from the same input
+   placement, so the hit ≡ miss invariant makes its result byte-identical
+   to the cold pass; the run itself enforces that (exit 1 on divergence).
+   The @distopt-bench-smoke alias runs this at a small scale and gates
+   moves/windows/objective against a checked-in baseline; timings are
+   recorded but not gated, since CI wall-clock is noisy. Refresh with:
+     VM1DP_BENCH_SCALE=4 dune exec bench/main.exe -- distopt-profile \
+       --out bench/distopt_profile_baseline.json *)
+
+let run_distopt_profile ~out ~profile_scale () =
+  Printf.printf "# DistOpt profile (jpeg at scale 1/%d)\n%!" profile_scale;
+  let p0 =
+    Report.Flow.prepare ~scale:profile_scale Netlist.Designs.Jpeg
+      Pdk.Cell_arch.Closed_m1
+  in
+  let params = Vm1.Params.default p0.Place.Placement.tech in
+  let cache = Vm1.Wcache.create () in
+  let cfg =
+    { scaling_distopt_cfg with
+      Vm1.Dist_opt.mode = `Portfolio;
+      parallel = false;
+      wcache = Some cache }
+  in
+  Obs.set_enabled true;
+  Obs.reset ();
+  let q_cold = Place.Placement.copy p0 in
+  let stats_cold, cold_s = time (fun () -> Vm1.Dist_opt.run q_cold params cfg) in
+  let q_warm = Place.Placement.copy p0 in
+  let stats_warm, warm_s = time (fun () -> Vm1.Dist_opt.run q_warm params cfg) in
+  let snap = Obs.snapshot () in
+  Obs.set_enabled false;
+  let hit_is_miss =
+    String.equal (placement_digest q_cold) (placement_digest q_warm)
+    && stats_cold.Vm1.Dist_opt.total_moves = stats_warm.Vm1.Dist_opt.total_moves
+  in
+  let hits, misses = Vm1.Wcache.stats cache in
+  let obj = Vm1.Objective.counts params q_cold in
+  (* individual distopt.window spans, cold and warm passes together *)
+  let window_ms =
+    let rec go acc (s : Obs.Span.t) =
+      let acc = List.fold_left go acc s.Obs.Span.children in
+      if String.equal s.Obs.Span.name "distopt.window" then
+        (Int64.to_float (Obs.Span.duration_ns s) /. 1e6) :: acc
+      else acc
+    in
+    List.fold_left go [] snap.Obs.spans
+  in
+  let counter name =
+    match List.assoc_opt name snap.Obs.counters with Some v -> v | None -> 0
+  in
+  let win_of solver = counter ("distopt.portfolio_wins." ^ solver) in
+  let hit_rate =
+    if hits + misses = 0 then 0.
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  Printf.printf
+    "  cold %.3fs  warm %.3fs  windows=%d moves=%d  cache %d/%d hits  wins \
+     exact=%d greedy=%d anneal=%d\n%!"
+    cold_s warm_s stats_cold.Vm1.Dist_opt.windows
+    stats_cold.Vm1.Dist_opt.total_moves hits (hits + misses) (win_of "exact")
+    (win_of "greedy") (win_of "anneal");
+  let module J = Obs.Json in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str Obs.Schemas.distopt_profile);
+        ("design", J.Str "jpeg");
+        ("scale", J.Int profile_scale);
+        ("cpus", J.Int (Domain.recommended_domain_count ()));
+        ("solver", J.Str "portfolio");
+        ("distopt_cold_s", J.Float cold_s);
+        ("distopt_warm_s", J.Float warm_s);
+        ("windows", J.Int stats_cold.Vm1.Dist_opt.windows);
+        ("batches", J.Int stats_cold.Vm1.Dist_opt.batches);
+        ("moves", J.Int stats_cold.Vm1.Dist_opt.total_moves);
+        ("hpwl_dbu", J.Int obj.Vm1.Objective.hpwl_dbu);
+        ("alignments", J.Int obj.Vm1.Objective.alignments);
+        ( "window_solve_ms",
+          J.Obj
+            [
+              ("n", J.Int (List.length window_ms));
+              ("p50", J.Float (percentile_ms 0.5 window_ms));
+              ("p90", J.Float (percentile_ms 0.9 window_ms));
+              ("p99", J.Float (percentile_ms 0.99 window_ms));
+            ] );
+        ( "wcache",
+          J.Obj
+            [
+              ("hits", J.Int hits);
+              ("misses", J.Int misses);
+              ("hit_rate", J.Float hit_rate);
+              ("entries", J.Int (Vm1.Wcache.length cache));
+            ] );
+        ( "portfolio_wins",
+          J.Obj
+            [
+              ("exact", J.Int (win_of "exact"));
+              ("greedy", J.Int (win_of "greedy"));
+              ("anneal", J.Int (win_of "anneal"));
+            ] );
+        ("hit_is_miss", J.Bool hit_is_miss);
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Printf.printf "(wrote %s)\n%!" out;
+  if not hit_is_miss then begin
+    prerr_endline "bench: warm-cache replay diverged from the cold pass";
+    exit 1
+  end
+
 let run_load ~out ~load_scale ~clients ~jobs_list () =
   Printf.printf "# Batch-service load (m0 at scale 1/%d, %d clients)\n%!"
     load_scale clients;
@@ -655,16 +777,17 @@ let () =
     end
     | "--out" :: file :: rest ->
       parse (mode, trace, metrics, jobs, file, clients) rest
-    | ("tables" | "micro" | "scaling" | "route-profile" | "load") as m :: rest
-      ->
+    | ( ("tables" | "micro" | "scaling" | "route-profile" | "distopt-profile"
+        | "load") as m )
+      :: rest ->
       parse (Some m, trace, metrics, jobs, out, clients) rest
     | _ -> None
   in
   match parse (None, None, false, None, "BENCH_vm1dp.json", 4) args with
   | None ->
     prerr_endline
-      "usage: main.exe [tables|micro|scaling|route-profile|load] \
-       [--trace FILE] [--metrics] [--jobs N] [--clients N] [--out FILE]";
+      "usage: main.exe [tables|micro|scaling|route-profile|distopt-profile|\
+       load] [--trace FILE] [--metrics] [--jobs N] [--clients N] [--out FILE]";
     exit 1
   | Some (mode, trace, metrics, jobs, out, clients) ->
     if trace <> None || metrics then Obs.set_enabled true;
@@ -707,6 +830,16 @@ let () =
         if out = "BENCH_vm1dp.json" then "route_profile.json" else out
       in
       run_route_profile ~out ~profile_scale ()
+    | Some "distopt-profile" ->
+      let profile_scale =
+        match Sys.getenv_opt "VM1DP_BENCH_SCALE" with
+        | Some s -> int_of_string s
+        | None -> 16
+      in
+      let out =
+        if out = "BENCH_vm1dp.json" then "distopt_profile.json" else out
+      in
+      run_distopt_profile ~out ~profile_scale ()
     | Some "load" ->
       let load_scale =
         match Sys.getenv_opt "VM1DP_BENCH_SCALE" with

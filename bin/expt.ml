@@ -12,6 +12,21 @@ let scale =
 
 let banner name = Printf.printf "=== %s ===\n%!" name
 
+let solver_conv =
+  let parse s =
+    match Vm1.Scp_solver.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown solver %S (greedy|exact|anneal|auto|portfolio)"
+             s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (Vm1.Scp_solver.mode_to_string m)
+  in
+  Arg.conv (parse, print)
+
 let write_csv csv_prefix name header rows =
   match csv_prefix with
   | None -> ()
@@ -51,10 +66,10 @@ let run_matrix manifest out =
            Printf.printf "(wrote %s)\n%!" path
          | None -> ())))
 
-let run_one scale csv_prefix manifest out = function
+let run_one scale solver csv_prefix manifest out = function
   | "a1" | "fig5" ->
     banner "ExptA-1 (Fig. 5): window size and perturbation range";
-    let points = Report.Expt.Fig5.run ~scale () in
+    let points = Report.Expt.Fig5.run ~scale ~mode:solver () in
     print_string (Report.Expt.Fig5.render points);
     write_csv csv_prefix "fig5"
       [ "bw_um"; "lx"; "ly"; "rwl_um"; "runtime_s" ]
@@ -66,7 +81,7 @@ let run_one scale csv_prefix manifest out = function
          points)
   | "a2" | "fig6" ->
     banner "ExptA-2 (Fig. 6): alpha sensitivity";
-    let points = Report.Expt.Fig6.run ~scale () in
+    let points = Report.Expt.Fig6.run ~scale ~mode:solver () in
     print_string (Report.Expt.Fig6.render points);
     write_csv csv_prefix "fig6"
       [ "alpha"; "rwl_um"; "dm1"; "alignments" ]
@@ -77,7 +92,7 @@ let run_one scale csv_prefix manifest out = function
          points)
   | "a3" | "fig7" ->
     banner "ExptA-3 (Fig. 7): optimisation sequences";
-    let points = Report.Expt.Fig7.run ~scale () in
+    let points = Report.Expt.Fig7.run ~scale ~mode:solver () in
     print_string (Report.Expt.Fig7.render points);
     write_csv csv_prefix "fig7"
       [ "sequence"; "rwl_um"; "runtime_s" ]
@@ -90,18 +105,22 @@ let run_one scale csv_prefix manifest out = function
     banner "ExptB-1 (Table 2, ClosedM1)";
     print_string
       (Report.Expt.Table2.render
-         (Report.Expt.Table2.run ~scale ~archs:[ Pdk.Cell_arch.Closed_m1 ] ()))
+         (Report.Expt.Table2.run ~scale ~mode:solver
+            ~archs:[ Pdk.Cell_arch.Closed_m1 ] ()))
   | "b2" ->
     banner "ExptB-2 (Table 2, OpenM1)";
     print_string
       (Report.Expt.Table2.render
-         (Report.Expt.Table2.run ~scale ~archs:[ Pdk.Cell_arch.Open_m1 ] ()))
+         (Report.Expt.Table2.run ~scale ~mode:solver
+            ~archs:[ Pdk.Cell_arch.Open_m1 ] ()))
   | "table2" ->
     banner "ExptB (Table 2, both architectures)";
-    print_string (Report.Expt.Table2.render (Report.Expt.Table2.run ~scale ()))
+    print_string
+      (Report.Expt.Table2.render
+         (Report.Expt.Table2.run ~scale ~mode:solver ()))
   | "fig8" ->
     banner "ExptB-1 (Fig. 8): DRVs vs utilisation";
-    let points = Report.Expt.Fig8.run ~scale () in
+    let points = Report.Expt.Fig8.run ~scale ~mode:solver () in
     print_string (Report.Expt.Fig8.render points);
     write_csv csv_prefix "fig8"
       [ "utilization"; "drvs_init"; "drvs_opt"; "dm1_init"; "dm1_opt" ]
@@ -115,7 +134,8 @@ let run_one scale csv_prefix manifest out = function
     banner "ExptA-2 on OpenM1 (the sweep the paper omitted for space)";
     print_string
       (Report.Expt.Fig6.render
-         (Report.Expt.Fig6.run ~scale ~arch:Pdk.Cell_arch.Open_m1 ()))
+         (Report.Expt.Fig6.run ~scale ~arch:Pdk.Cell_arch.Open_m1
+            ~mode:solver ()))
   | "matrix" ->
     banner "Experiment matrix (benchmark-manifest sweep)";
     run_matrix manifest out
@@ -148,6 +168,10 @@ let out =
   Arg.(value & opt (some string) None & info [ "out" ]
          ~doc:"Write the $(b,matrix) report (vm1dp-expt-matrix/1 JSON)                to $(docv)." ~docv:"FILE")
 
+let solver =
+  Arg.(value & opt solver_conv `Greedy & info [ "solver" ]
+         ~doc:"Window solver for the optimisation passes: greedy, exact,                anneal, auto, or portfolio (deadline-raced portfolio with a                deterministic winner).")
+
 let csv_prefix =
   Arg.(value & opt (some string) None & info [ "csv" ]
          ~doc:"Also write each experiment's data as PREFIX<expt>.csv.")
@@ -164,10 +188,10 @@ let jobs =
   Arg.(value & opt int 0 & info [ "jobs" ]
          ~doc:"Size of the shared domain pool (caller + workers) for the                parallel phases. 0 picks the recommended domain count.                Results are byte-identical for every value." ~docv:"N")
 
-let run scale csv_prefix trace metrics jobs manifest out experiments =
+let run scale solver csv_prefix trace metrics jobs manifest out experiments =
   if trace <> None || metrics then Obs.set_enabled true;
   if jobs > 0 then Exec.set_jobs jobs;
-  List.iter (run_one scale csv_prefix manifest out) experiments;
+  List.iter (run_one scale solver csv_prefix manifest out) experiments;
   (match trace with
    | Some path ->
      (try
@@ -182,7 +206,7 @@ let run scale csv_prefix trace metrics jobs manifest out experiments =
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v (Cmd.info "expt" ~doc)
-    Term.(const run $ scale $ csv_prefix $ trace $ metrics $ jobs $ manifest
-          $ out $ experiments)
+    Term.(const run $ scale $ solver $ csv_prefix $ trace $ metrics $ jobs
+          $ manifest $ out $ experiments)
 
 let () = exit (Cmd.eval cmd)

@@ -33,6 +33,27 @@ let max_in_flight =
                on the oldest job beyond this (backpressure). 0 picks \
                2 * jobs." ~docv:"N")
 
+let solver_conv =
+  let parse s =
+    match Vm1.Scp_solver.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown solver %S (greedy|exact|anneal|auto|portfolio)"
+             s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (Vm1.Scp_solver.mode_to_string m)
+  in
+  Arg.conv (parse, print)
+
+let solver =
+  Arg.(value & opt (some solver_conv) None & info [ "solver" ]
+         ~doc:"Default window solver for requests that omit the \"solver\" \
+               field: greedy, exact, anneal, auto, or portfolio. A \
+               request's own field always wins." ~docv:"MODE")
+
 let trace =
   Arg.(value & opt (some string) None & info [ "trace" ]
          ~doc:"Write a JSON trace of the daemon's whole service period to \
@@ -44,9 +65,10 @@ let metrics =
          ~doc:"Print the observability summary tables (serve.* counters, \
                queue-depth gauge, latency histogram) to stderr on exit.")
 
-let serve_channel cache ~max_in_flight ic oc =
+let serve_channel cache ~max_in_flight ~default_solver ic oc =
   Serve.Daemon.serve
     ?max_in_flight
+    ?default_solver
     cache
     ~next_line:(fun () -> In_channel.input_line ic)
     ~emit:(fun line ->
@@ -60,7 +82,7 @@ let add_stats (a : Serve.Daemon.stats) (b : Serve.Daemon.stats) =
     ok = a.ok + b.ok;
     errors = a.errors + b.errors }
 
-let serve_socket cache ~max_in_flight ~accept_limit path =
+let serve_socket cache ~max_in_flight ~default_solver ~accept_limit path =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.bind sock (Unix.ADDR_UNIX path)
    with Unix.Unix_error (err, _, _) ->
@@ -84,22 +106,24 @@ let serve_socket cache ~max_in_flight ~accept_limit path =
           Fun.protect
             ~finally:(fun () ->
               try Unix.close conn with Unix.Unix_error _ -> ())
-            (fun () -> serve_channel cache ~max_in_flight ic oc)
+            (fun () -> serve_channel cache ~max_in_flight ~default_solver ic oc)
         in
         totals := add_stats !totals stats;
         incr served
       done;
       !totals)
 
-let run socket_path accept_limit jobs max_in_flight trace metrics =
+let run socket_path accept_limit jobs max_in_flight solver trace metrics =
   if trace <> None || metrics then Obs.set_enabled true;
   if jobs > 0 then Exec.set_jobs jobs;
   let max_in_flight = if max_in_flight > 0 then Some max_in_flight else None in
   let cache = Serve.Cache.create () in
   let stats =
     match socket_path with
-    | None -> serve_channel cache ~max_in_flight stdin stdout
-    | Some path -> serve_socket cache ~max_in_flight ~accept_limit path
+    | None -> serve_channel cache ~max_in_flight ~default_solver:solver stdin stdout
+    | Some path ->
+      serve_socket cache ~max_in_flight ~default_solver:solver ~accept_limit
+        path
   in
   Printf.eprintf "vm1d: served %d jobs (%d ok, %d errors)\n%!"
     stats.Serve.Daemon.jobs stats.Serve.Daemon.ok stats.Serve.Daemon.errors;
@@ -120,6 +144,6 @@ let cmd =
   let doc = "batch-optimization daemon: the vm1dp flow as a service" in
   Cmd.v (Cmd.info "vm1d" ~doc)
     Term.(const run $ socket_path $ accept_limit $ jobs $ max_in_flight
-          $ trace $ metrics)
+          $ solver $ trace $ metrics)
 
 let () = exit (Cmd.eval cmd)

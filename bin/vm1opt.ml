@@ -45,6 +45,25 @@ let sequence =
   Arg.(value & opt int 1 & info [ "sequence" ]
          ~doc:"Optimisation sequence 1-5 (ExptA-3).")
 
+let solver_conv =
+  let parse s =
+    match Vm1.Scp_solver.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown solver %S (greedy|exact|anneal|auto|portfolio)"
+             s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (Vm1.Scp_solver.mode_to_string m)
+  in
+  Arg.conv (parse, print)
+
+let solver =
+  Arg.(value & opt solver_conv `Greedy & info [ "solver" ]
+         ~doc:"Window solver: greedy, exact, anneal, auto, or portfolio                (deadline-raced exact/greedy/anneal with a deterministic                winner; byte-identical across --jobs).")
+
 let dump_prefix =
   Arg.(value & opt (some string) None & info [ "dump" ]
          ~doc:"Write PREFIX.init.def and PREFIX.opt.def placement dumps.")
@@ -73,8 +92,8 @@ let check =
   Arg.(value & flag & info [ "check" ]
          ~doc:"After optimising, run the flow sanitizer (lib/check): design                and placement legality, window diagonal-independence,                objective recount, a routing run with the shard-write                monitor armed, and MILP feasibility re-verification on a                sample window. Non-zero exit on any violation.")
 
-let run design arch scale utilization alpha sequence dump_prefix svg_prefix
-    parallel jobs trace metrics check =
+let run design arch scale utilization alpha sequence solver dump_prefix
+    svg_prefix parallel jobs trace metrics check =
   if trace <> None || metrics then Obs.set_enabled true;
   if jobs > 0 then Exec.set_jobs jobs;
   let p = Report.Flow.prepare ~scale ~utilization design arch in
@@ -94,6 +113,7 @@ let run design arch scale utilization alpha sequence dump_prefix svg_prefix
   let config =
     { Vm1.Vm1_opt.default_config with
       Vm1.Vm1_opt.sequence = Vm1.Params.sequence sequence;
+      mode = solver;
       parallel }
   in
   let report = Vm1.Vm1_opt.run ~config params p in
@@ -142,7 +162,7 @@ let cmd =
   let doc = "vertical M1 routing-aware detailed placement, end to end" in
   Cmd.v (Cmd.info "vm1opt" ~doc)
     Term.(const run $ design $ arch $ scale $ utilization $ alpha $ sequence
-          $ dump_prefix $ svg_prefix $ parallel $ jobs $ trace $ metrics
-          $ check)
+          $ solver $ dump_prefix $ svg_prefix $ parallel $ jobs $ trace
+          $ metrics $ check)
 
 let () = exit (Cmd.eval cmd)

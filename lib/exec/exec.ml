@@ -397,6 +397,24 @@ let submit ?deadline_ns thunk =
   if jobs () > 1 then enqueue (get_pool ()) (Task c);
   Future.Cell c
 
+(* --- deterministic racing --- *)
+
+let race ?budget_ns thunks =
+  let deadline_ns =
+    Option.map (fun b -> Int64.add (Obs.now_ns ()) b) budget_ns
+  in
+  let futs = List.map (fun f -> submit ?deadline_ns f) thunks in
+  List.map Future.await futs
+
+(* --- domain-local slots --- *)
+
+module Dls = struct
+  type 'a slot = 'a Domain.DLS.key
+
+  let create init = Domain.DLS.new_key init
+  let get slot = Domain.DLS.get slot
+end
+
 (* --- deterministic loops --- *)
 
 let parallel_for ?(chunk = 1) n body =

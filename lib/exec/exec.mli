@@ -106,6 +106,41 @@ end
     fallback path); pure thunks and idempotent writes qualify. *)
 val submit : ?deadline_ns:int64 -> (unit -> 'a) -> 'a Future.t
 
+(** {1 Deterministic racing} *)
+
+(** [race ?budget_ns thunks] runs the thunks as deadline-raced pool
+    tasks and returns {e all} results, in submission order. The
+    deadline ([budget_ns] after submission) bounds pool-side execution
+    only: a worker that reaches a task past the deadline skips it, and
+    the awaiting caller runs it inline — so every thunk still produces
+    its result and the returned list is identical for every pool size,
+    including [jobs () = 1] (fully sequential). Callers pick the winner
+    from the complete result list with their own deterministic rule;
+    wall-clock never decides an outcome, only where a thunk executes.
+    Thunks must be independent (they may run concurrently) and, like
+    all submitted tasks, tolerate a sequential re-run on the fallback
+    path. *)
+val race : ?budget_ns:int64 -> (unit -> 'a) list -> 'a list
+
+(** {1 Domain-local slots} *)
+
+(** One lazily-initialised value per domain: the confinement tool for
+    per-domain caches used from pool workers (e.g. the window
+    memo-cache of the batch service). [get] never shares a value
+    across domains, so slot contents need no locking — the same
+    domain-confinement argument as [Serve.Cache], extended to code
+    that runs on the pool. *)
+module Dls : sig
+  type 'a slot
+
+  (** [create init] declares a slot; [init] runs once per domain, on
+      that domain's first [get]. *)
+  val create : (unit -> 'a) -> 'a slot
+
+  (** [get slot] is the calling domain's instance. *)
+  val get : 'a slot -> 'a
+end
+
 (** {1 Deterministic data-parallel loops} *)
 
 (** [parallel_map ?chunk f xs] is [Array.map f xs], computed in chunks

@@ -8,6 +8,7 @@ type id =
   | Bench_load
   | Bench_manifest
   | Expt_matrix
+  | Distopt_profile
 
 let all =
   [
@@ -20,6 +21,7 @@ let all =
     Bench_load;
     Bench_manifest;
     Expt_matrix;
+    Distopt_profile;
   ]
 
 let to_string = function
@@ -32,6 +34,7 @@ let to_string = function
   | Bench_load -> "vm1dp-bench-load/1"
   | Bench_manifest -> "vm1dp-bench-manifest/1"
   | Expt_matrix -> "vm1dp-expt-matrix/1"
+  | Distopt_profile -> "vm1dp-distopt-profile/1"
 
 let of_string s = List.find_opt (fun id -> String.equal (to_string id) s) all
 let trace = to_string Trace
@@ -43,3 +46,4 @@ let jobs = to_string Jobs
 let bench_load = to_string Bench_load
 let bench_manifest = to_string Bench_manifest
 let expt_matrix = to_string Expt_matrix
+let distopt_profile = to_string Distopt_profile

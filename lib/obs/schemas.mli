@@ -28,6 +28,10 @@ type id =
   | Expt_matrix
       (** [expt matrix]: the per-cell QoR report swept from a benchmark
           manifest (the committed test/matrix_golden.json) *)
+  | Distopt_profile
+      (** [bench distopt-profile]: window-solver profile — per-window
+          solve-time percentiles, memo-cache hit rate, portfolio win
+          counts (the committed bench/distopt_profile_baseline.json) *)
 
 (** All tags, in declaration order. *)
 val all : id list
@@ -48,3 +52,4 @@ val jobs : string
 val bench_load : string
 val bench_manifest : string
 val expt_matrix : string
+val distopt_profile : string

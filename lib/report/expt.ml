@@ -3,7 +3,7 @@ let aes_closed ?scale ?(arch = Pdk.Cell_arch.Closed_m1) () =
 
 (* One pair of DistOpt calls (perturb then flip) with the given parameter
    set — the unit of work ExptA-1 measures. *)
-let one_shot (p : Place.Placement.t) params ~bw_um ~lx ~ly =
+let one_shot ?(mode = `Greedy) (p : Place.Placement.t) params ~bw_um ~lx ~ly =
   let tech = p.Place.Placement.tech in
   let bw_dbu = int_of_float (bw_um *. 1000.0) in
   let bw = max (2 * (lx + 4)) (bw_dbu / tech.Pdk.Tech.site_width) in
@@ -19,9 +19,10 @@ let one_shot (p : Place.Placement.t) params ~bw_um ~lx ~ly =
       ly;
       allow_flip = false;
       allow_move = true;
-      mode = `Greedy;
+      mode;
       parallel = false;
       candidate_cost = None;
+      wcache = None;
     }
   in
   ignore (Vm1.Dist_opt.run p params base);
@@ -48,12 +49,12 @@ module Fig5 = struct
     List.map (fun bw -> (bw, 4, 1)) [ 1.25; 2.5; 5.0; 10.0; 20.0; 40.0 ]
     @ List.map (fun (lx, ly) -> (20.0, lx, ly)) [ (2, 1); (3, 1); (5, 1); (4, 0) ]
 
-  let run ?scale () =
+  let run ?scale ?mode () =
     List.map
       (fun (bw_um, lx, ly) ->
         let p = aes_closed ?scale () in
         let params = Vm1.Params.default p.Place.Placement.tech in
-        let runtime_s = one_shot p params ~bw_um ~lx ~ly in
+        let runtime_s = one_shot ?mode p params ~bw_um ~lx ~ly in
         let r = Route.Router.route p in
         let s = Route.Metrics.summarize r in
         { bw_um; lx; ly; rwl_um = s.Route.Metrics.rwl_um; runtime_s })
@@ -89,14 +90,15 @@ module Fig6 = struct
 
   let default_alphas = [ 0.; 10.; 100.; 400.; 800.; 1200.; 2000.; 4000.; 6000. ]
 
-  let run ?scale ?arch ?(alphas = default_alphas) () =
+  let run ?scale ?arch ?(mode = `Greedy) ?(alphas = default_alphas) () =
     List.map
       (fun alpha ->
         let p = aes_closed ?scale ?arch () in
         let params =
           { (Vm1.Params.default p.Place.Placement.tech) with Vm1.Params.alpha }
         in
-        ignore (Vm1.Vm1_opt.run params p);
+        let config = { Vm1.Vm1_opt.default_config with Vm1.Vm1_opt.mode } in
+        ignore (Vm1.Vm1_opt.run ~config params p);
         let r = Route.Router.route p in
         let s = Route.Metrics.summarize r in
         let counts = Vm1.Objective.counts params p in
@@ -130,7 +132,7 @@ module Fig7 = struct
     runtime_s : float;
   }
 
-  let run ?scale () =
+  let run ?scale ?(mode = `Greedy) () =
     List.map
       (fun sequence ->
         let p = aes_closed ?scale () in
@@ -139,6 +141,7 @@ module Fig7 = struct
           {
             Vm1.Vm1_opt.default_config with
             Vm1.Vm1_opt.sequence = Vm1.Params.sequence sequence;
+            mode;
           }
         in
         let report = Vm1.Vm1_opt.run ~config params p in
@@ -162,12 +165,13 @@ module Fig7 = struct
 end
 
 module Table2 = struct
-  let run ?scale
+  let run ?scale ?(mode = `Greedy)
       ?(archs = [ Pdk.Cell_arch.Closed_m1; Pdk.Cell_arch.Open_m1 ])
       ?(designs = Netlist.Designs.all) () =
+    let config = { Vm1.Vm1_opt.default_config with Vm1.Vm1_opt.mode } in
     List.concat_map
       (fun arch ->
-        List.map (fun d -> Flow.run_comparison ?scale d arch) designs)
+        List.map (fun d -> Flow.run_comparison ?scale ~config d arch) designs)
       archs
 
   let render comparisons =
@@ -236,7 +240,7 @@ module Fig8 = struct
      and grow with utilisation, matching the figure's premise. *)
   let congested_router = { Route.Router.default_config with layers = 3 }
 
-  let run ?scale ?(utils = default_utils) () =
+  let run ?scale ?(mode = `Greedy) ?(utils = default_utils) () =
     List.map
       (fun utilization ->
         let p =
@@ -247,7 +251,8 @@ module Fig8 = struct
         let init, clock_ps =
           Flow.evaluate ~router_config:congested_router params p
         in
-        ignore (Vm1.Vm1_opt.run params p);
+        let config = { Vm1.Vm1_opt.default_config with Vm1.Vm1_opt.mode } in
+        ignore (Vm1.Vm1_opt.run ~config params p);
         let final, _ =
           Flow.evaluate ~clock_ps ~router_config:congested_router params p
         in

@@ -1,7 +1,9 @@
 (** Drivers for every experiment in the paper's evaluation section. Each
     submodule regenerates one figure or table: a [run] function producing
     structured points and a [render] producing the rows the paper plots.
-    See EXPERIMENTS.md for paper-vs-measured. *)
+    Every [run] takes [?mode] — the window solver (the [expt --solver]
+    flag; default greedy, the paper's configuration). See EXPERIMENTS.md
+    for paper-vs-measured. *)
 
 (** ExptA-1 / Fig. 5: routed wirelength and runtime vs window size and
     perturbation range (aes, ClosedM1, one DistOpt pair). *)
@@ -14,7 +16,7 @@ module Fig5 : sig
     runtime_s : float;
   }
 
-  val run : ?scale:int -> unit -> point list
+  val run : ?scale:int -> ?mode:Vm1.Scp_solver.mode -> unit -> point list
   val render : point list -> string
 end
 
@@ -31,8 +33,8 @@ module Fig6 : sig
   }
 
   val run :
-    ?scale:int -> ?arch:Pdk.Cell_arch.t -> ?alphas:float list -> unit ->
-    point list
+    ?scale:int -> ?arch:Pdk.Cell_arch.t -> ?mode:Vm1.Scp_solver.mode ->
+    ?alphas:float list -> unit -> point list
 
   val render : point list -> string
 end
@@ -46,7 +48,7 @@ module Fig7 : sig
     runtime_s : float;
   }
 
-  val run : ?scale:int -> unit -> point list
+  val run : ?scale:int -> ?mode:Vm1.Scp_solver.mode -> unit -> point list
   val render : point list -> string
 end
 
@@ -54,7 +56,7 @@ end
     both architectures. *)
 module Table2 : sig
   val run :
-    ?scale:int -> ?archs:Pdk.Cell_arch.t list ->
+    ?scale:int -> ?mode:Vm1.Scp_solver.mode -> ?archs:Pdk.Cell_arch.t list ->
     ?designs:Netlist.Designs.name list -> unit -> Flow.comparison list
 
   val render : Flow.comparison list -> string
@@ -71,6 +73,8 @@ module Fig8 : sig
     dm1_opt : int;
   }
 
-  val run : ?scale:int -> ?utils:float list -> unit -> point list
+  val run :
+    ?scale:int -> ?mode:Vm1.Scp_solver.mode -> ?utils:float list -> unit ->
+    point list
   val render : point list -> string
 end

@@ -8,7 +8,13 @@ let c_jobs = Obs.counter "serve.jobs"
 let c_errors = Obs.counter "serve.errors"
 let g_depth = Obs.gauge "serve.queue_depth"
 
-let serve ?max_in_flight cache ~next_line ~emit () =
+let serve ?max_in_flight ?default_solver cache ~next_line ~emit () =
+  (* applied after parsing so the per-request "solver" field still wins *)
+  let apply_default (job : Protocol.job) =
+    match (job.Protocol.solver, default_solver) with
+    | None, Some _ -> { job with Protocol.solver = default_solver }
+    | _ -> job
+  in
   let cap =
     match max_in_flight with
     | Some n -> max 1 n
@@ -50,7 +56,7 @@ let serve ?max_in_flight cache ~next_line ~emit () =
     | Some line ->
       incr jobs;
       Obs.Counter.incr c_jobs;
-      (match Protocol.parse_job line with
+      (match Result.map apply_default (Protocol.parse_job line) with
       | Error e -> push (Exec.Future.return (Protocol.Err e))
       | Ok job when job.Protocol.want_trace ->
         (* serialisation point: the trace must contain this job's spans

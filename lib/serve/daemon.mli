@@ -39,9 +39,13 @@ type stats = {
     returns the totals. [max_in_flight] bounds concurrently-running
     jobs (default [2 * Exec.jobs ()], min 2) — the submission loop
     awaits the oldest job once the bound is reached, which is the
-    backpressure that keeps a fast client from queueing unboundedly. *)
+    backpressure that keeps a fast client from queueing unboundedly.
+    [default_solver] (the [vm1d --solver] flag) fills in the window
+    solver for requests that omit the ["solver"] field; a request's own
+    field always wins. *)
 val serve :
   ?max_in_flight:int ->
+  ?default_solver:Vm1.Scp_solver.mode ->
   Cache.t ->
   next_line:(unit -> string option) ->
   emit:(string -> unit) ->

@@ -116,6 +116,14 @@ let placement_digest (p : Place.Placement.t) =
     p.Place.Placement.orients;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+(* One window memo-cache per worker domain. Like Cache, a Wcache is
+   domain-confined mutable state; jobs execute on pool workers, so each
+   worker warms and probes only its own instance. Warm entries carry
+   across jobs: a repeated job replays its converged windows. Byte
+   identity is unaffected (hit ≡ miss), so replies stay identical
+   whichever worker — warm or cold — picks a job up. *)
+let wcache_slot = Exec.Dls.create (fun () -> Vm1.Wcache.create ())
+
 let run_flow (job : Protocol.job) (a : artifacts) =
   let q = Place.Placement.copy a.master in
   let params =
@@ -130,7 +138,9 @@ let run_flow (job : Protocol.job) (a : artifacts) =
   let config =
     { Vm1.Vm1_opt.default_config with
       Vm1.Vm1_opt.sequence = Vm1.Params.sequence job.sequence;
-      parallel = false }
+      mode = (match job.solver with Some m -> m | None -> `Greedy);
+      parallel = false;
+      wcache = Vm1.Vm1_opt.Shared_wcache (Exec.Dls.get wcache_slot) }
   in
   let init, clock_ps = Report.Flow.evaluate ~router_config params q in
   let (_ : Vm1.Vm1_opt.report) = Vm1.Vm1_opt.run ~config params q in

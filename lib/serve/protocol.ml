@@ -16,13 +16,15 @@ type job = {
   arch : Pdk.Cell_arch.t;
   alpha : float option;
   sequence : int;
+  solver : Vm1.Scp_solver.mode option;
   want_trace : bool;
 }
 
 let generated_job ~id ?(arch = Pdk.Cell_arch.Closed_m1) ?(scale = 8)
-    ?(util = 0.75) ?alpha ?(sequence = 1) ?(want_trace = false) design =
+    ?(util = 0.75) ?alpha ?(sequence = 1) ?solver ?(want_trace = false)
+    design =
   { id; source = Generated { design; scale; util }; arch; alpha; sequence;
-    want_trace }
+    solver; want_trace }
 
 type error_code = Parse_error | Unsupported_schema | Bad_request | Internal
 
@@ -89,6 +91,9 @@ let encode_job j =
     @ source_fields
     @ (match j.alpha with Some a -> [ ("alpha", J.Float a) ] | None -> [])
     @ [ ("sequence", J.Int j.sequence) ]
+    @ (match j.solver with
+      | Some m -> [ ("solver", J.Str (Vm1.Scp_solver.mode_to_string m)) ]
+      | None -> [])
     @ if j.want_trace then [ ("trace", J.Bool true) ] else []
   in
   J.to_string (J.Obj fields)
@@ -259,13 +264,25 @@ let parse_job line =
           | Some _ ->
             fail ?id Bad_request "\"sequence\" must be an integer in 1..5"
         in
+        let* solver =
+          match J.member "solver" obj with
+          | None -> Stdlib.Ok None
+          | Some (J.Str s) -> (
+            match Vm1.Scp_solver.mode_of_string s with
+            | Some m -> Stdlib.Ok (Some m)
+            | None ->
+              fail ?id Bad_request
+                "unknown solver %S (greedy|exact|anneal|auto|portfolio)" s)
+          | Some _ -> fail ?id Bad_request "\"solver\" must be a string"
+        in
         let* want_trace =
           match J.member "trace" obj with
           | None -> Stdlib.Ok false
           | Some (J.Bool b) -> Stdlib.Ok b
           | Some _ -> fail ?id Bad_request "\"trace\" must be a boolean"
         in
-        Stdlib.Ok { id = id_s; source; arch; alpha; sequence; want_trace })
+        Stdlib.Ok
+          { id = id_s; source; arch; alpha; sequence; solver; want_trace })
     | Some _ -> fail ?id Unsupported_schema "\"schema\" must be a string")
   | Stdlib.Ok _ -> fail Parse_error "request line is not a JSON object"
 

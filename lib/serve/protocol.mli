@@ -39,6 +39,10 @@ type job = {
                                 library the DEF is bound against *)
   alpha : float option;     (** alignment-weight override; default: paper *)
   sequence : int;           (** optimisation sequence 1..5; default 1 *)
+  solver : Vm1.Scp_solver.mode option;
+  (** window-solver override (the ["solver"] request field:
+      [greedy|exact|anneal|auto|portfolio]); [None] defers to the
+      daemon's default ([--solver], else greedy) *)
   want_trace : bool;        (** reply carries a [vm1dp-trace/1] blob *)
 }
 
@@ -47,8 +51,8 @@ type job = {
     defaults — the shape every pre-external client sent. *)
 val generated_job :
   id:string -> ?arch:Pdk.Cell_arch.t -> ?scale:int -> ?util:float ->
-  ?alpha:float -> ?sequence:int -> ?want_trace:bool ->
-  Netlist.Designs.name -> job
+  ?alpha:float -> ?sequence:int -> ?solver:Vm1.Scp_solver.mode ->
+  ?want_trace:bool -> Netlist.Designs.name -> job
 
 (** {1 Errors} *)
 

@@ -10,6 +10,7 @@ type config = {
   mode : Scp_solver.mode;
   parallel : bool;
   candidate_cost : (site:int -> row:int -> float) option;
+  wcache : Wcache.t option;
 }
 
 type stats = {
@@ -34,29 +35,29 @@ let h_window_moves = Obs.histogram "distopt.window_moves"
    site/row origin, DBU bounding box) and carries the before/after QoR
    counts [vm1trace attribute] joins on. The QoR recounts only run while
    instrumentation is on; results are unchanged either way. *)
-let solve_window (w : Window.t) problem ~mode =
-  let attrs =
-    if not (Obs.enabled ()) then []
-    else begin
-      let tech = problem.Wproblem.placement.Place.Placement.tech in
-      let sw = tech.Pdk.Tech.site_width and rh = tech.Pdk.Tech.row_height in
-      [
-        ("ix", `Int w.Window.ix);
-        ("iy", `Int w.Window.iy);
-        ("site_lo", `Int w.Window.site_lo);
-        ("row_lo", `Int w.Window.row_lo);
-        ("x0_dbu", `Int (w.Window.site_lo * sw));
-        ("y0_dbu", `Int (w.Window.row_lo * rh));
-        ("x1_dbu", `Int ((w.Window.site_lo + w.Window.bw) * sw));
-        ("y1_dbu", `Int ((w.Window.row_lo + w.Window.bh) * rh));
-      ]
-    end
-  in
-  Obs.with_span "distopt.window" ~attrs (fun () ->
+let window_attrs (w : Window.t) problem =
+  if not (Obs.enabled ()) then []
+  else begin
+    let tech = problem.Wproblem.placement.Place.Placement.tech in
+    let sw = tech.Pdk.Tech.site_width and rh = tech.Pdk.Tech.row_height in
+    [
+      ("ix", `Int w.Window.ix);
+      ("iy", `Int w.Window.iy);
+      ("site_lo", `Int w.Window.site_lo);
+      ("row_lo", `Int w.Window.row_lo);
+      ("x0_dbu", `Int (w.Window.site_lo * sw));
+      ("y0_dbu", `Int (w.Window.row_lo * rh));
+      ("x1_dbu", `Int ((w.Window.site_lo + w.Window.bw) * sw));
+      ("y1_dbu", `Int ((w.Window.row_lo + w.Window.bh) * rh));
+    ]
+  end
+
+let with_window_span (w : Window.t) problem f =
+  Obs.with_span "distopt.window" ~attrs:(window_attrs w problem) (fun () ->
       let q0 =
         if Obs.enabled () then Some (Wproblem.qor problem) else None
       in
-      let s = Scp_solver.solve ~mode problem in
+      let s : Scp_solver.stats = f () in
       (match q0 with
       | Some q0 ->
         let q1 = Wproblem.qor problem in
@@ -72,26 +73,67 @@ let solve_window (w : Window.t) problem ~mode =
       | None -> ());
       s)
 
-let solve_batch ~parallel ~mode (batch : Window.t array) problems =
+let solve_window (w : Window.t) problem ~mode =
+  with_window_span w problem (fun () -> Scp_solver.solve ~mode problem)
+
+(* A cache hit replays the memoised assignment instead of solving.
+   Candidate indices are translation-invariant, so the replay lands each
+   cell exactly where a fresh solve of this (canonically equal) problem
+   would; the cached stats are the fresh solve's stats verbatim. The
+   window span is emitted either way so traces keep full coverage. *)
+let replay_window (w : Window.t) problem (entry : Wcache.entry) =
+  with_window_span w problem (fun () ->
+      Wproblem.set_assignment problem entry.Wcache.assignment;
+      entry.Wcache.stats)
+
+let solve_batch ~parallel ~mode ~wcache (batch : Window.t array) problems =
   let n = Array.length problems in
   let stats = Array.make n None in
-  let solve i =
-    let s = solve_window batch.(i) problems.(i) ~mode in
+  let record i (s : Scp_solver.stats) =
     Obs.Counter.incr c_windows_solved;
     Obs.Counter.add c_moves s.Scp_solver.moves;
     Obs.Histogram.observe h_window_moves (float_of_int s.Scp_solver.moves);
     stats.(i) <- Some s
   in
+  let solve i = record i (solve_window batch.(i) problems.(i) ~mode) in
   (* Window solves fan out over the persistent Exec pool: the worker
      domains are spawned once per process, not once per batch, so the
      only Domain.spawn cost is warm-up (the exec.domain_spawns counter
      stays flat across batches). Per-index writes keep the result
      identical to the sequential order for every pool size. *)
-  if (not parallel) || n <= 1 then
+  let solve_all ~parallel n solve =
+    if (not parallel) || n <= 1 then
+      for i = 0 to n - 1 do
+        solve i
+      done
+    else Exec.parallel_for n solve
+  in
+  (match wcache with
+  | None -> solve_all ~parallel n solve
+  | Some cache ->
+    (* The cache is domain-confined: keys, probes, replays and inserts
+       all run on the coordinating domain; only the misses fan out. *)
+    let keys = Array.map (Wcache.key ~mode) problems in
+    let cached = Array.map (Wcache.find cache) keys in
+    let miss_rev = ref [] in
     for i = 0 to n - 1 do
-      solve i
-    done
-  else Exec.parallel_for n solve;
+      match cached.(i) with
+      | Some entry -> record i (replay_window batch.(i) problems.(i) entry)
+      | None -> miss_rev := i :: !miss_rev
+    done;
+    let misses = Array.of_list (List.rev !miss_rev) in
+    solve_all ~parallel (Array.length misses) (fun j -> solve misses.(j));
+    Array.iter
+      (fun i ->
+        match stats.(i) with
+        | Some s ->
+          Wcache.add cache keys.(i)
+            {
+              Wcache.assignment = Wproblem.assignment problems.(i);
+              stats = s;
+            }
+        | None -> ())
+      misses);
   Array.fold_left
     (fun acc s ->
       match s with Some s -> acc + s.Scp_solver.moves | None -> acc)
@@ -111,19 +153,24 @@ let run (p : Place.Placement.t) (params : Params.t) (c : config) =
             (fun () ->
               let problems =
                 Obs.with_span "distopt.extract" (fun () ->
+                    (* one O(instances) bucketing shared by the whole
+                       batch; rebuilt per batch because commits move
+                       cells between batches *)
+                    let rows = Wproblem.row_index p in
                     Array.map
                       (fun (w : Window.t) ->
-                        Wproblem.extract ?candidate_cost:c.candidate_cost p
-                          params ~site_lo:w.site_lo ~row_lo:w.row_lo ~bw:w.bw
-                          ~bh:w.bh ~movable:w.movable ~lx:c.lx ~ly:c.ly
-                          ~allow_flip:c.allow_flip ~allow_move:c.allow_move)
+                        Wproblem.extract ?candidate_cost:c.candidate_cost
+                          ~rows p params ~site_lo:w.site_lo ~row_lo:w.row_lo
+                          ~bw:w.bw ~bh:w.bh ~movable:w.movable ~lx:c.lx
+                          ~ly:c.ly ~allow_flip:c.allow_flip
+                          ~allow_move:c.allow_move)
                       batch)
               in
               let moves =
                 Obs.with_span "distopt.solve" (fun () ->
                     let m =
-                      solve_batch ~parallel:c.parallel ~mode:c.mode batch
-                        problems
+                      solve_batch ~parallel:c.parallel ~mode:c.mode
+                        ~wcache:c.wcache batch problems
                     in
                     Obs.add_attr "moves" (`Int m);
                     m)

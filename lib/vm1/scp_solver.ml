@@ -1,4 +1,19 @@
-type mode = [ `Exact | `Greedy | `Anneal | `Auto ]
+type mode = [ `Exact | `Greedy | `Anneal | `Auto | `Portfolio ]
+
+let mode_to_string = function
+  | `Exact -> "exact"
+  | `Greedy -> "greedy"
+  | `Anneal -> "anneal"
+  | `Auto -> "auto"
+  | `Portfolio -> "portfolio"
+
+let mode_of_string = function
+  | "exact" -> Some `Exact
+  | "greedy" -> Some `Greedy
+  | "anneal" -> Some `Anneal
+  | "auto" -> Some `Auto
+  | "portfolio" -> Some `Portfolio
+  | _ -> None
 
 type stats = {
   objective_before : float;
@@ -28,12 +43,17 @@ let greedy ?(max_passes = 8) (t : Wproblem.t) =
     for cell = 0 to n - 1 do
       let c = t.cells.(cell) in
       let cur_gain = Wproblem.cell_pair_gain_at t ~cell ~cand:c.cur in
+      (* the cell's own state is constant across its candidate scan
+         (plans tested via plan_delta are reverted), so the cur-cost half
+         of move_delta is hoisted out of the loop: same floats, half the
+         local_cost walks *)
+      let cur_cost = Wproblem.local_cost t ~cell ~cand:c.cur in
       let best_action = ref None in
       let best_delta = ref 0.0 in
       for cand = 0 to Array.length c.cands - 1 do
         if cand <> c.cur then begin
           if Wproblem.candidate_free t ~cell ~cand then begin
-            let d = Wproblem.move_delta t ~cell ~cand in
+            let d = Wproblem.local_cost t ~cell ~cand -. cur_cost in
             if d < !best_delta -. 1e-9 then begin
               best_delta := d;
               best_action := Some (`Move cand)
@@ -185,18 +205,72 @@ let anneal ?max_passes (t : Wproblem.t) =
     }
   end
 
+(* --- the racing portfolio ---
+
+   Every admissible solver runs on its own clone of the problem, raced
+   on the shared Exec pool under a soft deadline. The deadline bounds
+   where a racer executes, never whether (an expired task is run inline
+   by the awaiter — the Exec.race contract), so the full result list is
+   always available and the winner is a pure function of the problem:
+   best objective, ties broken by the fixed rank order exact > greedy >
+   anneal. That rule is what keeps `Portfolio byte-identical across
+   --jobs. *)
+
+let portfolio_budget_ns = 250_000_000L
+
+(* exact joins the race only on windows where it is clearly cheap; the
+   same bound `Auto uses to prefer it *)
+let exact_admissible t =
+  Array.length t.Wproblem.cells <= 6 && exact_search_space t <= 50_000
+
+let c_win_exact = Obs.counter "distopt.portfolio_wins.exact"
+let c_win_greedy = Obs.counter "distopt.portfolio_wins.greedy"
+let c_win_anneal = Obs.counter "distopt.portfolio_wins.anneal"
+
+let portfolio ?max_passes t =
+  let racers =
+    (if exact_admissible t then [ (c_win_exact, fun p -> exact p) ] else [])
+    @ [
+        (c_win_greedy, (fun p -> greedy ?max_passes p));
+        (c_win_anneal, (fun p -> anneal ?max_passes p));
+      ]
+  in
+  let entries =
+    List.map
+      (fun (win_counter, solver) ->
+        let p = Wproblem.clone t in
+        (win_counter, p, fun () -> solver p))
+      racers
+  in
+  let results =
+    Exec.race ~budget_ns:portfolio_budget_ns
+      (List.map (fun (_, _, thunk) -> thunk) entries)
+  in
+  let best = ref None in
+  List.iter2
+    (fun (win_counter, p, _) (s : stats) ->
+      match !best with
+      | Some (_, _, (b : stats))
+        when s.objective_after >= b.objective_after -> ()
+      | _ -> best := Some (win_counter, p, s))
+    entries results;
+  match !best with
+  | None -> greedy ?max_passes t (* unreachable: the racer list is nonempty *)
+  | Some (win_counter, p, s) ->
+    Obs.Counter.incr win_counter;
+    Wproblem.set_assignment t (Wproblem.assignment p);
+    s
+
 let c_mode_greedy = Obs.counter "scp.mode.greedy"
 let c_mode_exact = Obs.counter "scp.mode.exact"
 let c_mode_anneal = Obs.counter "scp.mode.anneal"
+let c_mode_portfolio = Obs.counter "scp.mode.portfolio"
 
 let solve ?(mode = `Auto) ?max_passes t =
   let mode =
     match mode with
-    | `Auto ->
-      if Array.length t.Wproblem.cells <= 6 && exact_search_space t <= 50_000
-      then `Exact
-      else `Greedy
-    | (`Greedy | `Exact | `Anneal) as m -> m
+    | `Auto -> if exact_admissible t then `Exact else `Greedy
+    | (`Greedy | `Exact | `Anneal | `Portfolio) as m -> m
   in
   match mode with
   | `Greedy ->
@@ -208,3 +282,6 @@ let solve ?(mode = `Auto) ?max_passes t =
   | `Anneal ->
     Obs.Counter.incr c_mode_anneal;
     anneal ?max_passes t
+  | `Portfolio ->
+    Obs.Counter.incr c_mode_portfolio;
+    portfolio ?max_passes t

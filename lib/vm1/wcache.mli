@@ -1,0 +1,67 @@
+(** Memo-cache of solved window subproblems, keyed by canonical form.
+
+    Detailed-placement outer iterations re-extract and re-solve many
+    windows whose content did not change since the previous pass (the
+    grid only shifts by half a window between perturbation passes, and
+    most windows converge early). This cache short-circuits those
+    solves: a window is reduced to a translation-invariant canonical
+    form — cell widths, candidate lattices and pin geometries rebased to
+    the window origin, candidate penalties, net weights and memberships,
+    pair structure, fixed blockage, architecture parameters, and the
+    solver mode — and content-hashed into a key. A hit replays the
+    cached per-cell candidate assignment through {!Wproblem.set_assignment};
+    candidate indices are themselves translation-invariant, so the
+    replay lands each cell exactly where a fresh solve would.
+
+    {b Hit ≡ miss invariant}: for canonically-equal problems, replaying
+    a cached assignment and solving from scratch produce bit-identical
+    assignments, objectives and committed placements. The key includes
+    every input the deterministic solvers read (including float
+    summation order, fixed by the serialized array orders), so this
+    holds by construction; [test_properties] checks it, and
+    [vm1opt --check] re-verifies cached windows against the MILP oracle
+    like any other.
+
+    {b Domain confinement}: like [Serve.Cache], a [t] is plain mutable
+    state with no internal synchronisation — confine each instance to
+    one domain ([Exec.Dls] gives the serve engine a per-worker cache).
+    Probing sequentially from the coordinator and solving only the
+    misses in parallel (what [Dist_opt] does) is also fine: the cache is
+    never touched from pool workers.
+
+    Eviction is LRU with a bounded entry count. Counters
+    [distopt.wcache_hits] / [distopt.wcache_misses] and gauge
+    [distopt.wcache_entries] report behaviour through [Obs]. *)
+
+type t
+
+type entry = {
+  assignment : int array;  (** per-cell candidate index, window-local *)
+  stats : Scp_solver.stats;  (** the stats of the original solve *)
+}
+
+val default_capacity : int
+(** 4096 entries — a few MB for typical window sizes. *)
+
+val create : ?capacity:int -> unit -> t
+
+(** [key ~mode p] is the canonical content hash of the window problem
+    under solver [mode]. Two problems get equal keys iff the
+    deterministic solvers would trace identical trajectories on them —
+    in particular a window and its uniformly-translated copy collide,
+    while any difference in content, candidate clipping, per-candidate
+    penalty, parameters or solver mode separates them. *)
+val key : mode:Scp_solver.mode -> Wproblem.t -> string
+
+(** [find t key] returns the cached entry and refreshes its recency, or
+    [None]. Bumps the hit/miss counters. *)
+val find : t -> string -> entry option
+
+(** [add t key entry] inserts (or refreshes) the entry, evicting the
+    least-recently-used one past capacity. *)
+val add : t -> string -> entry -> unit
+
+val length : t -> int
+
+(** [stats t] is [(hits, misses)] over this instance's lifetime. *)
+val stats : t -> int * int

@@ -68,7 +68,19 @@ let encode_cand t ~site ~row ~orient =
 
 (* --- extraction --- *)
 
-let extract ?candidate_cost (p : Place.Placement.t) (params : Params.t)
+(* Row-bucketed instance ids, for fixed-occupancy extraction. Built once
+   per batch (positions are stable until the batch commits), it turns the
+   per-window full-design walk into a walk of the window's own rows. *)
+let row_index (p : Place.Placement.t) =
+  let idx = Array.make p.num_rows [] in
+  let n = Place.Placement.num_instances p in
+  for i = n - 1 downto 0 do
+    let r = Place.Placement.row_of_inst p i in
+    if r >= 0 && r < p.num_rows then idx.(r) <- i :: idx.(r)
+  done;
+  idx
+
+let extract ?candidate_cost ?rows (p : Place.Placement.t) (params : Params.t)
     ~site_lo ~row_lo ~bw ~bh ~movable ~lx ~ly ~allow_flip ~allow_move =
   let design = p.design in
   let tech = p.tech in
@@ -99,19 +111,28 @@ let extract ?candidate_cost (p : Place.Placement.t) (params : Params.t)
   in
   let fixed_occ = Bytes.make (bw * bh) '\000' in
   let site_hi = site_lo + bw - 1 and row_hi = row_lo + bh - 1 in
-  Array.iteri
-    (fun i (inst : Netlist.Design.instance) ->
-      if not (Hashtbl.mem cell_of_inst i) then begin
+  let mark_fixed i r =
+    if not (Hashtbl.mem cell_of_inst i) then begin
+      let inst = design.Netlist.Design.instances.(i) in
+      let s = Place.Placement.site_of_inst p i in
+      let w = inst.master.Pdk.Stdcell.width_sites in
+      let a = max s site_lo and b = min (s + w - 1) site_hi in
+      if a <= b then bump fixed_occ shell ~site:a ~row:r ~width:(b - a + 1) 1
+    end
+  in
+  (match rows with
+  | Some idx ->
+    (* occupancy bumps are additive, so visiting by row bucket instead of
+       instance id leaves the resulting map identical *)
+    for r = max 0 row_lo to min (Array.length idx - 1) row_hi do
+      List.iter (fun i -> mark_fixed i r) idx.(r)
+    done
+  | None ->
+    Array.iteri
+      (fun i (_ : Netlist.Design.instance) ->
         let r = Place.Placement.row_of_inst p i in
-        if r >= row_lo && r <= row_hi then begin
-          let s = Place.Placement.site_of_inst p i in
-          let w = inst.master.Pdk.Stdcell.width_sites in
-          let a = max s site_lo and b = min (s + w - 1) site_hi in
-          if a <= b then
-            bump fixed_occ shell ~site:a ~row:r ~width:(b - a + 1) 1
-        end
-      end)
-    design.instances;
+        if r >= row_lo && r <= row_hi then mark_fixed i r)
+      design.instances);
   (* candidate generation *)
   let make_cell c_idx inst_id =
     ignore c_idx;
@@ -150,13 +171,48 @@ let extract ?candidate_cost (p : Place.Placement.t) (params : Params.t)
       Array.of_list ({ site = s0; row = r0; orient = o0 } :: List.rev !cands)
     in
     let n_pins = List.length inst.master.Pdk.Stdcell.pins in
+    (* placed pin geometry is affine in the cell origin, so the master's
+       shape lists are walked once per orientation (at site/row 0) and
+       every candidate's table is a translation of that base *)
+    let locals =
+      List.map
+        (fun o ->
+          ( o,
+            Array.init n_pins (fun k ->
+                Align.of_candidate p
+                  { Netlist.Design.inst = inst_id; pin = k }
+                  ~site:0 ~row:0 ~orient:o) ))
+        orients
+    in
+    let sw = tech.Pdk.Tech.site_width and rh = tech.Pdk.Tech.row_height in
     let geoms =
       Array.map
-        (fun cand ->
-          Array.init n_pins (fun k ->
-              Align.of_candidate p
-                { Netlist.Design.inst = inst_id; pin = k }
-                ~site:cand.site ~row:cand.row ~orient:cand.orient))
+        (fun (cand : candidate) ->
+          let base =
+            match
+              List.find_opt
+                (fun (o, _) -> Geom.Orient.equal o cand.orient)
+                locals
+            with
+            | Some (_, a) -> a
+            | None ->
+              (* unreachable: candidates only use orientations from
+                 [orients] *)
+              Array.init n_pins (fun k ->
+                  Align.of_candidate p
+                    { Netlist.Design.inst = inst_id; pin = k }
+                    ~site:0 ~row:0 ~orient:cand.orient)
+          in
+          let dx = cand.site * sw and dy = cand.row * rh in
+          Array.map
+            (fun (g : Align.pin_geom) ->
+              {
+                Align.ax = g.Align.ax + dx;
+                x_lo = g.Align.x_lo + dx;
+                x_hi = g.Align.x_hi + dx;
+                y = g.Align.y + dy;
+              })
+            base)
         cands
     in
     let cand_cost =
@@ -210,27 +266,36 @@ let extract ?candidate_cost (p : Place.Placement.t) (params : Params.t)
   (* pair prefilter: keep pairs that can satisfy the dM1 predicate under
      some candidate combination *)
   let tech_row = tech.Pdk.Tech.row_height in
+  (* per-(cell, pin) candidate-geometry envelopes, computed once — the
+     pair prefilter below consults them once per net pair instead of
+     rescanning the whole candidate table each time *)
+  let pin_range (cell : cell) pin =
+    let axmin = ref max_int and axmax = ref min_int in
+    let lomin = ref max_int and himax = ref min_int in
+    let ymin = ref max_int and ymax = ref min_int in
+    Array.iter
+      (fun geoms ->
+        let g = geoms.(pin) in
+        if g.Align.ax < !axmin then axmin := g.Align.ax;
+        if g.Align.ax > !axmax then axmax := g.Align.ax;
+        if g.x_lo < !lomin then lomin := g.x_lo;
+        if g.x_hi > !himax then himax := g.x_hi;
+        if g.y < !ymin then ymin := g.y;
+        if g.y > !ymax then ymax := g.y)
+      cell.geoms;
+    (!axmin, !axmax, !lomin, !himax, !ymin, !ymax)
+  in
+  let cell_pin_ranges =
+    Array.map
+      (fun (cell : cell) ->
+        Array.init (Array.length cell.geoms.(0)) (pin_range cell))
+      cells
+  in
   let geom_range (wp : wpin) =
     if wp.owner < 0 then
       let g = wp.fixed_geom in
       (g.Align.ax, g.Align.ax, g.x_lo, g.x_hi, g.y, g.y)
-    else begin
-      let cell = cells.(wp.owner) in
-      let axmin = ref max_int and axmax = ref min_int in
-      let lomin = ref max_int and himax = ref min_int in
-      let ymin = ref max_int and ymax = ref min_int in
-      Array.iter
-        (fun geoms ->
-          let g = geoms.(wp.pr.pin) in
-          if g.Align.ax < !axmin then axmin := g.Align.ax;
-          if g.Align.ax > !axmax then axmax := g.Align.ax;
-          if g.x_lo < !lomin then lomin := g.x_lo;
-          if g.x_hi > !himax then himax := g.x_hi;
-          if g.y < !ymin then ymin := g.y;
-          if g.y > !ymax then ymax := g.y)
-        cell.geoms;
-      (!axmin, !axmax, !lomin, !himax, !ymin, !ymax)
-    end
+    else cell_pin_ranges.(wp.owner).(wp.pr.pin)
   in
   let is_open = shell.is_open in
   let feasible_pair a b =
@@ -324,18 +389,25 @@ let pin_geom_if t ~cell ~cand (wp : wpin) =
     t.cells.(cell).geoms.(cand).(wp.pr.pin)
   else pin_geom t wp
 
+(* Ref-free bounding-box walk: this runs once per (cell, candidate, net)
+   in the solver inner loops, so the four int refs of the obvious
+   formulation are a measurable allocation cost. *)
 let net_hpwl_with t ~cell ~cand (wnet : wnet) =
-  let xmin = ref max_int and xmax = ref min_int in
-  let ymin = ref max_int and ymax = ref min_int in
-  Array.iter
-    (fun wp ->
-      let g = pin_geom_if t ~cell ~cand wp in
-      if g.Align.ax < !xmin then xmin := g.Align.ax;
-      if g.Align.ax > !xmax then xmax := g.Align.ax;
-      if g.y < !ymin then ymin := g.y;
-      if g.y > !ymax then ymax := g.y)
-    wnet.wpins;
-  (!xmax - !xmin) + (!ymax - !ymin)
+  let wpins = wnet.wpins in
+  let n = Array.length wpins in
+  let rec go i xmin xmax ymin ymax =
+    if i = n then xmax - xmin + (ymax - ymin)
+    else begin
+      let g = pin_geom_if t ~cell ~cand wpins.(i) in
+      let ax = g.Align.ax and y = g.Align.y in
+      go (i + 1)
+        (if ax < xmin then ax else xmin)
+        (if ax > xmax then ax else xmax)
+        (if y < ymin then y else ymin)
+        (if y > ymax then y else ymax)
+    end
+  in
+  go 0 max_int min_int max_int min_int
 
 let pair_gain_with t ~cell ~cand (a, b) =
   let tech = t.placement.Place.Placement.tech in
@@ -397,21 +469,24 @@ let candidate_free t ~cell ~cand =
   bump t.occ t ~site:cur.site ~row:cur.row ~width:c.width 1;
   ok
 
+(* Folds rather than a float ref: the summation order (cand_cost, then
+   nets in incidence order, then pairs) is unchanged, so the float
+   result is bit-identical to the ref formulation. *)
 let local_cost t ~cell ~cand =
   let beta = t.params.Params.beta in
-  let acc = ref t.cells.(cell).cand_cost.(cand) in
-  List.iter
-    (fun nidx ->
-      let wnet = t.nets.(nidx) in
-      acc :=
-        !acc
+  let acc =
+    List.fold_left
+      (fun acc nidx ->
+        let wnet = t.nets.(nidx) in
+        acc
         +. (beta *. wnet.weight
             *. float_of_int (net_hpwl_with t ~cell ~cand wnet)))
-    t.cell_nets.(cell);
-  List.iter
-    (fun pidx -> acc := !acc -. pair_gain_with t ~cell ~cand t.pairs.(pidx))
-    t.cell_pairs.(cell);
-  !acc
+      t.cells.(cell).cand_cost.(cand)
+      t.cell_nets.(cell)
+  in
+  List.fold_left
+    (fun acc pidx -> acc -. pair_gain_with t ~cell ~cand t.pairs.(pidx))
+    acc t.cell_pairs.(cell)
 
 let move_delta t ~cell ~cand =
   let c = t.cells.(cell) in
@@ -619,3 +694,23 @@ let footprint_free_at t ~cell ~cand =
   footprint_free t.occ t ~site:nc.site ~row:nc.row ~width:c.width
 
 let set_cur t ~cell ~cand = t.cells.(cell).cur <- cand
+
+(* --- assignments and clones (the solver-portfolio substrate) --- *)
+
+let assignment t = Array.map (fun (c : cell) -> c.cur) t.cells
+
+let set_assignment t a =
+  if Array.length a <> Array.length t.cells then
+    invalid_arg "Wproblem.set_assignment: arity mismatch";
+  (* apply keeps occupancy consistent; the per-site counts tolerate the
+     transient overlap of moving cells one at a time *)
+  Array.iteri
+    (fun i cand -> if t.cells.(i).cur <> cand then apply t ~cell:i ~cand)
+    a
+
+let clone t =
+  {
+    t with
+    cells = Array.map (fun (c : cell) -> { c with cur = c.cur }) t.cells;
+    occ = Bytes.copy t.occ;
+  }

@@ -57,14 +57,23 @@ type t = {
   cand_index : (int, int) Hashtbl.t array;  (** encoded candidate -> index *)
 }
 
-(** [extract ?candidate_cost placement params ~site_lo ~row_lo ~bw ~bh
-    ~movable ~lx ~ly ~allow_flip ~allow_move] builds the subproblem.
+(** [row_index placement] buckets instance ids by their current row.
+    Sharing one index across the windows of a batch (positions are
+    stable until the batch commits) turns each window's fixed-occupancy
+    scan from a full-design walk into a walk of its own rows. *)
+val row_index : Place.Placement.t -> int list array
+
+(** [extract ?candidate_cost ?rows placement params ~site_lo ~row_lo ~bw
+    ~bh ~movable ~lx ~ly ~allow_flip ~allow_move] builds the subproblem.
     [movable] lists the instances fully inside the window; instances
     overlapping the window but not listed are treated as fixed blockage.
     [candidate_cost], when given, assigns each candidate a static
-    objective penalty (e.g. congestion of its tile). *)
+    objective penalty (e.g. congestion of its tile). [rows], when given,
+    must be {!row_index} of the placement's current positions; the
+    resulting problem is identical with or without it. *)
 val extract :
   ?candidate_cost:(site:int -> row:int -> float) ->
+  ?rows:int list array ->
   Place.Placement.t -> Params.t ->
   site_lo:int -> row_lo:int -> bw:int -> bh:int ->
   movable:int list -> lx:int -> ly:int ->
@@ -93,6 +102,14 @@ val qor : t -> qor
 (** [candidate_free t ~cell ~cand] checks the candidate footprint against
     the occupancy map, ignoring the cell's own current footprint. *)
 val candidate_free : t -> cell:int -> cand:int -> bool
+
+(** [local_cost t ~cell ~cand] is the part of the objective [cell]
+    influences if it sat at [cand] (its candidate penalty, its nets'
+    weighted HPWL, minus its pairs' gain), everything else at its
+    current position. [move_delta] is the difference of two of these;
+    solvers scanning a cell's whole candidate list hoist the [cur] term
+    out of the loop. *)
+val local_cost : t -> cell:int -> cand:int -> float
 
 (** [move_delta t ~cell ~cand] is the objective change if [cell] moved to
     [cand] with everything else at its current position. *)
@@ -133,3 +150,22 @@ val lift : t -> cell:int -> unit
 val drop : t -> cell:int -> unit
 val footprint_free_at : t -> cell:int -> cand:int -> bool
 val set_cur : t -> cell:int -> cand:int -> unit
+
+(** [assignment t] is the current candidate index of every cell — the
+    window's solution vector. Candidate indices are translation-
+    invariant (candidate generation order depends only on window-local
+    geometry), which is what lets the memo-cache replay an assignment
+    into any canonically-equal problem. *)
+val assignment : t -> int array
+
+(** [set_assignment t a] moves every cell to candidate [a.(i)] through
+    {!apply}, keeping occupancy consistent.
+    @raise Invalid_argument on an arity mismatch. *)
+val set_assignment : t -> int array -> unit
+
+(** [clone t] is an independently-solvable copy: private cell states and
+    occupancy, shared immutable structure (candidates, geometries, nets,
+    pairs, fixed blockage). Solver portfolios race clones of one
+    extraction; clones must never be {!commit}ted (they share the
+    placement with the original). *)
+val clone : t -> t

@@ -98,6 +98,29 @@ let test_dangling_pin_rejected () =
   check_bool "Design.validate rejects dangling pin" true
     (Netlist.Design.validate bad <> [])
 
+(* --- the sanitizer stays clean after a portfolio + window-cache flow:
+   the racing solver and the memo-cache replay path both feed the same
+   oracles (placement legality, window independence, objective recount,
+   shard monitor, MILP re-verification) as the plain greedy flow --- *)
+
+let test_portfolio_cache_flow_clean () =
+  let p = Place.Placement.copy (closedm1 ()) in
+  let params = params_of p in
+  let config =
+    { Vm1.Vm1_opt.default_config with
+      Vm1.Vm1_opt.mode = `Portfolio;
+      wcache = Vm1.Vm1_opt.Fresh_wcache }
+  in
+  ignore (Vm1.Vm1_opt.run ~config params p);
+  let findings = Check.flow params p in
+  check_int "seven oracles ran" 7 (List.length findings);
+  List.iter
+    (fun (f : Check.finding) ->
+      check_bool
+        (Printf.sprintf "%s oracle clean after portfolio+cache" f.oracle)
+        true (f.problems = []))
+    findings
+
 (* --- objective recount disagrees with tampered counts --- *)
 
 let test_objective_tamper () =
@@ -206,7 +229,12 @@ let () =
   in
   Alcotest.run "check"
     [
-      ("flow", flow_cases);
+      ( "flow",
+        flow_cases
+        @ [
+            Alcotest.test_case "portfolio+cache clean" `Quick
+              test_portfolio_cache_flow_clean;
+          ] );
       ( "negative-def",
         [
           Alcotest.test_case "corrupted dump rejected" `Quick

@@ -94,6 +94,7 @@ let distopt_cfg parallel =
     mode = `Greedy;
     parallel;
     candidate_cost = None;
+    wcache = None;
   }
 
 let test_distopt_identity () =

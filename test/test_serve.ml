@@ -113,6 +113,7 @@ let test_external_job_roundtrip () =
           arch = Pdk.Cell_arch.Open_m1;
           alpha = Some 500.;
           sequence = 2;
+          solver = None;
           want_trace = false;
         }
       in
@@ -185,6 +186,7 @@ let external_job ?(id = "e") source =
     arch = Pdk.Cell_arch.Closed_m1;
     alpha = None;
     sequence = 1;
+    solver = None;
     want_trace = false;
   }
 
