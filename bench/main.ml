@@ -277,20 +277,39 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-(* vm1lint: allow marshal -- the digests below only compare runs within a
-   single process (cross-jobs determinism check); cross-version stability
-   of the byte format is irrelevant here. *)
+(* Explicit field-by-field serialization (not [Marshal]): every byte in
+   the digest is a value the determinism contract actually covers, and
+   the encoding cannot drift with the runtime's representation of
+   closures-free-but-shared structure. Fixed-width ints self-delimit. *)
+let digest_int b v = Buffer.add_int64_le b (Int64.of_int v)
+
 let placement_digest (p : Place.Placement.t) =
-  Digest.to_hex
-    (Digest.string
-       (Marshal.to_string (p.Place.Placement.xs, p.ys, p.orients) []))
+  let b = Buffer.create 65536 in
+  Array.iter (digest_int b) p.Place.Placement.xs;
+  Array.iter (digest_int b) p.Place.Placement.ys;
+  Array.iter
+    (fun o -> Buffer.add_string b (Geom.Orient.to_string o))
+    p.Place.Placement.orients;
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes b))
 
 let route_digest (r : Route.Router.result) =
-  Digest.to_hex
-    (Digest.string
-       (Marshal.to_string
-          (r.Route.Router.routes, r.Route.Router.failed_subnets)
-          []))
+  let b = Buffer.create 65536 in
+  Array.iter
+    (fun (nr : Route.Router.net_route) ->
+      digest_int b nr.Route.Router.net_id;
+      Array.iter
+        (fun (sn : Route.Router.subnet) ->
+          digest_int b sn.Route.Router.src.Netlist.Design.inst;
+          digest_int b sn.src.Netlist.Design.pin;
+          digest_int b sn.dst.Netlist.Design.inst;
+          digest_int b sn.dst.Netlist.Design.pin;
+          digest_int b (if sn.routed then 1 else 0);
+          digest_int b (Array.length sn.path);
+          Array.iter (digest_int b) sn.path)
+        nr.Route.Router.subnets)
+    r.Route.Router.routes;
+  digest_int b r.Route.Router.failed_subnets;
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes b))
 
 let scaling_distopt_cfg = distopt_cfg true
 
@@ -304,21 +323,26 @@ let run_scaling ~out ~scaling_scale ~jobs_list () =
   let run_at jobs =
     Exec.set_jobs jobs;
     let q = Place.Placement.copy p0 in
+    (* coordinator-domain GC pressure per row: scaling that shifts work
+       to workers shows up here as falling minor words, and a speedup
+       that stalls while minor words stay flat is not allocation-bound *)
+    let gc0 = Gc.quick_stat () in
     let _, distopt_s =
       time (fun () -> Vm1.Dist_opt.run q params scaling_distopt_cfg)
     in
     let r, route_s = time (fun () -> Route.Router.route q) in
+    let gc1 = Gc.quick_stat () in
     Printf.printf "  jobs=%d  distopt %.3fs  route %.3fs\n%!" jobs distopt_s
       route_s;
-    (jobs, distopt_s, route_s, placement_digest q ^ route_digest r)
+    ((jobs, distopt_s, route_s, placement_digest q ^ route_digest r), (gc0, gc1))
   in
   let rows = List.map run_at jobs_list in
-  let _, base_d, base_r, base_digest =
+  let (_, base_d, base_r, base_digest), _ =
     match rows with row1 :: _ -> row1 | [] -> assert false
   in
   let base_total = base_d +. base_r in
   let module J = Obs.Json in
-  let row_json (jobs, d, r, digest) =
+  let row_json ((jobs, d, r, digest), ((gc0 : Gc.stat), (gc1 : Gc.stat))) =
     J.Obj
       [
         ("jobs", J.Int jobs);
@@ -329,6 +353,16 @@ let run_scaling ~out ~scaling_scale ~jobs_list () =
         ("speedup_route", J.Float (base_r /. r));
         ("speedup_total", J.Float (base_total /. (d +. r)));
         ("identical_to_jobs1", J.Bool (String.equal digest base_digest));
+        ( "gc",
+          J.Obj
+            [
+              ("minor_words", J.Float (gc1.minor_words -. gc0.minor_words));
+              ("major_words", J.Float (gc1.major_words -. gc0.major_words));
+              ( "minor_collections",
+                J.Int (gc1.minor_collections - gc0.minor_collections) );
+              ( "major_collections",
+                J.Int (gc1.major_collections - gc0.major_collections) );
+            ] );
       ]
   in
   let doc =
@@ -348,7 +382,11 @@ let run_scaling ~out ~scaling_scale ~jobs_list () =
       output_string oc (J.to_string doc);
       output_char oc '\n');
   Printf.printf "(wrote %s)\n%!" out;
-  if not (List.for_all (fun (_, _, _, d) -> String.equal d base_digest) rows)
+  if
+    not
+      (List.for_all
+         (fun ((_, _, _, d), _) -> String.equal d base_digest)
+         rows)
   then begin
     prerr_endline "bench: scaling runs diverged from --jobs 1";
     exit 1

@@ -1,6 +1,7 @@
 type id =
   | Trace
   | Lint
+  | Lint_baseline
   | Route_profile
   | Bench_scaling
   | Trace_report
@@ -14,6 +15,7 @@ let all =
   [
     Trace;
     Lint;
+    Lint_baseline;
     Route_profile;
     Bench_scaling;
     Trace_report;
@@ -26,7 +28,8 @@ let all =
 
 let to_string = function
   | Trace -> "vm1dp-trace/1"
-  | Lint -> "vm1dp-lint/1"
+  | Lint -> "vm1dp-lint/2"
+  | Lint_baseline -> "vm1dp-lint-baseline/1"
   | Route_profile -> "vm1dp-route-profile/1"
   | Bench_scaling -> "vm1dp-bench-scaling/1"
   | Trace_report -> "vm1dp-trace-report/1"
@@ -39,6 +42,7 @@ let to_string = function
 let of_string s = List.find_opt (fun id -> String.equal (to_string id) s) all
 let trace = to_string Trace
 let lint = to_string Lint
+let lint_baseline = to_string Lint_baseline
 let route_profile = to_string Route_profile
 let bench_scaling = to_string Bench_scaling
 let trace_report = to_string Trace_report

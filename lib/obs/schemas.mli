@@ -10,7 +10,12 @@
 
 type id =
   | Trace          (** [Obs.trace_json]: spans + metrics ([--trace]) *)
-  | Lint           (** [Lint.to_json]: the vm1lint report *)
+  | Lint           (** [Lint.to_json]: the vm1lint v2 report (findings
+                       with taint-chain witnesses and fingerprints) *)
+  | Lint_baseline
+      (** [Lint.baseline_json]: the committed ratchet baseline
+          ([lint_baseline.json]) of known-debt finding fingerprints;
+          [@lint] fails only on findings not in it *)
   | Route_profile  (** [bench route-profile]: router quality/profile *)
   | Bench_scaling  (** [bench scaling]: per-stage wall-clock vs --jobs *)
   | Trace_report   (** [Trace.Profile.to_json]: aggregated trace profile *)
@@ -45,6 +50,7 @@ val of_string : string -> id option
 
 val trace : string
 val lint : string
+val lint_baseline : string
 val route_profile : string
 val bench_scaling : string
 val trace_report : string

@@ -11,6 +11,7 @@ type t = {
   mutable ntouched : int;
   mutable seeded : bool;           (* [origin] is valid *)
   mutable npush : int;
+  mutable last : int;              (* priority of the last popped entry *)
 }
 
 let bpw = 63
@@ -51,18 +52,21 @@ let create ?(capacity = 1024) () =
     ntouched = 0;
     seeded = false;
     npush = 0;
+    last = 0;
   }
 
 let is_empty t = t.size = 0
 let size t = t.size
 let pushes t = t.npush
+let last_prio t = t.last
 
 let note_touched t b =
-  if t.ntouched = Array.length t.touched then begin
-    let a = Array.make (2 * t.ntouched) 0 in
-    Array.blit t.touched 0 a 0 t.ntouched;
-    t.touched <- a
-  end;
+  if t.ntouched = Array.length t.touched then
+    begin
+      let a = Array.make (2 * t.ntouched) 0 in
+      Array.blit t.touched 0 a 0 t.ntouched;
+      t.touched <- a
+    end [@vm1.cold];
   t.touched.(t.ntouched) <- b;
   t.ntouched <- t.ntouched + 1
 
@@ -71,7 +75,7 @@ let note_touched t b =
    must be derived from [t.hi], the top of the occupied span — never
    from the current capacity, which would compound geometrically across
    calls. *)
-let realloc t ~nbuckets ~shift =
+let[@vm1.cold] realloc t ~nbuckets ~shift =
   let cap = ref (Array.length t.len) in
   while !cap < nbuckets do cap := !cap * 2 done;
   let data = Array.make !cap [||]
@@ -97,7 +101,7 @@ let realloc t ~nbuckets ~shift =
   t.cursor <- t.cursor + shift;
   t.hi <- t.hi + shift
 
-let prepare t ~origin =
+let[@vm1.hot] prepare t ~origin =
   if not t.seeded then begin
     t.origin <- origin;
     t.seeded <- true;
@@ -105,7 +109,7 @@ let prepare t ~origin =
     t.hi <- 0
   end
 
-let push t ~prio ~value =
+let[@vm1.hot] push t ~prio ~value =
   if not t.seeded then begin
     t.origin <- prio - origin_slack;
     t.seeded <- true;
@@ -122,12 +126,13 @@ let push t ~prio ~value =
   let bucket = t.data.(b) in
   let bucket =
     if l < Array.length bucket then bucket
-    else begin
-      let nb = Array.make (max 4 (2 * l)) 0 in
-      Array.blit bucket 0 nb 0 l;
-      t.data.(b) <- nb;
-      nb
-    end
+    else
+      begin
+        let nb = Array.make (max 4 (2 * l)) 0 in
+        Array.blit bucket 0 nb 0 l;
+        t.data.(b) <- nb;
+        nb
+      end [@vm1.cold]
   in
   bucket.(l) <- value;
   t.len.(b) <- l + 1;
@@ -140,32 +145,38 @@ let push t ~prio ~value =
   t.size <- t.size + 1;
   t.npush <- t.npush + 1
 
-let pop t =
+(* First occupied bucket at word [w] or above, given [cur] = word [w]'s
+   occupancy masked below the cursor. Top-level and tail-recursive so
+   the pop scan neither allocates a closure nor boxes scan state in
+   refs — pop runs on the A* hot path and must be allocation-free. *)
+let rec first_bucket words w cur =
+  if cur <> 0 then (w * bpw) + bit_index (cur land (-cur))
+  else first_bucket words (w + 1) words.(w + 1)
+
+let[@vm1.hot] pop t =
   if t.size = 0 then invalid_arg "Bqueue.pop: empty";
-  (* first occupied bucket at or above the cursor, via the bitmap *)
-  let w = ref (t.cursor / bpw) in
-  let masked = t.words.(!w) land ((-1) lsl (t.cursor mod bpw)) in
-  let cur = ref masked in
-  while !cur = 0 do
-    incr w;
-    cur := t.words.(!w)
-  done;
-  let low = !cur land - !cur in
-  let b = (!w * bpw) + bit_index low in
+  let w0 = t.cursor / bpw in
+  let b =
+    first_bucket t.words w0
+      (t.words.(w0) land ((-1) lsl (t.cursor mod bpw)))
+  in
   t.cursor <- b;
+  let w = b / bpw in
+  let low = 1 lsl (b mod bpw) in
   let h = t.head.(b) in
   let v = t.data.(b).(h) in
   if h + 1 = t.len.(b) then begin
     (* drained: reset so push's [l = 0] emptiness test stays valid *)
     t.head.(b) <- 0;
     t.len.(b) <- 0;
-    t.words.(!w) <- t.words.(!w) land lnot low
+    t.words.(w) <- t.words.(w) land lnot low
   end
   else t.head.(b) <- h + 1;
   t.size <- t.size - 1;
-  (t.origin + b, v)
+  t.last <- t.origin + b;
+  v
 
-let clear t =
+let[@vm1.hot] clear t =
   for k = 0 to t.ntouched - 1 do
     let b = t.touched.(k) in
     t.len.(b) <- 0;

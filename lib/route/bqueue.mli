@@ -48,10 +48,15 @@ val prepare : t -> origin:int -> unit
 
 val push : t -> prio:int -> value:int -> unit
 
-(** [pop t] removes and returns a (priority, value) pair with the
-    smallest priority; ties within a priority pop FIFO.
+(** [pop t] removes and returns the value queued at the smallest
+    priority; ties within a priority pop FIFO. The priority it was
+    queued at is readable as {!last_prio} until the next pop — split
+    off the return value so the A* pop loop allocates no pair.
     @raise Invalid_argument on an empty queue. *)
-val pop : t -> int * int
+val pop : t -> int
+
+(** Priority of the most recently popped entry (0 before any pop). *)
+val last_prio : t -> int
 
 (** [clear t] empties the queue in time proportional to the number of
     buckets touched since the previous clear, keeping allocations. *)

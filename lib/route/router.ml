@@ -40,6 +40,13 @@ let c_deferred_nets = Obs.counter "route.deferred_nets"
 let c_bq_pushes = Obs.counter "route.bq_pushes"
 let g_overflow = Obs.gauge "route.overflow_edges"
 
+(* Allocation-pressure gauge over the whole route span, normalized per
+   subnet — the runtime complement to the structural hot-alloc lint on
+   the A* loop. Coordinator-domain minor words only; the sharded pass's
+   worker allocations are not counted (the hot path they run is the
+   same code the coordinator's sequential phase measures). *)
+let g_minor_words = Obs.gauge "route.minor_words_per_subnet"
+
 type edge =
   | Wire of int
   | Via of int
@@ -86,6 +93,10 @@ type ctx = {
   bq : Bqueue.t;          (* A* open list: dial bucket queue *)
   tree : Stampset.t;      (* the current net's already-connected nodes *)
   mutable generation : int;
+  (* per-search scratch lives in the context, not in refs, so [run]
+     allocates nothing: a ref is a one-word heap block per search *)
+  mutable s_hmin : int;   (* min heuristic over the seed set *)
+  mutable s_found : int;  (* target hit by the current search, or -1 *)
 }
 
 let make_ctx g cfg =
@@ -102,6 +113,8 @@ let make_ctx g cfg =
     bq = Bqueue.create ~capacity:4096 ();
     tree = Stampset.create n;
     generation = 0;
+    s_hmin = max_int;
+    s_found = -1;
   }
 
 (* When dM1 is disabled, forbid M1 wire edges that cross a placement-row
@@ -158,15 +171,16 @@ let search ?clamp ctx ~net ~tg ~src ~bbox ~tbox =
   let g = ctx.g in
   let imin, imax, jmin, jmax = bbox in
   let ti_min, ti_max, tj_min, tj_max = tbox in
-  let run margin =
-    let ilo = max 0 (imin - margin) and ihi = min (g.Grid.nx - 1) (imax + margin) in
-    let jlo = max 0 (jmin - margin) and jhi = min (g.Grid.ny - 1) (jmax + margin) in
-    let ilo, ihi, jlo, jhi =
-      match clamp with
-      | None -> (ilo, ihi, jlo, jhi)
-      | Some (ci0, ci1, cj0, cj1) ->
-        (max ilo ci0, min ihi ci1, max jlo cj0, min jhi cj1)
-    in
+  (* destructured once per search, not per escalation: [run] is
+     [@vm1.hot] and must not rebuild the clamp tuple on every margin *)
+  let ci0, ci1, cj0, cj1 =
+    match clamp with None -> (0, max_int, 0, max_int) | Some c -> c
+  in
+  let[@vm1.hot] run margin =
+    let ilo = max (max 0 (imin - margin)) ci0
+    and ihi = min (min (g.Grid.nx - 1) (imax + margin)) ci1 in
+    let jlo = max (max 0 (jmin - margin)) cj0
+    and jhi = min (min (g.Grid.ny - 1) (jmax + margin)) cj1 in
     let nx = g.Grid.nx and ny = g.Grid.ny in
     let nxy = nx * ny in
     (* weighted A*: inflating the admissible Manhattan bound trades a
@@ -188,16 +202,16 @@ let search ?clamp ctx ~net ~tg ~src ~bbox ~tbox =
        there (minus slack for integer rounding) means the seeding
        pushes — which arrive in arbitrary priority order — never hit
        the below-origin reallocation path. *)
-    let hmin = ref max_int in
+    ctx.s_hmin <- max_int;
     let scan_h n =
       let v = h n in
-      if v < !hmin then hmin := v
+      if v < ctx.s_hmin then ctx.s_hmin <- v
     in
     Stampset.iter ctx.tree scan_h;
     Grid.pin_access_iter g src scan_h;
-    if !hmin < max_int then
+    if ctx.s_hmin < max_int then
       Bqueue.prepare ctx.bq
-        ~origin:((!hmin * 100 / ctx.cfg.astar_weight_pct) - 64);
+        ~origin:((ctx.s_hmin * 100 / ctx.cfg.astar_weight_pct) - 64);
     let relax ~from n vi vj cost =
       let nd = ctx.dist.(from) + cost in
       if ctx.gen.(n) <> gen2 || ctx.dist.(n) > nd then begin
@@ -221,14 +235,15 @@ let search ?clamp ctx ~net ~tg ~src ~bbox ~tbox =
     in
     Stampset.iter ctx.tree seed;
     Grid.pin_access_iter g src seed;
-    let found = ref (-1) in
-    while !found < 0 && not (Bqueue.is_empty ctx.bq) do
-      let d, u = Bqueue.pop ctx.bq in
+    ctx.s_found <- -1;
+    while ctx.s_found < 0 && not (Bqueue.is_empty ctx.bq) do
+      let u = Bqueue.pop ctx.bq in
+      let d = Bqueue.last_prio ctx.bq in
       (* [d <= fval.(u)] is the classic stale-entry test [d - h u <=
          dist.(u)] with both sides shifted by [h u], saving the
          heuristic recompute on every pop. *)
       if ctx.gen.(u) = gen2 && d <= ctx.fval.(u) then begin
-        if ctx.tgen.(u) = tg then found := u
+        if ctx.tgen.(u) = tg then ctx.s_found <- u
         else begin
           (* Decode (i, j, layer) once; every neighbour differs from [u]
              by exactly one coordinate, so its coords — and the window
@@ -271,7 +286,7 @@ let search ?clamp ctx ~net ~tg ~src ~bbox ~tbox =
         end
       end
     done;
-    !found
+    ctx.s_found
   in
   let rec attempt margins =
     match margins with
@@ -444,6 +459,7 @@ let route_subnet ?clamp ctx ~net subnet =
 
 let route ?(config = default_config) (p : Place.Placement.t) =
   Obs.with_span "route" (fun () ->
+  let mw0 = if Obs.enabled () then Gc.minor_words () else 0. in
   let g =
     Grid.of_placement ~layers:config.layers ~pdn_stripes:config.pdn_stripes
       ?skeleton:config.grid_skeleton p
@@ -464,8 +480,10 @@ let route ?(config = default_config) (p : Place.Placement.t) =
          order)
   in
   Obs.add_attr "nets" (`Int (Array.length routes));
-  Obs.Counter.add c_subnets
-    (Array.fold_left (fun acc nr -> acc + Array.length nr.subnets) 0 routes);
+  let total_subnets =
+    Array.fold_left (fun acc nr -> acc + Array.length nr.subnets) 0 routes
+  in
+  Obs.Counter.add c_subnets total_subnets;
   (* Sequential semantics: attempt every subnet even after a failure (the
      rip-up passes may still fix the rest of the tree). *)
   let route_net_full ctx (nr : net_route) =
@@ -666,6 +684,9 @@ let route ?(config = default_config) (p : Place.Placement.t) =
   Obs.Counter.add c_bq_pushes (Bqueue.pushes ctx.bq);
   let overflow = Grid.overflow_count g in
   Obs.Gauge.set g_overflow (float_of_int overflow);
+  if Obs.enabled () && total_subnets > 0 then
+    Obs.Gauge.set g_minor_words
+      ((Gc.minor_words () -. mw0) /. float_of_int total_subnets);
   Obs.add_attr "overflow_edges" (`Int overflow);
   Obs.add_attr "failed_subnets" (`Int failed_final);
   (* Attribution payload for [vm1trace attribute]: a per-tile map of

@@ -31,6 +31,15 @@ let c_windows_solved = Obs.counter "scp.windows_solved"
 let c_moves = Obs.counter "scp.moves"
 let h_window_moves = Obs.histogram "distopt.window_moves"
 
+(* Allocation-pressure gauge: minor words burned per window across a
+   whole [run]. The hot-alloc lint (vm1lint) bounds what the annotated
+   paths may allocate structurally; this gauge is the runtime check
+   that the aggregate stays flat as designs scale. Coordinator-domain
+   words only — worker-domain minor heaps are invisible to
+   [Gc.minor_words] here, which is fine: extract/commit (the paths the
+   lint ratchets) run on the coordinator. *)
+let g_minor_words = Obs.gauge "distopt.minor_words_per_window"
+
 (* Per-window attribution span: identifies the window (grid indices,
    site/row origin, DBU bounding box) and carries the before/after QoR
    counts [vm1trace attribute] joins on. The QoR recounts only run while
@@ -145,6 +154,7 @@ let run (p : Place.Placement.t) (params : Params.t) (c : config) =
       let batches = Window.diagonal_batches windows in
       Obs.add_attr "windows" (`Int (Array.length windows));
       Obs.add_attr "batches" (`Int (List.length batches));
+      let mw0 = if Obs.enabled () then Gc.minor_words () else 0. in
       let total_moves = ref 0 in
       List.iter
         (fun batch ->
@@ -179,6 +189,9 @@ let run (p : Place.Placement.t) (params : Params.t) (c : config) =
               Obs.with_span "distopt.commit" (fun () ->
                   Array.iter Wproblem.commit problems)))
         batches;
+      if Obs.enabled () && Array.length windows > 0 then
+        Obs.Gauge.set g_minor_words
+          ((Gc.minor_words () -. mw0) /. float_of_int (Array.length windows));
       {
         windows = Array.length windows;
         batches = List.length batches;

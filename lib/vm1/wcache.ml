@@ -63,7 +63,7 @@ let create ?(capacity = default_capacity) () =
 let length t = Hashtbl.length t.tbl
 let stats t = (t.hits, t.misses)
 
-let unlink t n =
+let[@vm1.hot] unlink t n =
   (match n.prev with
   | Some p -> p.next <- n.next
   | None -> t.head <- n.next);
@@ -73,14 +73,14 @@ let unlink t n =
   n.prev <- None;
   n.next <- None
 
-let push_front t n =
+let[@vm1.hot] push_front t n =
   n.next <- t.head;
   (match t.head with
   | Some h -> h.prev <- Some n
   | None -> t.tail <- Some n);
   t.head <- Some n
 
-let find t key =
+let[@vm1.hot] find t key =
   match Hashtbl.find_opt t.tbl key with
   | Some n ->
     t.hits <- t.hits + 1;

@@ -57,24 +57,24 @@ let test_bqueue_basic () =
   Route.Bqueue.push q ~prio:500 ~value:3;
   Route.Bqueue.push q ~prio:1200 ~value:4;
   check "size" 4 (Route.Bqueue.size q);
-  let p, v = Route.Bqueue.pop q in
-  check "min prio" 497 p;
+  let v = Route.Bqueue.pop q in
+  check "min prio" 497 (Route.Bqueue.last_prio q);
   check "min value" 2 v;
-  let _, v1 = Route.Bqueue.pop q in
-  check "tie pops fifo" 1 v1;
-  let _, v3 = Route.Bqueue.pop q in
-  check "tie pops fifo 2" 3 v3;
+  check "tie pops fifo" 1 (Route.Bqueue.pop q);
+  check "tie pops fifo 2" 3 (Route.Bqueue.pop q);
   (* a push far below the latched origin (cursor already advanced) *)
   Route.Bqueue.push q ~prio:30 ~value:5;
-  let p, v = Route.Bqueue.pop q in
-  check "below-origin prio" 30 p;
+  let v = Route.Bqueue.pop q in
+  check "below-origin prio" 30 (Route.Bqueue.last_prio q);
   check "below-origin value" 5 v;
-  check "last prio" 1200 (fst (Route.Bqueue.pop q));
+  ignore (Route.Bqueue.pop q);
+  check "last prio" 1200 (Route.Bqueue.last_prio q);
   checkb "drained" true (Route.Bqueue.is_empty q);
   check "pushes survive pops" 5 (Route.Bqueue.pushes q);
   Route.Bqueue.clear q;
   Route.Bqueue.push q ~prio:7 ~value:9;
-  check "reusable after clear" 7 (fst (Route.Bqueue.pop q));
+  ignore (Route.Bqueue.pop q);
+  check "reusable after clear" 7 (Route.Bqueue.last_prio q);
   check "pushes survive clear" 6 (Route.Bqueue.pushes q);
   Alcotest.check_raises "pop empty" (Invalid_argument "Bqueue.pop: empty")
     (fun () -> ignore (Route.Bqueue.pop q))
@@ -92,7 +92,8 @@ let prop_bqueue_matches_heap =
       List.iter
         (fun (prio, k) ->
           if k = 0 && not (Route.Bqueue.is_empty q) then begin
-            if fst (Route.Bqueue.pop q) <> fst (Route.Heap.pop h) then
+            ignore (Route.Bqueue.pop q);
+            if Route.Bqueue.last_prio q <> fst (Route.Heap.pop h) then
               ok := false
           end
           else begin
@@ -101,7 +102,8 @@ let prop_bqueue_matches_heap =
           end)
         ops;
       while not (Route.Bqueue.is_empty q) do
-        if fst (Route.Bqueue.pop q) <> fst (Route.Heap.pop h) then ok := false
+        ignore (Route.Bqueue.pop q);
+        if Route.Bqueue.last_prio q <> fst (Route.Heap.pop h) then ok := false
       done;
       !ok && Route.Heap.is_empty h)
 
