@@ -104,6 +104,19 @@ let check path =
     (get_bool path j "warm_below_cold");
   require "results not byte-identical across runs (byte_identical)"
     (get_bool path j "byte_identical");
+  (* the SLO verdict, when the report carries one (added with the
+     telemetry subsystem; absent from older reports, which are still
+     fully gated by the hard-contract checks above) *)
+  (match Obs.Json.member "slo" j with
+  | Some slo ->
+    Printf.printf
+      "  slo: availability %.3f (target %.3f), warm p99 %.1fms \
+       (informational)\n"
+      (get_float slo "availability")
+      (get_float slo "availability_target")
+      (get_float slo "warm_p99_ms");
+    require "SLO violated (slo.pass)" (get_bool path slo "pass")
+  | None -> ());
   !bad
 
 let () =

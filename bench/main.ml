@@ -342,10 +342,16 @@ let run_scaling ~out ~scaling_scale ~jobs_list () =
   in
   let base_total = base_d +. base_r in
   let module J = Obs.Json in
+  let cores = Domain.recommended_domain_count () in
   let row_json ((jobs, d, r, digest), ((gc0 : Gc.stat), (gc1 : Gc.stat))) =
     J.Obj
       [
         ("jobs", J.Int jobs);
+        (* a row asking for more domains than the machine has cores is
+           expected to slow down, not speed up — mark it so a 1-CPU
+           "slowdown" in a committed BENCH_vm1dp.json is self-explaining *)
+        ("cores", J.Int cores);
+        ("oversubscribed", J.Bool (jobs > cores));
         ("distopt_s", J.Float d);
         ("route_s", J.Float r);
         ("total_s", J.Float (d +. r));
@@ -775,6 +781,25 @@ let run_load ~out ~load_scale ~clients ~jobs_list () =
         ("warm_p50_ms", J.Float (median_ms !all_warm_ms));
         ( "warm_below_cold",
           J.Bool (median_ms !all_warm_ms < median_ms !all_cold_ms) );
+        (* the service-level objective the daemon is operated against
+           (README "Operating the daemon"): every job answered, results
+           byte-identical, with the pooled warm p99 recorded as the
+           latency datum an operator alerts on. check_vm1d gates on
+           "pass". *)
+        ( "slo",
+          (let served = counter "serve.jobs" in
+           let availability =
+             if served = 0 then Float.nan
+             else 1.0 -. (float_of_int !total_errors /. float_of_int served)
+           in
+           J.Obj
+             [
+               ("availability", J.Float availability);
+               ("availability_target", J.Float 1.0);
+               ("warm_p99_ms", J.Float (percentile_ms 0.99 !all_warm_ms));
+               ("byte_identical", J.Bool !identical);
+               ("pass", J.Bool (!total_errors = 0 && !identical));
+             ]) );
         ("rows", J.List rows);
       ]
   in

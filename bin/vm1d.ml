@@ -65,10 +65,28 @@ let metrics =
          ~doc:"Print the observability summary tables (serve.* counters, \
                queue-depth gauge, latency histogram) to stderr on exit.")
 
-let serve_channel cache ~max_in_flight ~default_solver ic oc =
+let admin_socket =
+  Arg.(value & opt (some string) None & info [ "admin-socket" ]
+         ~doc:"Serve the admin plane on a Unix-domain socket at $(docv): \
+               one verb per line (metrics, health, jobs), one JSON reply \
+               line each (see PROTOCOL.md, \"The admin plane\"). Runs on \
+               its own domain and only reads observability state, so \
+               scraping never blocks or perturbs the job pipeline. \
+               Enables observability and rolling windows. vm1top renders \
+               this endpoint." ~docv:"PATH")
+
+let job_log =
+  Arg.(value & opt (some string) None & info [ "job-log" ]
+         ~doc:"Append one vm1dp-joblog/1 JSON line per completed job to \
+               $(docv) (request id, source, solver, queue/execute spans, \
+               cache outcomes, QoR digest, error class), flushed per \
+               line. Enables observability." ~docv:"FILE")
+
+let serve_channel cache ~max_in_flight ~default_solver ~telemetry ic oc =
   Serve.Daemon.serve
     ?max_in_flight
     ?default_solver
+    ?telemetry
     cache
     ~next_line:(fun () -> In_channel.input_line ic)
     ~emit:(fun line ->
@@ -82,7 +100,81 @@ let add_stats (a : Serve.Daemon.stats) (b : Serve.Daemon.stats) =
     ok = a.ok + b.ok;
     errors = a.errors + b.errors }
 
-let serve_socket cache ~max_in_flight ~default_solver ~accept_limit path =
+(* The admin accept loop, run on its own Exec.Bg domain. Blocking
+   points poll [should_stop] through short select timeouts: closing a
+   listening descriptor from another domain does not reliably wake a
+   blocked accept, so the loop must never block without a timeout. *)
+let admin_loop telemetry path ~should_stop =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind sock (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (err, _, _) ->
+     Printf.eprintf "vm1d: cannot bind admin socket %s: %s\n%!" path
+       (Unix.error_message err);
+     exit 1);
+  Unix.listen sock 16;
+  Printf.eprintf "vm1d: admin plane on %s\n%!" path;
+  let readable fd =
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [], _, _ -> false
+    | _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+  in
+  let serve_conn conn =
+    let oc = Unix.out_channel_of_descr conn in
+    (* hand-rolled line reader: In_channel would buffer past the first
+       line, and select cannot see a stdlib buffer — pipelined verbs
+       would stall until the client hangs up *)
+    let pending = Buffer.create 256 in
+    let chunk = Bytes.create 4096 in
+    let rec next_verb () =
+      let s = Buffer.contents pending in
+      match String.index_opt s '\n' with
+      | Some i ->
+        Buffer.clear pending;
+        Buffer.add_substring pending s (i + 1) (String.length s - i - 1);
+        Some (String.sub s 0 i)
+      | None ->
+        if should_stop () then None
+        else if readable conn then
+          match Unix.read conn chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | n ->
+            Buffer.add_subbytes pending chunk 0 n;
+            next_verb ()
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+            next_verb ()
+        else next_verb ()
+    in
+    let rec go () =
+      match next_verb () with
+      | None -> ()
+      | Some verb ->
+        Out_channel.output_string oc
+          (Obs.Json.to_string (Serve.Telemetry.handle telemetry verb));
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc;
+        go ()
+    in
+    go ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      while not (should_stop ()) do
+        if readable sock then
+          match Unix.accept sock with
+          | conn, _ ->
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close conn with Unix.Unix_error _ -> ())
+              (fun () -> try serve_conn conn with End_of_file -> ())
+          | exception Unix.Unix_error _ -> ()
+      done)
+
+let serve_socket cache ~max_in_flight ~default_solver ~telemetry ~accept_limit
+    path =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.bind sock (Unix.ADDR_UNIX path)
    with Unix.Unix_error (err, _, _) ->
@@ -106,25 +198,56 @@ let serve_socket cache ~max_in_flight ~default_solver ~accept_limit path =
           Fun.protect
             ~finally:(fun () ->
               try Unix.close conn with Unix.Unix_error _ -> ())
-            (fun () -> serve_channel cache ~max_in_flight ~default_solver ic oc)
+            (fun () ->
+              serve_channel cache ~max_in_flight ~default_solver ~telemetry ic
+                oc)
         in
         totals := add_stats !totals stats;
         incr served
       done;
       !totals)
 
-let run socket_path accept_limit jobs max_in_flight solver trace metrics =
-  if trace <> None || metrics then Obs.set_enabled true;
+let run socket_path accept_limit jobs max_in_flight solver trace metrics
+    admin_socket job_log =
+  if trace <> None || metrics || admin_socket <> None || job_log <> None then
+    Obs.set_enabled true;
+  (* windows feed the admin plane's "last 10s / 60s" views; without an
+     admin endpoint nothing reads them, so leave them off *)
+  if admin_socket <> None then Obs.Window.set_enabled true;
   if jobs > 0 then Exec.set_jobs jobs;
   let max_in_flight = if max_in_flight > 0 then Some max_in_flight else None in
   let cache = Serve.Cache.create () in
+  let telemetry =
+    if admin_socket = None && job_log = None then None
+    else begin
+      let log_oc =
+        Option.map
+          (fun path ->
+            try open_out path
+            with Sys_error msg ->
+              Printf.eprintf "vm1d: cannot open job log: %s\n%!" msg;
+              exit 1)
+          job_log
+      in
+      Some (Serve.Telemetry.create ?job_log:log_oc ())
+    end
+  in
+  let admin =
+    match (admin_socket, telemetry) with
+    | Some path, Some tel -> Some (Exec.Bg.spawn (admin_loop tel path))
+    | _ -> None
+  in
   let stats =
     match socket_path with
-    | None -> serve_channel cache ~max_in_flight ~default_solver:solver stdin stdout
+    | None ->
+      serve_channel cache ~max_in_flight ~default_solver:solver ~telemetry
+        stdin stdout
     | Some path ->
-      serve_socket cache ~max_in_flight ~default_solver:solver ~accept_limit
-        path
+      serve_socket cache ~max_in_flight ~default_solver:solver ~telemetry
+        ~accept_limit path
   in
+  Option.iter Exec.Bg.join admin;
+  Option.iter Serve.Telemetry.close telemetry;
   Printf.eprintf "vm1d: served %d jobs (%d ok, %d errors)\n%!"
     stats.Serve.Daemon.jobs stats.Serve.Daemon.ok stats.Serve.Daemon.errors;
   (match trace with
@@ -144,6 +267,6 @@ let cmd =
   let doc = "batch-optimization daemon: the vm1dp flow as a service" in
   Cmd.v (Cmd.info "vm1d" ~doc)
     Term.(const run $ socket_path $ accept_limit $ jobs $ max_in_flight
-          $ solver $ trace $ metrics)
+          $ solver $ trace $ metrics $ admin_socket $ job_log)
 
 let () = exit (Cmd.eval cmd)

@@ -170,8 +170,18 @@ let gauge_abs =
        & info [ "gauge-abs" ] ~docv:"X"
            ~doc:"Absolute slack on gauges and histogram sums.")
 
+let alloc_rel =
+  Arg.(value & opt float Trace.Diff.default.alloc_rel
+       & info [ "alloc-rel" ] ~docv:"FRAC"
+           ~doc:"Relative tolerance on allocation gauges (any gauge whose              name contains minor_words); an allocation regression past              the band fails the diff.")
+
+let alloc_abs =
+  Arg.(value & opt float Trace.Diff.default.alloc_abs
+       & info [ "alloc-abs" ] ~docv:"WORDS"
+           ~doc:"Absolute slack on allocation gauges, in words.")
+
 let run_diff baseline current json ignores time_rel time_abs_ms gauge_rel
-    gauge_abs =
+    gauge_abs alloc_rel alloc_abs =
   match (load baseline, load current) with
   | Error e, _ | _, Error e -> e
   | Ok b, Ok c ->
@@ -181,6 +191,8 @@ let run_diff baseline current json ignores time_rel time_abs_ms gauge_rel
         time_abs_ns = int_of_float (time_abs_ms *. 1e6);
         gauge_rel;
         gauge_abs;
+        alloc_rel;
+        alloc_abs;
         ignore_prefixes = ignores;
       }
     in
@@ -301,7 +313,8 @@ let diff_cmd =
        ~doc:"compare two traces; exit 1 when the second regresses")
     Term.(const run_diff $ trace_file ~docv:"BASELINE" 0
           $ trace_file ~docv:"CURRENT" 1 $ json_flag $ ignore_prefixes
-          $ time_rel $ time_abs_ms $ gauge_rel $ gauge_abs)
+          $ time_rel $ time_abs_ms $ gauge_rel $ gauge_abs $ alloc_rel
+          $ alloc_abs)
 
 let flame_cmd =
   Cmd.v

@@ -455,3 +455,27 @@ let parallel_map ?chunk f xs =
       Array.map (function Some v -> v | None -> assert false) out
     end
   end
+
+(* --- background service domains --- *)
+
+module Bg = struct
+  type t = { stop_flag : bool Atomic.t; dom : unit Domain.t }
+
+  (* Deliberately does not bump exec.domain_spawns: that counter means
+     "pool workers created" (a test asserts it never moves mid-run),
+     and it is embedded in traced-job replies — a service domain for
+     the admin plane must not perturb job payloads. *)
+  let spawn body =
+    let stop_flag = Atomic.make false in
+    let dom =
+      Domain.spawn (fun () ->
+          body ~should_stop:(fun () -> Atomic.get stop_flag))
+    in
+    { stop_flag; dom }
+
+  let stop t = Atomic.set t.stop_flag true
+
+  let join t =
+    stop t;
+    Domain.join t.dom
+end

@@ -155,3 +155,29 @@ val parallel_map : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
     after every index completed. [body] must be safe to run
     concurrently for distinct indices. *)
 val parallel_for : ?chunk:int -> int -> (int -> unit) -> unit
+
+(** {1 Background service domains}
+
+    A long-running side loop (the daemon's admin plane) needs a domain
+    of its own, outside the pool: pool tasks must stay short-lived or
+    they starve job execution. [Bg] is the sanctioned wrapper — a
+    spawned domain plus a cooperative stop flag. Unlike pool workers,
+    a [Bg] spawn does not move [exec.domain_spawns]: that counter means
+    "pool workers created" and is embedded in traced-job replies, which
+    must be byte-identical whether or not a service domain is running. *)
+
+module Bg : sig
+  type t
+
+  (** [spawn body] starts [body] on a fresh domain. [body] must poll
+      [should_stop] at every blocking point (e.g. each select timeout)
+      and return promptly once it reads [true]. *)
+  val spawn : (should_stop:(unit -> bool) -> unit) -> t
+
+  (** [stop t] raises the stop flag without waiting. *)
+  val stop : t -> unit
+
+  (** [join t] raises the stop flag and waits for the domain to
+      return. Idempotent with [stop]; call exactly once. *)
+  val join : t -> unit
+end

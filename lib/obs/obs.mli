@@ -121,8 +121,13 @@ module Histogram : sig
   (** [percentile s q] estimates the [q]-quantile ([0 < q <= 1]) from
       the bucket counts by linear interpolation within the bucket;
       observations in the overflow bucket report the highest bound.
-      0 when the histogram is empty. The trace exporter emits p50/p90/p99
-      of every histogram next to the raw buckets. *)
+
+      Total on every snap: an empty snap — or a degenerate one with no
+      bounds — has no quantiles, and the estimate is [Float.nan].
+      Renderers must branch on [Float.is_nan]; the JSON exporter prints
+      non-finite floats as [null], so an empty histogram's p50/p90/p99
+      serialise as [null] rather than a fake 0. The trace exporter
+      emits p50/p90/p99 of every histogram next to the raw buckets. *)
   val percentile : snap -> float -> float
 end
 
@@ -151,9 +156,118 @@ type snapshot = {
     un-joined domains mid-flight) are not included. *)
 val snapshot : unit -> snapshot
 
-(** [reset ()] drops completed spans and zeroes every registered metric;
-    handles stay valid. Open spans on other domains are unaffected. *)
+(** {2 Incremental snapshots}
+
+    A long-lived daemon scraped every few seconds must not re-walk its
+    whole span history per scrape: a {!cursor} remembers how many root
+    spans the caller has already consumed, and {!snapshot_delta} returns
+    only the roots completed since — metric values are still cumulative
+    (they are O(registry) to read, not O(history)). The scraper folds
+    each delta into its own running aggregate (see [Serve.Telemetry]). *)
+
+(** Consumption position in the completed-root-span history. Confine a
+    cursor to one consumer; it is not safe to share between domains. *)
+type cursor
+
+(** A fresh cursor positioned before all history: the first
+    [snapshot_delta] on it returns every completed root. *)
+val cursor : unit -> cursor
+
+(** [snapshot_delta c] is {!snapshot} restricted to the root spans
+    completed since the previous call on [c] (metrics cumulative as
+    always), advancing [c]. [reset] rewinds history; a cursor ahead of
+    a reset history returns empty deltas until new roots complete. *)
+val snapshot_delta : cursor -> snapshot
+
+(** [reset ()] drops completed spans and zeroes every registered metric
+    (rolling-window state included); handles stay valid. Open spans on
+    other domains are unaffected. *)
 val reset : unit -> unit
+
+(** {1 Rolling windows}
+
+    The cumulative metrics above answer "since start"; {!Window} makes
+    the same counters, gauges and histograms answer "over the last N
+    seconds" for a live daemon. The write side is a lock-free rolling
+    layer: time is cut into fixed-width buckets, and every metric owns
+    per-stripe ring buffers of per-bucket deltas (one writer per
+    stripe — the writing domain's — exactly like the counter cells),
+    merged on read the way snapshots merge per-domain state. Off by
+    default; when off, the metric hot paths are unchanged. When on,
+    recording stays allocation-free after a one-time cold per-stripe
+    ring allocation, so enabling windows cannot shift the allocation
+    gauges the perf gate bands.
+
+    Accuracy contract: a read racing a bucket turnover may transiently
+    misattribute that instant's bumps between adjacent buckets, but a
+    horizon covering the whole recording period equals the cumulative
+    value exactly once the writing domains are joined — the
+    windowed ≡ merged-deltas invariant (property-tested across 1/2/4
+    domains in [test_obs]). *)
+
+module Window : sig
+  (** Window recording is off by default; [vm1d] enables it when the
+      admin plane is up. Enable before traffic: bumps recorded while
+      off are visible to cumulative reads only. *)
+  val enabled : unit -> bool
+
+  val set_enabled : bool -> unit
+
+  (** [configure ~bucket_ns] sets the bucket width (default 1s, clamped
+      to >= 1ms). Call before {!set_enabled}: slots recorded under a
+      different width read as stale, not wrong, but the transition
+      empties the windows. *)
+  val configure : bucket_ns:int -> unit
+
+  (** Longest supported horizon: (ring length - 1) buckets. Reads are
+      clamped to it. *)
+  val max_horizon_ns : unit -> int64
+
+  (** One windowed view over every registered metric, sorted by name
+      like {!snapshot}. A windowed gauge is the value written in the
+      newest bucket inside the horizon, or [None] when the gauge was
+      not set inside it (a gauge is a level — fall back to
+      {!Gauge.value}). A windowed histogram is an ordinary
+      {!Histogram.snap} of the in-horizon observations, so
+      {!Histogram.percentile} applies (and is [nan] on an empty
+      window). *)
+  type view = {
+    v_now_ns : int64;
+    v_horizon_ns : int64;  (** after clamping to [max_horizon_ns] *)
+    v_counters : (string * int) list;
+    v_gauges : (string * float option) list;
+    v_histograms : (string * Histogram.snap) list;
+  }
+
+  (** [read ~horizon_ns ()] merges the per-stripe rings into the view
+      for the last [horizon_ns] (including the partial current bucket
+      and the partial bucket containing the horizon start). [now_ns]
+      overrides the clock for tests: a far-future [now_ns] reads every
+      slot as expired. *)
+  val read : ?now_ns:int64 -> horizon_ns:int64 -> unit -> view
+end
+
+(** {1 Bounded ring}
+
+    A small mutex-guarded ring of the most recent N values, for
+    cross-domain recent-history buffers (the daemon's recent-job ring:
+    the serve loop pushes, the admin domain reads). Not for hot paths —
+    every operation takes the lock. *)
+
+module Ring : sig
+  type 'a t
+
+  val create : int -> 'a t
+
+  (** [push t v] appends [v], evicting the oldest value once the ring
+      holds its capacity. *)
+  val push : 'a t -> 'a -> unit
+
+  val length : 'a t -> int
+
+  (** Oldest first. *)
+  val to_list : 'a t -> 'a list
+end
 
 (** Per-name span aggregate over a whole span forest. *)
 type span_agg = {

@@ -10,6 +10,9 @@ type id =
   | Bench_manifest
   | Expt_matrix
   | Distopt_profile
+  | Metrics
+  | Health
+  | Joblog
 
 let all =
   [
@@ -24,6 +27,9 @@ let all =
     Bench_manifest;
     Expt_matrix;
     Distopt_profile;
+    Metrics;
+    Health;
+    Joblog;
   ]
 
 let to_string = function
@@ -38,6 +44,9 @@ let to_string = function
   | Bench_manifest -> "vm1dp-bench-manifest/1"
   | Expt_matrix -> "vm1dp-expt-matrix/1"
   | Distopt_profile -> "vm1dp-distopt-profile/1"
+  | Metrics -> "vm1dp-metrics/1"
+  | Health -> "vm1dp-health/1"
+  | Joblog -> "vm1dp-joblog/1"
 
 let of_string s = List.find_opt (fun id -> String.equal (to_string id) s) all
 let trace = to_string Trace
@@ -51,3 +60,6 @@ let bench_load = to_string Bench_load
 let bench_manifest = to_string Bench_manifest
 let expt_matrix = to_string Expt_matrix
 let distopt_profile = to_string Distopt_profile
+let metrics = to_string Metrics
+let health = to_string Health
+let joblog = to_string Joblog

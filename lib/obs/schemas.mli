@@ -37,6 +37,18 @@ type id =
       (** [bench distopt-profile]: window-solver profile — per-window
           solve-time percentiles, memo-cache hit rate, portfolio win
           counts (the committed bench/distopt_profile_baseline.json) *)
+  | Metrics
+      (** [Serve.Telemetry]: the admin-plane [metrics] reply —
+          cumulative + windowed metric views with latency percentiles
+          (spec in PROTOCOL.md, "The admin plane") *)
+  | Health
+      (** [Serve.Telemetry]: the admin-plane [health] reply —
+          readiness, uptime, in-flight/queue depth, cache hit rates and
+          GC stats (spec in PROTOCOL.md, "The admin plane") *)
+  | Joblog
+      (** [Serve.Telemetry]: one structured access-log record per
+          completed job, written line-delimited to [vm1d --job-log]
+          (spec in PROTOCOL.md, "The job log") *)
 
 (** All tags, in declaration order. *)
 val all : id list
@@ -59,3 +71,6 @@ val bench_load : string
 val bench_manifest : string
 val expt_matrix : string
 val distopt_profile : string
+val metrics : string
+val health : string
+val joblog : string

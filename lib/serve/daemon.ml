@@ -8,7 +8,8 @@ let c_jobs = Obs.counter "serve.jobs"
 let c_errors = Obs.counter "serve.errors"
 let g_depth = Obs.gauge "serve.queue_depth"
 
-let serve ?max_in_flight ?default_solver cache ~next_line ~emit () =
+let serve ?max_in_flight ?default_solver ?telemetry cache ~next_line ~emit ()
+    =
   (* applied after parsing so the per-request "solver" field still wins *)
   let apply_default (job : Protocol.job) =
     match (job.Protocol.solver, default_solver) with
@@ -20,20 +21,39 @@ let serve ?max_in_flight ?default_solver cache ~next_line ~emit () =
     | Some n -> max 1 n
     | None -> max 2 (2 * Exec.jobs ())
   in
-  (* in-flight replies, oldest first; emission order = request order *)
-  let inflight : Protocol.reply Exec.Future.t Queue.t = Queue.create () in
+  (* in-flight replies, oldest first; emission order = request order.
+     Each entry carries its submit timestamp, and the future yields
+     (execution start, execution end, reply) so the flush side can
+     split queue wait from execute time for the job log. *)
+  let inflight :
+      (int64 * (int64 * int64 * Protocol.reply) Exec.Future.t) Queue.t =
+    Queue.create ()
+  in
+  let timed f () =
+    let t_start = Obs.now_ns () in
+    let reply = f () in
+    (t_start, Obs.now_ns (), reply)
+  in
   let jobs = ref 0 and ok = ref 0 and errors = ref 0 in
   let set_depth () =
     Obs.Gauge.set g_depth (float_of_int (Queue.length inflight))
   in
   let flush_one () =
-    let reply = Exec.Future.await (Queue.pop inflight) in
+    let t_submit, fut = Queue.pop inflight in
+    let t_start, t_end, reply = Exec.Future.await fut in
     set_depth ();
     (match reply with
     | Protocol.Ok _ -> incr ok
     | Protocol.Err _ ->
       incr errors;
       Obs.Counter.incr c_errors);
+    Option.iter
+      (fun tel ->
+        Telemetry.record_job tel
+          ~queue_ns:(Int64.sub t_start t_submit)
+          ~exec_ns:(Int64.sub t_end t_start)
+          reply)
+      telemetry;
     emit (Protocol.encode_reply reply)
   in
   let drain () =
@@ -41,8 +61,11 @@ let serve ?max_in_flight ?default_solver cache ~next_line ~emit () =
       flush_one ()
     done
   in
-  let push fut =
-    Queue.push fut inflight;
+  (* the submit stamp is taken by the caller *before* the future is
+     created — a pool worker can start the job before the push lands,
+     and queue_ns must never go negative *)
+  let push t_submit fut =
+    Queue.push (t_submit, fut) inflight;
     set_depth ();
     while Queue.length inflight > cap do
       flush_one ()
@@ -56,16 +79,19 @@ let serve ?max_in_flight ?default_solver cache ~next_line ~emit () =
     | Some line ->
       incr jobs;
       Obs.Counter.incr c_jobs;
+      let t_submit = Obs.now_ns () in
       (match Result.map apply_default (Protocol.parse_job line) with
-      | Error e -> push (Exec.Future.return (Protocol.Err e))
+      | Error e ->
+        push t_submit (Exec.Future.return (timed (fun () -> Protocol.Err e) ()))
       | Ok job when job.Protocol.want_trace ->
         (* serialisation point: the trace must contain this job's spans
            only, so nothing else may be running *)
         drain ();
-        push (Exec.Future.return (Engine.run cache job))
+        push t_submit
+          (Exec.Future.return (timed (fun () -> Engine.run cache job) ()))
       | Ok job ->
         let prep = Engine.prepare cache job in
-        push (Exec.submit (fun () -> Engine.execute prep)));
+        push t_submit (Exec.submit (timed (fun () -> Engine.execute prep))));
       loop ()
   in
   loop ()

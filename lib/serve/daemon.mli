@@ -42,10 +42,15 @@ type stats = {
     backpressure that keeps a fast client from queueing unboundedly.
     [default_solver] (the [vm1d --solver] flag) fills in the window
     solver for requests that omit the ["solver"] field; a request's own
-    field always wins. *)
+    field always wins. [telemetry], when given, receives one
+    {!Telemetry.record_job} per emitted reply, with the job's queue
+    wait (submit to execution start) split from its execute time;
+    recording happens on the serve loop at emission, so it never runs
+    on the pool and cannot reorder replies. *)
 val serve :
   ?max_in_flight:int ->
   ?default_solver:Vm1.Scp_solver.mode ->
+  ?telemetry:Telemetry.t ->
   Cache.t ->
   next_line:(unit -> string option) ->
   emit:(string -> unit) ->

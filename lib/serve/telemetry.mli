@@ -1,0 +1,66 @@
+(** The daemon's admin plane: live views over the flow's observability
+    state, plus the structured per-job access log.
+
+    One [Telemetry.t] lives alongside one {!Daemon.serve} loop. The
+    serve loop calls {!record_job} as it emits each reply; an admin
+    consumer (the [vm1d --admin-socket] accept loop, or a test calling
+    {!handle} directly) renders the three admin verbs. The two sides
+    touch disjoint state — the job ring is the only shared structure,
+    and it is the locked {!Obs.Ring} — so neither blocks the other.
+
+    The scrape-does-not-perturb invariant (ARCHITECTURE.md): {!handle}
+    only {e reads} observability state. It bumps no counter, sets no
+    gauge, opens no span, and never runs on the pool, so job replies
+    are byte-identical whether or not anything is scraping — checked
+    by [test_serve] in-process and by the [@telemetry-smoke] daemon
+    run.
+
+    Confinement: {!record_job} must be called from the serve loop only
+    (it owns the sequence number and the log channel); {!handle} from
+    one admin consumer at a time (it owns the span cursor). [vm1d]
+    satisfies both by construction — one serve loop, one admin domain
+    serving connections sequentially. *)
+
+type t
+
+(** One access-log record, as written to [--job-log] and returned by
+    the [jobs] verb (wire spec: [vm1dp-joblog/1] in PROTOCOL.md).
+    Every field except the two wall-clock spans is deterministic for a
+    given request stream at any [--jobs]; tests mask [jr_queue_ms] /
+    [jr_execute_ms] the way [@perf-gate] bands times. *)
+type job_record = {
+  jr_seq : int;                  (** daemon-side arrival index, from 1 *)
+  jr_id : string option;         (** request id; [None] when unparseable *)
+  jr_source : string;  (** [generated | external-inline | external-path
+                           | invalid] *)
+  jr_design : string option;
+  jr_solver : string option;     (** solver actually requested, post
+                                     [--solver] default *)
+  jr_status : string;            (** [ok] or [error] *)
+  jr_error_code : string option;
+  jr_digest : string option;     (** result QoR digest *)
+  jr_cache : (string * bool) list;  (** artifact cache outcomes *)
+  jr_queue_ms : float;           (** submit → execution start *)
+  jr_execute_ms : float;         (** execution start → reply ready *)
+}
+
+val job_record_json : job_record -> Obs.Json.t
+
+(** [create ?ring_capacity ?job_log ()] — [ring_capacity] bounds the
+    recent-job ring (default 64); [job_log] is an open channel that
+    receives one [vm1dp-joblog/1] line per job, flushed per line. The
+    caller opens the channel; {!close} closes it. *)
+val create : ?ring_capacity:int -> ?job_log:out_channel -> unit -> t
+
+val close : t -> unit
+
+(** [record_job t ~queue_ns ~exec_ns reply] appends the reply's record
+    to the ring and the job log. Serve-loop confined. *)
+val record_job :
+  t -> queue_ns:int64 -> exec_ns:int64 -> Protocol.reply -> unit
+
+(** [handle t verb] renders one admin request — [metrics], [health] or
+    [jobs] (PROTOCOL.md, "The admin plane") — as the reply document; an
+    unknown verb yields an [{"error": ...}] object. Read-only and
+    non-blocking with respect to the job pipeline. *)
+val handle : t -> string -> Obs.Json.t

@@ -18,10 +18,17 @@ type config = {
   time_abs_ns : int;    (** absolute slack added on top, ns *)
   gauge_rel : float;    (** relative band on gauges and histogram sums *)
   gauge_abs : float;    (** absolute slack for gauges/sums *)
+  alloc_rel : float;
+  (** relative band on allocation gauges — any gauge whose name contains
+      ["minor_words"] (e.g. [distopt.minor_words_per_window],
+      [route.minor_words_per_subnet]); an allocation regression past
+      this band fails the gate like a time regression would *)
+  alloc_abs : float;    (** absolute slack for allocation gauges, words *)
   ignore_prefixes : string list;
 }
 
-(** 25% + 50ms on times, 10% + 0.5 on gauges, nothing ignored. *)
+(** 25% + 50ms on times, 10% + 0.5 on gauges, 15% + 1024 words on
+    allocation gauges, nothing ignored. *)
 val default : config
 
 type severity =

@@ -118,11 +118,19 @@ let test_percentile () =
       check_bool "p50" true (abs_float (pct 0.50 -. 6.25) < 1e-9);
       check_bool "p90" true (abs_float (pct 0.90 -. 15.0) < 1e-9);
       check_bool "p100 capped at bound" true (pct 1.0 <= 20.0 +. 1e-9);
-      check_bool "empty is 0" true
-        (Obs.Histogram.percentile
-           (Obs.Histogram.snap (Obs.histogram "test.pct2"))
-           0.5
-        = 0.0);
+      (* documented contract: percentile is total, and an empty snap has
+         no quantiles — nan, never a fake 0 (regression: used to be 0) *)
+      check_bool "empty is nan" true
+        (Float.is_nan
+           (Obs.Histogram.percentile
+              (Obs.Histogram.snap (Obs.histogram "test.pct2"))
+              0.5));
+      check_bool "degenerate bounds is nan" true
+        (Float.is_nan
+           (Obs.Histogram.percentile
+              { Obs.Histogram.bounds = [||]; counts = [| 3 |];
+                count = 3; sum = 1.0 }
+              0.5));
       (* overflow-only data reports the highest finite bound *)
       let o = Obs.histogram ~bounds:[| 1.0; 2.0 |] "test.pct3" in
       Obs.Histogram.observe o 99.0;
@@ -195,6 +203,163 @@ let test_reset () =
       check_int "counter zeroed" 0
         (Obs.Counter.value (Obs.counter "test.reset_c")))
 
+(* --- incremental snapshots --- *)
+
+let test_snapshot_delta () =
+  with_obs (fun () ->
+      let cur = Obs.cursor () in
+      Obs.with_span "first" (fun () -> ());
+      let d1 = Obs.snapshot_delta cur in
+      check_int "first delta sees first root" 1 (List.length d1.Obs.spans);
+      let d2 = Obs.snapshot_delta cur in
+      check_int "nothing new, empty delta" 0 (List.length d2.Obs.spans);
+      Obs.with_span "second" (fun () -> ());
+      Obs.with_span "third" (fun () -> ());
+      let d3 = Obs.snapshot_delta cur in
+      check_int "only the fresh roots" 2 (List.length d3.Obs.spans);
+      check_str "oldest fresh root first" "second"
+        (List.hd d3.Obs.spans).Obs.Span.name;
+      (* metrics stay cumulative in a delta *)
+      Obs.Counter.add (Obs.counter "test.delta_c") 7;
+      let d4 = Obs.snapshot_delta cur in
+      check_int "cumulative counter" 7
+        (List.assoc "test.delta_c" d4.Obs.counters);
+      (* a cursor ahead of a reset history self-heals *)
+      Obs.reset ();
+      check_int "after reset, empty" 0
+        (List.length (Obs.snapshot_delta cur).Obs.spans);
+      Obs.with_span "fourth" (fun () -> ());
+      check_int "then sees new roots again" 1
+        (List.length (Obs.snapshot_delta cur).Obs.spans))
+
+(* --- rolling windows --- *)
+
+let with_window f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.Window.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Window.set_enabled false;
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let test_window_basic () =
+  with_window (fun () ->
+      let c = Obs.counter "test.win_c" in
+      let g = Obs.gauge "test.win_g" in
+      let h = Obs.histogram ~bounds:[| 1.0; 10.0 |] "test.win_h" in
+      Obs.Counter.add c 5;
+      Obs.Counter.incr c;
+      Obs.Gauge.set g 2.5;
+      Obs.Histogram.observe h 0.5;
+      Obs.Histogram.observe h 50.0;
+      let full = Obs.Window.read ~horizon_ns:(Obs.Window.max_horizon_ns ()) () in
+      check_int "windowed counter = all recent bumps" 6
+        (List.assoc "test.win_c" full.Obs.Window.v_counters);
+      check_bool "windowed gauge = last write" true
+        (List.assoc "test.win_g" full.Obs.Window.v_gauges = Some 2.5);
+      let hs = List.assoc "test.win_h" full.Obs.Window.v_histograms in
+      check_int "windowed histogram count" 2 hs.Obs.Histogram.count;
+      check_bool "windowed histogram buckets" true
+        (hs.Obs.Histogram.counts = [| 1; 0; 1 |]);
+      (* horizons clamp to the ring capacity *)
+      check_bool "horizon clamped" true
+        (full.Obs.Window.v_horizon_ns <= Obs.Window.max_horizon_ns ());
+      (* reading far in the future expires every slot: the counters drop
+         to zero, the gauge to None, the histogram to empty — and the
+         windowed percentile hits the nan contract *)
+      let later =
+        Int64.add (Obs.now_ns ())
+          (Int64.mul 1000L (Obs.Window.max_horizon_ns ()))
+      in
+      let gone =
+        Obs.Window.read ~now_ns:later
+          ~horizon_ns:(Obs.Window.max_horizon_ns ()) ()
+      in
+      check_int "expired counter" 0
+        (List.assoc "test.win_c" gone.Obs.Window.v_counters);
+      check_bool "expired gauge" true
+        (List.assoc "test.win_g" gone.Obs.Window.v_gauges = None);
+      let ghs = List.assoc "test.win_h" gone.Obs.Window.v_histograms in
+      check_int "expired histogram" 0 ghs.Obs.Histogram.count;
+      check_bool "expired percentile is nan" true
+        (Float.is_nan (Obs.Histogram.percentile ghs 0.5)))
+
+let test_window_off_by_default () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      check_bool "windows off unless asked" false (Obs.Window.enabled ());
+      Obs.Counter.add (Obs.counter "test.win_off") 3;
+      let v = Obs.Window.read ~horizon_ns:(Obs.Window.max_horizon_ns ()) () in
+      check_int "bumps while off are cumulative-only" 0
+        (List.assoc "test.win_off" v.Obs.Window.v_counters);
+      check_int "cumulative still sees them" 3
+        (Obs.Counter.value (Obs.counter "test.win_off")))
+
+(* The windowed ≡ merged-deltas invariant (ARCHITECTURE.md): a window
+   covering the whole recording period equals the sequential reference
+   no matter how many domains recorded. The work fans out through the
+   sanctioned Exec pool (jobs 1/2/4), never raw Domain.spawn. *)
+let prop_window_merge =
+  QCheck2.Test.make ~name:"windowed = sequential reference across jobs 1/2/4"
+    ~count:20
+    QCheck2.Gen.(list_size (int_range 1 60) (int_range 1 50))
+    (fun xs ->
+      let expected_sum = List.fold_left ( + ) 0 xs in
+      let arr = Array.of_list xs in
+      List.for_all
+        (fun jobs ->
+          Exec.set_jobs jobs;
+          Obs.reset ();
+          Obs.set_enabled true;
+          Obs.Window.set_enabled true;
+          Fun.protect
+            ~finally:(fun () ->
+              Obs.Window.set_enabled false;
+              Obs.set_enabled false;
+              Obs.reset ())
+            (fun () ->
+              let c = Obs.counter "test.win_merge_c" in
+              let h =
+                Obs.histogram ~bounds:[| 10.0; 30.0 |] "test.win_merge_h"
+              in
+              Exec.parallel_for (Array.length arr) (fun i ->
+                  Obs.Counter.add c arr.(i);
+                  Obs.Histogram.observe h (float_of_int arr.(i)));
+              let v =
+                Obs.Window.read ~horizon_ns:(Obs.Window.max_horizon_ns ()) ()
+              in
+              let wc = List.assoc "test.win_merge_c" v.Obs.Window.v_counters in
+              let wh =
+                List.assoc "test.win_merge_h" v.Obs.Window.v_histograms
+              in
+              wc = expected_sum
+              && wc = Obs.Counter.value c
+              && wh.Obs.Histogram.count = Array.length arr
+              && wh.Obs.Histogram.counts
+                 = (Obs.Histogram.snap h).Obs.Histogram.counts))
+        [ 1; 2; 4 ])
+
+(* --- bounded ring --- *)
+
+let test_ring () =
+  let r = Obs.Ring.create 3 in
+  check_int "empty" 0 (Obs.Ring.length r);
+  Obs.Ring.push r 1;
+  Obs.Ring.push r 2;
+  check_bool "oldest first" true (Obs.Ring.to_list r = [ 1; 2 ]);
+  Obs.Ring.push r 3;
+  Obs.Ring.push r 4;
+  check_int "capped" 3 (Obs.Ring.length r);
+  check_bool "evicts oldest" true (Obs.Ring.to_list r = [ 2; 3; 4 ])
+
 let () =
   Alcotest.run "obs"
     [
@@ -213,7 +378,17 @@ let () =
           Alcotest.test_case "histogram percentiles" `Quick test_percentile;
           Alcotest.test_case "aggregation" `Quick test_aggregate;
           Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "snapshot delta" `Quick test_snapshot_delta;
         ] );
+      ( "windows",
+        [
+          Alcotest.test_case "record and read" `Quick test_window_basic;
+          Alcotest.test_case "off by default" `Quick
+            test_window_off_by_default;
+          QCheck_alcotest.to_alcotest prop_window_merge;
+        ] );
+      ( "ring",
+        [ Alcotest.test_case "bounded fifo" `Quick test_ring ] );
       ( "json",
         [
           Alcotest.test_case "value round-trip" `Quick test_json_roundtrip;

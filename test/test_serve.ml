@@ -300,11 +300,11 @@ let test_skeleton_mismatch_rejected () =
 
 (* --- daemon loop --- *)
 
-let serve_lines lines =
+let serve_lines ?telemetry ?(on_reply = fun () -> ()) lines =
   let remaining = ref lines in
   let replies = ref [] in
   let stats =
-    Serve.Daemon.serve
+    Serve.Daemon.serve ?telemetry
       (Serve.Cache.create ())
       ~next_line:(fun () ->
         match !remaining with
@@ -312,7 +312,9 @@ let serve_lines lines =
         | l :: rest ->
           remaining := rest;
           Some l)
-      ~emit:(fun line -> replies := line :: !replies)
+      ~emit:(fun line ->
+        replies := line :: !replies;
+        on_reply ())
       ()
   in
   (stats, List.rev !replies)
@@ -357,6 +359,104 @@ let test_traced_job_carries_trace () =
       | Error _ -> false)
   | _ -> Alcotest.fail "expected one reply"
 
+(* --- telemetry --- *)
+
+(* The scrape-does-not-perturb invariant: serving a stream with full
+   telemetry on (observability + windows + a metrics/health scrape after
+   every reply) must produce result payloads byte-identical to a plain
+   run with everything off. The byte-identity contract quantifies over
+   the "result" member — latency fields are wall clock. *)
+let result_members replies =
+  List.map
+    (fun line ->
+      match Serve.Protocol.parse_reply line with
+      | Ok r -> (
+        match r.Serve.Protocol.p_result with
+        | Some j -> Obs.Json.to_string j
+        | None ->
+          "err:" ^ Option.value ~default:"?" r.Serve.Protocol.p_error_code)
+      | Error m -> Alcotest.fail m)
+    replies
+
+let telemetry_stream =
+  List.map
+    (fun i -> Serve.Protocol.encode_job (job (Printf.sprintf "s%d" i)))
+    [ 0; 1; 2 ]
+  @ [ "{\"truncated" ]
+
+let test_scrape_does_not_perturb () =
+  let _, plain = serve_lines telemetry_stream in
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.Window.set_enabled true;
+  let tel = Serve.Telemetry.create () in
+  let scrapes = ref [] in
+  let _, scraped =
+    serve_lines ~telemetry:tel
+      ~on_reply:(fun () ->
+        scrapes :=
+          Serve.Telemetry.handle tel "health"
+          :: Serve.Telemetry.handle tel "metrics"
+          :: !scrapes)
+      telemetry_stream
+  in
+  Obs.Window.set_enabled false;
+  Obs.set_enabled false;
+  Obs.reset ();
+  checkb "replies byte-identical with scraping on" true
+    (result_members plain = result_members scraped);
+  check "scraped after every reply" (2 * List.length plain)
+    (List.length !scrapes);
+  (* every scrape document carries a registered schema tag *)
+  List.iter
+    (fun doc ->
+      match Obs.Json.member "schema" doc with
+      | Some (Obs.Json.Str s) ->
+        checkb "schema registered" true (Obs.Schemas.of_string s <> None)
+      | _ -> Alcotest.fail "scrape document without a schema tag")
+    !scrapes
+
+let test_jobs_ring_and_joblog_fields () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  let tel = Serve.Telemetry.create ~ring_capacity:3 () in
+  let _, _ = serve_lines ~telemetry:tel telemetry_stream in
+  Obs.set_enabled false;
+  Obs.reset ();
+  match Serve.Telemetry.handle tel "jobs" with
+  | Obs.Json.Obj _ as doc ->
+    checkb "joblog schema" true
+      (Obs.Json.member "schema" doc
+      = Some (Obs.Json.Str Obs.Schemas.joblog));
+    (* 4 replies through a capacity-3 ring: the oldest evicted *)
+    checkb "ring capped" true
+      (Obs.Json.member "count" doc = Some (Obs.Json.Int 3));
+    (match Obs.Json.member "recent" doc with
+    | Some (Obs.Json.List records) ->
+      let field k r =
+        match Obs.Json.member k r with
+        | Some (Obs.Json.Str s) -> s
+        | Some Obs.Json.Null -> "null"
+        | _ -> "?"
+      in
+      checkb "oldest first after eviction" true
+        (List.map (field "id") records = [ "s1"; "s2"; "null" ]);
+      checkb "statuses" true
+        (List.map (field "status") records = [ "ok"; "ok"; "error" ]);
+      let last = List.nth records 2 in
+      checks "error class recorded" "parse_error" (field "error_code" last);
+      (* wall-clock spans are present but never asserted on: the
+         deterministic fields are the contract, times are banded out *)
+      List.iter
+        (fun r ->
+          checkb "queue span present" true
+            (Obs.Json.member "queue_ms" r <> None);
+          checkb "execute span present" true
+            (Obs.Json.member "execute_ms" r <> None))
+        records
+    | _ -> Alcotest.fail "jobs reply without records")
+  | _ -> Alcotest.fail "jobs reply not an object"
+
 let () =
   Alcotest.run "serve"
     [
@@ -399,5 +499,12 @@ let () =
           Alcotest.test_case "reply order" `Quick
             test_daemon_order_under_concurrency;
           Alcotest.test_case "traced job" `Quick test_traced_job_carries_trace;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "scrape does not perturb" `Quick
+            test_scrape_does_not_perturb;
+          Alcotest.test_case "jobs ring and joblog fields" `Quick
+            test_jobs_ring_and_joblog_fields;
         ] );
     ]
